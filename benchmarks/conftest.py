@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one row group of the paper's evaluation
+(Tables 7-1 and 7-2) or one ablation from Sections 3-6.  The quantity of
+interest is *simulated* time from the machine clock — pytest-benchmark's
+wall-clock numbers just measure the simulator itself.  Simulated results
+are attached to ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` shows the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, table) -> None:
+    """Attach a rendered table to the benchmark result and print it."""
+    benchmark.extra_info["table"] = table.render()
+    print()
+    print(table.render())
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark (the simulation is
+    deterministic; repetition would only re-measure the simulator)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

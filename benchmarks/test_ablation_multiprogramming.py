@@ -1,0 +1,76 @@
+"""Section 5.1, scheduled: context competition under real
+multiprogramming.
+
+The static ablation (`test_ablation_sun3_contexts.py`) round-robins
+tasks by hand.  Here the cooperative scheduler drives the same effect
+the way a timesharing system would: K single-threaded tasks doing
+identical work, multiplexed over the machine's CPU, crossing the SUN 3's
+8-context boundary.  Above the boundary each scheduling round steals
+contexts, every steal throws away a task's translations, and the same
+work costs measurably more per task.
+"""
+
+import dataclasses
+
+from repro.bench import Table
+from repro.core.kernel import MachKernel
+from repro.sched import Scheduler
+
+from conftest import record, run_once
+from repro.bench.testing import make_spec
+
+PAGE = 8192
+MB = 1 << 20
+WORK_PAGES = 4
+ROUNDS = 4
+
+
+def _timeshare(ntasks: int):
+    kernel = MachKernel(make_spec(
+        name="sun3-mpl", pmap_name="sun3", hw_page_size=PAGE,
+        page_size=PAGE, mmu_contexts=8, va_limit=256 * MB,
+        memory_frames=512))
+    sched = Scheduler(kernel)
+
+    def make_body(task):
+        addr = task.vm_allocate(WORK_PAGES * PAGE)
+
+        def body(ctx):
+            for _ in range(ROUNDS):
+                for off in range(0, WORK_PAGES * PAGE, PAGE):
+                    ctx.write(addr + off, b"w")
+                yield
+        return body
+
+    for _ in range(ntasks):
+        task = kernel.task_create()
+        sched.spawn(task, make_body(task))
+    snap = kernel.clock.snapshot()
+    sched.run()
+    cpu_ms = snap.cpu_interval_ms()
+    pool = kernel.pmap_system.md_shared["sun3_contexts"]
+    return cpu_ms / ntasks, pool.context_steals, kernel.stats.faults
+
+
+def test_multiprogramming_level_sweep(benchmark):
+    def _run():
+        table = Table("Section 5.1 (scheduled): SUN 3 timesharing, "
+                      "8 contexts", ("cpu ms/task", "context steals"))
+        results = {}
+        for ntasks in (4, 8, 16, 32):
+            per_task_ms, steals, faults = _timeshare(ntasks)
+            results[ntasks] = (per_task_ms, steals, faults)
+            table.add(f"{ntasks} tasks timeshared",
+                      f"{per_task_ms:.2f}", str(steals),
+                      "flat to 8 tasks,", "then steals grow")
+        return table, results
+
+    table, results = run_once(benchmark, _run)
+    record(benchmark, table)
+    # No competition at or below the context count.
+    assert results[4][1] == 0
+    assert results[8][1] == 0
+    # Beyond it, steals appear and per-task cost rises.
+    assert results[16][1] > 0
+    assert results[32][1] > results[16][1]
+    assert results[32][0] > results[8][0]

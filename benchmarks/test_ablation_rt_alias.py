@@ -1,0 +1,90 @@
+"""Section 5.1 ablation: the IBM RT PC inverted page table's
+one-mapping-per-physical-page restriction.
+
+"physical pages shared by multiple tasks can cause extra page faults,
+with each page being mapped and then remapped for the last task which
+referenced it.  The surprising result has been that, to date, these
+extra faults are rare enough in normal application programs that Mach is
+able to outperform a version of UNIX (IBM ACIS 4.2a) on the RT which
+avoids such aliasing altogether by using shared segments."
+
+We measure the alias-steal rate of (a) a worst case — tasks ping-ponging
+on one shared page — and (b) a realistic fork+COW workload, where shared
+pages are touched mostly by one task at a time.
+"""
+
+from repro import hw
+from repro.bench import Table
+from repro.core.constants import VMInherit
+from repro.core.kernel import MachKernel
+
+from conftest import record, run_once
+
+PAGE = 4096
+
+
+def _worst_case(ntasks: int, rounds: int):
+    kernel = MachKernel(hw.IBM_RT_PC)
+    parent = kernel.task_create()
+    addr = parent.vm_allocate(PAGE)
+    parent.vm_inherit(addr, PAGE, VMInherit.SHARE)
+    parent.write(addr, b"shared")
+    tasks = [parent] + [parent.fork() for _ in range(ntasks - 1)]
+    ipt = parent.pmap.ipt
+    steals_before = ipt.alias_steals
+    faults_before = kernel.stats.faults
+    for _ in range(rounds):
+        for task in tasks:
+            assert task.read(addr, 6) == b"shared"
+    return (ipt.alias_steals - steals_before,
+            kernel.stats.faults - faults_before,
+            ntasks * rounds)
+
+
+def _realistic_forks(nchildren: int):
+    """fork + mostly-private touching: the common application shape."""
+    kernel = MachKernel(hw.IBM_RT_PC)
+    parent = kernel.task_create()
+    addr = parent.vm_allocate(32 * PAGE)
+    for off in range(0, 32 * PAGE, PAGE):
+        parent.write(addr + off, b"init")
+    ipt = parent.pmap.ipt
+    steals_before = ipt.alias_steals
+    faults_before = kernel.stats.faults
+    touches = 0
+    for _ in range(nchildren):
+        child = parent.fork()
+        for off in range(0, 32 * PAGE, PAGE):
+            child.read(addr + off, 4)      # shared COW read
+            child.write(addr + off, b"own")  # then private copy
+            touches += 2
+        child.terminate()
+    return (ipt.alias_steals - steals_before,
+            kernel.stats.faults - faults_before, touches)
+
+
+def test_rt_alias_steal_rates(benchmark):
+    def _run():
+        table = Table("Section 5.1: RT PC inverted-page-table aliasing",
+                      ("alias steals", "total faults"))
+        worst = _worst_case(ntasks=4, rounds=8)
+        real = _realistic_forks(nchildren=4)
+        table.add("worst case: 4 tasks ping-pong 1 shared page",
+                  str(worst[0]), str(worst[1]),
+                  "~1 steal per", "alternation")
+        table.add("realistic: fork + COW touch of 32 pages x4",
+                  str(real[0]), str(real[1]),
+                  "steals rare vs", "touches")
+        return table, worst, real
+
+    table, worst, real = run_once(benchmark, _run)
+    record(benchmark, table)
+    # Worst case: nearly every alternation steals the mapping back.
+    steals, faults, accesses = worst
+    assert steals > accesses * 0.5
+    # Realistic case: steals are a small fraction of touches ("rare
+    # enough in normal application programs").
+    steals_r, faults_r, touches = real
+    assert steals_r < touches * 0.25
+    benchmark.extra_info["worst_steal_rate"] = steals / accesses
+    benchmark.extra_info["realistic_steal_rate"] = steals_r / touches

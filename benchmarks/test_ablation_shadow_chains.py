@@ -1,0 +1,75 @@
+"""Sections 3.4/3.5 ablation: shadow-chain garbage collection.
+
+"Most of the complexity of Mach memory management arises from a need to
+prevent the potentially large chains of shadow objects ... A trivial
+example of this kind of shadow chaining can be caused by a simple UNIX
+process which repeatedly forks its address space."
+
+We run that trivial example — G generations of fork / dirty / child
+exits — with collapse enabled (normal) and disabled (ablated), and
+compare chain lengths, object counts and fault cost at the end.
+"""
+
+from repro import hw
+from repro.bench import Table
+from repro.core.constants import FaultType
+from repro.core.kernel import MachKernel
+
+from conftest import record, run_once
+
+PAGE = 4096
+GENERATIONS = 24
+
+
+def _fork_generations(collapse_enabled: bool):
+    kernel = MachKernel(hw.MICROVAX_II)
+    if not collapse_enabled:
+        kernel.vm.objects.collapse = lambda obj: None      # ablation
+    task = kernel.task_create()
+    addr = task.vm_allocate(4 * PAGE)
+    task.write(addr, b"gen-0")
+    for generation in range(GENERATIONS):
+        child = task.fork()
+        # Parent dirties (creating a shadow), child exits — the classic
+        # chain-building pattern.
+        task.write(addr, f"gen-{generation + 1}".encode())
+        child.terminate()
+    found, entry = task.vm_map.lookup_entry(addr)
+    chain = entry.vm_object.chain_length()
+    live_objects = (kernel.vm.objects.objects_created
+                    - kernel.vm.objects.objects_destroyed)
+    # Cost of a cold fault at the end: walk the whole chain.
+    task.pmap.forget(addr + PAGE)
+    snap = kernel.clock.snapshot()
+    kernel.fault(task, addr + PAGE, FaultType.READ)
+    fault_us, _ = snap.interval()
+    garbage_collections = (kernel.vm.objects.collapses
+                           + kernel.vm.objects.bypasses)
+    return chain, live_objects, fault_us, garbage_collections
+
+
+def test_shadow_chain_collapse(benchmark):
+    def _run():
+        table = Table(
+            f"Section 3.5: shadow chains after {GENERATIONS} fork "
+            "generations", ("with collapse", "collapse disabled"))
+        chain_on, objs_on, fault_on, gcs = _fork_generations(True)
+        chain_off, objs_off, fault_off, _ = _fork_generations(False)
+        table.add("shadow chain length", str(chain_on), str(chain_off),
+                  "O(1)", f"O(forks)={GENERATIONS + 1}")
+        table.add("live memory objects", str(objs_on), str(objs_off),
+                  "bounded", "unbounded")
+        table.add("cold-fault cost (us)", f"{fault_on:.0f}",
+                  f"{fault_off:.0f}", "flat", "chain walk")
+        return table, (chain_on, chain_off, objs_on, objs_off,
+                       fault_on, fault_off, gcs)
+
+    table, result = run_once(benchmark, _run)
+    record(benchmark, table)
+    chain_on, chain_off, objs_on, objs_off, fault_on, fault_off, \
+        gcs = result
+    assert gcs > 0           # collapses and/or bypasses happened
+    assert chain_on <= 3                        # bounded
+    assert chain_off >= GENERATIONS             # grows per generation
+    assert objs_on < objs_off
+    assert fault_on <= fault_off

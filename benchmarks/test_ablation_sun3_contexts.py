@@ -1,0 +1,77 @@
+"""Section 5.1 ablation: SUN 3 hardware-context competition.
+
+"only 8 such contexts may exist at any one time.  If there are more
+than 8 active tasks, they compete for contexts, introducing additional
+page faults as on the RT."
+
+We round-robin K tasks over their working sets for K in {4, 8, 12, 24}
+and report context steals and the per-touch fault overhead.  Below the
+context limit there are no steals; above it, every schedule-around
+evicts someone's translations.
+"""
+
+import dataclasses
+
+from repro import hw
+from repro.bench import Table
+from repro.core.kernel import MachKernel
+
+from conftest import record, run_once
+
+PAGE = 8192
+WORKING_SET_PAGES = 4
+ROUNDS = 3
+
+
+def _round_robin(ntasks: int):
+    spec = dataclasses.replace(hw.SUN_3_160,
+                               memory_segments=((0, 64 << 20),))
+    kernel = MachKernel(spec)
+    tasks = []
+    addrs = []
+    for _ in range(ntasks):
+        task = kernel.task_create()
+        addr = task.vm_allocate(WORKING_SET_PAGES * PAGE)
+        for off in range(0, WORKING_SET_PAGES * PAGE, PAGE):
+            task.write(addr + off, b"w")
+        tasks.append(task)
+        addrs.append(addr)
+    pool = kernel.pmap_system.md_shared["sun3_contexts"]
+    steals_before = pool.context_steals
+    faults_before = kernel.stats.faults
+    touches = 0
+    for _ in range(ROUNDS):
+        for task, addr in zip(tasks, addrs):
+            for off in range(0, WORKING_SET_PAGES * PAGE, PAGE):
+                task.read(addr + off, 1)
+                touches += 1
+    return (pool.context_steals - steals_before,
+            kernel.stats.faults - faults_before, touches)
+
+
+def test_sun3_context_competition(benchmark):
+    def _run():
+        table = Table("Section 5.1: SUN 3 context competition "
+                      "(8 contexts)", ("context steals", "faults/touch"))
+        results = {}
+        for ntasks in (4, 8, 12, 24):
+            steals, faults, touches = _round_robin(ntasks)
+            results[ntasks] = (steals, faults, touches)
+            table.add(f"{ntasks} tasks round-robin",
+                      str(steals), f"{faults / touches:.3f}",
+                      "0 below" if ntasks <= 8 else ">0 above",
+                      "8 contexts")
+        return table, results
+
+    table, results = run_once(benchmark, _run)
+    record(benchmark, table)
+    # At or below 8 active tasks: no competition.
+    assert results[4][0] == 0
+    assert results[8][0] == 0
+    # Above: steals appear and grow with the task count.
+    assert results[12][0] > 0
+    assert results[24][0] > results[12][0]
+    # The extra faults are real but bounded (the paper's RT-style
+    # "additional page faults").
+    assert results[24][1] / results[24][2] > results[8][1] / \
+        results[8][2]

@@ -1,0 +1,77 @@
+"""Section 5.2 ablation: the three TLB-consistency strategies on a
+multiprocessor whose hardware (like the Multimax and Balance) offers no
+TLB coherence.
+
+Workload: M CPUs share a region; the kernel runs a protection-change
+storm against it.  IMMEDIATE pays an IPI per change; DEFERRED batches
+flushes into timer ticks (cheap CPU, long latency); LAZY pays nothing
+until the next context switch but leaves windows of staleness.
+"""
+
+from repro import hw
+from repro.bench import Table
+from repro.core.constants import VMInherit, VMProt
+from repro.core.kernel import MachKernel
+from repro.pmap.interface import ShootdownStrategy
+
+from conftest import record, run_once
+
+PAGE = 4096
+NPAGES = 16
+CHANGES = 24
+
+
+def _storm(strategy: ShootdownStrategy):
+    """One multi-threaded task whose pmap is live on all four CPUs —
+    "a shared portion of an address map" in the paper's words — while
+    the kernel repeatedly changes its protections."""
+    kernel = MachKernel(hw.ENCORE_MULTIMAX, shootdown=strategy)
+    task = kernel.task_create()
+    addr = task.vm_allocate(NPAGES * PAGE)
+    task.vm_inherit(addr, NPAGES * PAGE, VMInherit.SHARE)
+    # One thread per CPU, all touching the region: every CPU's TLB now
+    # caches this pmap's translations.
+    for cpu_id in range(4):
+        kernel.set_current_cpu(cpu_id)
+        for off in range(0, NPAGES * PAGE, PAGE):
+            task.write(addr + off, b"w")
+    kernel.set_current_cpu(0)
+    snap = kernel.clock.snapshot()
+    ipis_before = kernel.pmap_system.ipis_sent
+    for i in range(CHANGES):
+        prot = VMProt.READ if i % 2 == 0 else VMProt.DEFAULT
+        task.vm_protect(addr, NPAGES * PAGE, False, prot)
+        if strategy is ShootdownStrategy.DEFERRED and i % 8 == 7:
+            kernel.machine.tick_all_timers()
+    cpu_ms, elapsed_ms = (v / 1000.0 for v in snap.interval())
+    return cpu_ms, elapsed_ms, kernel.pmap_system.ipis_sent - ipis_before
+
+
+def test_shootdown_strategies(benchmark):
+    def _run():
+        table = Table("Section 5.2: TLB shootdown strategies "
+                      "(protection storm, 4 sharers)",
+                      ("cpu ms", "elapsed ms"))
+        results = {}
+        for strategy in ShootdownStrategy:
+            cpu_ms, elapsed_ms, ipis = _storm(strategy)
+            results[strategy] = (cpu_ms, elapsed_ms, ipis)
+            table.add(f"{strategy.value} ({ipis} IPIs)",
+                      f"{cpu_ms:.2f}", f"{elapsed_ms:.2f}",
+                      "interrupt=CPU cost,", "defer=latency")
+        return table, results
+
+    table, results = run_once(benchmark, _run)
+    record(benchmark, table)
+    imm = results[ShootdownStrategy.IMMEDIATE]
+    dfr = results[ShootdownStrategy.DEFERRED]
+    lazy = results[ShootdownStrategy.LAZY]
+    # IMMEDIATE interrupts remote CPUs: most IPIs, most CPU.
+    assert imm[2] > 0
+    assert dfr[2] == 0 and lazy[2] == 0
+    assert imm[0] > lazy[0]
+    # DEFERRED trades CPU for elapsed time (waiting out timer ticks).
+    assert dfr[1] > imm[1]
+    assert dfr[0] < imm[0]
+    # LAZY is the cheapest in both dimensions (and the least safe).
+    assert lazy[0] <= dfr[0] and lazy[0] <= imm[0]

@@ -1,0 +1,88 @@
+"""Conclusion-section ablation: the virtually addressed cache.
+
+The paper notes Mach runs on "the virtual-address-cached SUN" models
+without machine-independent changes — the cache's alias problem is
+absorbed by the pmap module.  We measure what that absorption costs:
+the same workloads on the plain SUN 3/160 (physically indexed MMU
+path) and the SUN 3/260-style VAC pmap, with the flush counters
+exposed.
+"""
+
+from repro.bench import Table
+from repro.core.constants import VMInherit
+from repro.core.kernel import MachKernel
+
+from conftest import record, run_once
+from repro.bench.testing import make_spec
+
+PAGE = 8192
+MB = 1 << 20
+
+
+def _make(pmap_name: str) -> MachKernel:
+    return MachKernel(make_spec(name=f"vac-{pmap_name}",
+                                pmap_name=pmap_name, hw_page_size=PAGE,
+                                page_size=PAGE, mmu_contexts=8,
+                                va_limit=256 * MB, memory_frames=256))
+
+
+def _shared_ping_pong(pmap_name: str, rounds: int = 12):
+    kernel = _make(pmap_name)
+    parent = kernel.task_create()
+    addr = parent.vm_allocate(2 * PAGE)
+    parent.vm_inherit(addr, 2 * PAGE, VMInherit.SHARE)
+    parent.write(addr, b"seed")
+    child = parent.fork()
+    snap = kernel.clock.snapshot()
+    for i in range(rounds):
+        child.write(addr, f"c{i}".encode())
+        parent.read(addr, 2)
+        parent.write(addr, f"p{i}".encode())
+        child.read(addr, 2)
+    cpu_ms = snap.cpu_interval_ms()
+    flushes = getattr(parent.pmap, "vac_flushes", 0)
+    return cpu_ms, flushes
+
+
+def _private_churn(pmap_name: str, npages: int = 64):
+    kernel = _make(pmap_name)
+    task = kernel.task_create()
+    addr = task.vm_allocate(npages * PAGE)
+    snap = kernel.clock.snapshot()
+    for off in range(0, npages * PAGE, PAGE):
+        task.write(addr + off, b"private")
+    for off in range(0, npages * PAGE, PAGE):
+        task.read(addr + off, 4)
+    cpu_ms = snap.cpu_interval_ms()
+    flushes = getattr(task.pmap, "vac_flushes", 0)
+    return cpu_ms, flushes
+
+
+def test_vac_overhead(benchmark):
+    def _run():
+        table = Table("Conclusion: virtually addressed cache overhead "
+                      "(SUN 3 segment MMU)",
+                      ("plain sun3", "sun3 + VAC"))
+        pp_plain = _shared_ping_pong("sun3")
+        pp_vac = _shared_ping_pong("sun3_vac")
+        table.add("shared-page ping-pong (cpu ms)",
+                  f"{pp_plain[0]:.2f}", f"{pp_vac[0]:.2f}",
+                  f"{pp_plain[1]} flushes", f"{pp_vac[1]} flushes")
+        pc_plain = _private_churn("sun3")
+        pc_vac = _private_churn("sun3_vac")
+        table.add("private 64-page churn (cpu ms)",
+                  f"{pc_plain[0]:.2f}", f"{pc_vac[0]:.2f}",
+                  f"{pc_plain[1]} flushes", f"{pc_vac[1]} flushes")
+        return table, (pp_plain, pp_vac, pc_plain, pc_vac)
+
+    table, (pp_plain, pp_vac, pc_plain, pc_vac) = run_once(benchmark,
+                                                           _run)
+    record(benchmark, table)
+    # Aliased sharing pays for VAC flushes...
+    assert pp_vac[1] > 0
+    assert pp_vac[0] > pp_plain[0]
+    # ...but private (unaliased) use costs nothing extra in flushes —
+    # the discipline only triggers on real aliases and evictions.
+    assert pc_vac[1] == 0
+    # And the MI layer never noticed: both runs produced identical
+    # fault-level behaviour (asserted structurally in the test suite).

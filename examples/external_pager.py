@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""External pagers: user-state backing store over real messages.
+
+Section 3.3 of the paper: memory-object page faults and page-outs can be
+"performed directly by user-state tasks for memory objects they create."
+This example builds a small versioned key-value store whose pages live
+in a *user-state pager task*, not the kernel:
+
+* page faults turn into ``pager_data_request`` messages on the object's
+  paging_object port (Table 3-1);
+* the pager answers with ``pager_data_provided`` on the
+  paging_object_request port (Table 3-2);
+* page-outs arrive as ``pager_data_write`` messages;
+* the pager uses ``pager_cache`` to keep its object warm, and
+  ``pager_flush_request`` to invalidate stale cached pages after it
+  mutates its own store.
+
+Run:  python examples/external_pager.py
+"""
+
+from repro import MachKernel, hw
+from repro.pager import ExternalPager, ExternalPagerAdapter
+
+PAGE = 4096
+
+
+class VersionedStorePager(ExternalPager):
+    """A user-state pager whose backing store is a dict of versioned
+    records, rendered into pages on demand."""
+
+    def __init__(self, nrecords: int = 64) -> None:
+        self.records = {i: f"record-{i:04d}:v1".encode()
+                        for i in range(nrecords)}
+        self.requests_served = 0
+        self.pageouts_accepted = 0
+        self._adapter = None      # set after adapter construction
+
+    # -- rendering records <-> pages ---------------------------------------
+
+    RECORD_BYTES = 64
+
+    def _render_page(self, offset: int) -> bytes:
+        page = bytearray(PAGE)
+        first = offset // self.RECORD_BYTES
+        for i in range(PAGE // self.RECORD_BYTES):
+            data = self.records.get(first + i, b"")
+            base = i * self.RECORD_BYTES
+            page[base:base + len(data)] = data
+        return bytes(page)
+
+    def _absorb_page(self, offset: int, data: bytes) -> None:
+        first = offset // self.RECORD_BYTES
+        for i in range(len(data) // self.RECORD_BYTES):
+            chunk = data[i * self.RECORD_BYTES:
+                         (i + 1) * self.RECORD_BYTES]
+            record = chunk.rstrip(b"\x00")
+            if record:
+                self.records[first + i] = record
+
+    # -- Table 3-1 handlers ---------------------------------------------------
+
+    def pager_init(self, kernel_if, obj, name_port) -> None:
+        print(f"  [pager] pager_init for object, name port "
+              f"{name_port.name}")
+        kernel_if.pager_cache(True)      # keep our object cached
+
+    def pager_data_request(self, kernel_if, obj, offset, length,
+                           desired_access) -> None:
+        self.requests_served += 1
+        print(f"  [pager] pager_data_request(offset={offset:#x}, "
+              f"length={length})")
+        kernel_if.pager_data_provided(offset, self._render_page(offset))
+
+    def pager_data_write(self, kernel_if, obj, offset, data) -> None:
+        self.pageouts_accepted += 1
+        print(f"  [pager] pager_data_write(offset={offset:#x}, "
+              f"{len(data)} bytes)")
+        self._absorb_page(offset, data)
+
+    # -- server-side mutation -----------------------------------------------
+
+    def server_side_update(self, record: int, value: bytes) -> None:
+        """Mutate the store behind the kernel's back, then flush the
+        stale cached page (Table 3-2 pager_flush_request)."""
+        self.records[record] = value
+        offset = (record * self.RECORD_BYTES) // PAGE * PAGE
+        self._adapter.kernel_if.pager_flush_request(offset, PAGE)
+        self._adapter._pump()
+
+
+def main() -> None:
+    kernel = MachKernel(hw.VAX_8200)
+    task = kernel.task_create(name="client")
+
+    pager = VersionedStorePager()
+    adapter = ExternalPagerAdapter(pager, kernel=kernel,
+                                   name="kvstore")
+    pager._adapter = adapter
+
+    print("mapping the user-state store into the client task "
+          "(vm_allocate_with_pager):")
+    addr = task.vm_allocate_with_pager(4 * PAGE, adapter)
+
+    print("\nfirst touch faults through the message protocol:")
+    print(f"  client reads record 0: "
+          f"{task.read(addr, 14).rstrip(chr(0).encode())!r}")
+    print(f"  client reads record 70 (second page): "
+          f"{task.read(addr + 70 * 64, 15)!r}")
+
+    print("\nclient writes records through plain memory stores:")
+    task.write(addr + 5 * 64, b"record-0005:v2-from-client")
+    print("  (no pager traffic yet - the dirty page is cached)")
+
+    print("\nmemory pressure pushes the dirty page back to the pager:")
+    kernel.pageout_daemon.run(
+        target=kernel.vm.resident.physmem.total_frames)
+    print(f"  pager's store now has: {pager.records[5]!r}")
+
+    print("\nserver-side update + pager_flush_request invalidates the "
+          "kernel's cache:")
+    pager.server_side_update(0, b"record-0000:v9-server-side")
+    print(f"  client re-reads record 0: {task.read(addr, 26)!r}")
+
+    print(f"\ntotals: {pager.requests_served} data requests, "
+          f"{pager.pageouts_accepted} pageouts, "
+          f"{adapter.pager_port.messages_sent} messages to the pager, "
+          f"{adapter.request_port.messages_sent} messages back")
+
+
+if __name__ == "__main__":
+    main()

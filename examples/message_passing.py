@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Memory/IPC integration: sending large data by copy-on-write remap.
+
+"The key to efficiency in Mach is the notion that virtual memory
+management can be integrated with a message-oriented communication
+facility.  This integration allows large amounts of data including whole
+files and even whole address spaces to be sent in a single message with
+the efficiency of simple memory remapping."  (Section 2)
+
+This example builds a producer/consumer pipeline over a port, sends a
+16 MB region out-of-line, shows that the transfer cost is page-table
+work rather than byte copying, demonstrates the snapshot semantics, and
+finishes by sending a task's entire address space in one message.
+
+Run:  python examples/message_passing.py
+"""
+
+from repro import MachKernel, hw
+from repro.ipc import Message, MsgType, Port
+
+MB = 1 << 20
+PAGE = 4096
+
+
+def main() -> None:
+    kernel = MachKernel(hw.VAX_8650)
+    producer = kernel.task_create(name="producer")
+    consumer = kernel.task_create(name="consumer")
+    pipe = Port(name="pipeline")
+
+    # --- a 16 MB out-of-line transfer -----------------------------------
+    size = 16 * MB
+    buf = producer.vm_allocate(size)
+    for off in range(0, size, PAGE):
+        producer.write(buf + off, b"payload!")
+    print(f"producer dirtied {size // MB} MB")
+
+    snap = kernel.clock.snapshot()
+    message = Message(msgh_id=100)
+    message.add_inline(MsgType.STRING, "bulk-data")
+    message.add_ool(buf, size)
+    kernel.msg_send(producer, pipe, message)
+    received = kernel.msg_receive(consumer, pipe)
+    remap_ms = snap.cpu_interval_ms()
+
+    copy_ms = kernel.machine.costs.byte_copy_cost(size) / 1000
+    print(f"send+receive by COW remap: {remap_ms:8.2f} ms (simulated)")
+    print(f"the same data by byte copy:{copy_ms:8.0f} ms "
+          f"({copy_ms / remap_ms:.0f}x more)")
+
+    dst = received.ool[0].received_at
+    print(f"consumer reads the data at {dst:#x}: "
+          f"{consumer.read(dst, 8)!r}")
+
+    # --- snapshot semantics ----------------------------------------------
+    producer.write(buf, b"AFTERWRD")
+    print(f"\nproducer scribbles after the send; consumer still sees "
+          f"{consumer.read(dst, 8)!r} (snapshot at send time)")
+
+    # --- lazy evaluation ---------------------------------------------------
+    before = kernel.stats.cow_faults
+    consumer.write(dst, b"consumer")
+    print(f"consumer's first write triggers the only real page copy "
+          f"(cow faults: {before} -> {kernel.stats.cow_faults})")
+
+    # --- a whole address space in one message -----------------------------
+    print("\nsending the producer's entire address space in one "
+          "message:")
+    everything = Message(msgh_id=101)
+    for region in producer.vm_regions():
+        everything.add_ool(region.start, region.size)
+    snap = kernel.clock.snapshot()
+    kernel.msg_send(producer, pipe, everything)
+    got = kernel.msg_receive(consumer, pipe)
+    print(f"  {len(got.ool)} region(s), {sum(r.size for r in got.ool) // MB} MB total, "
+          f"{snap.cpu_interval_ms():.2f} ms simulated")
+    print(f"  messages through the port so far: {pipe.messages_sent}")
+
+
+if __name__ == "__main__":
+    main()

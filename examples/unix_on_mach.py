@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""UNIX on Mach: processes, mapped files and the object cache.
+
+Recreates the paper's motivating workload in miniature: a shell forks
+compiler processes that exec a program, read sources and headers, and
+write objects — with the Mach mechanisms (COW fork, shared mapped text,
+the memory-object file cache) visibly doing the work.  The same workload
+then runs on the traditional 4.3bsd baseline for contrast, previewing
+Table 7-2.
+
+Run:  python examples/unix_on_mach.py
+"""
+
+from repro import MachKernel, hw
+from repro.baseline import BsdVmSystem
+from repro.fs import FileSystem
+from repro.hw.machine import Machine
+from repro.unix import UnixSystem
+
+KB = 1024
+
+
+def mach_run() -> float:
+    kernel = MachKernel(hw.VAX_8650)
+    fs = FileSystem(kernel.machine, nbufs=64)
+    ux = UnixSystem(kernel, fs)
+
+    cc = ux.install_program("/bin/cc", text_size=256 * KB,
+                            data_size=64 * KB, bss_size=32 * KB)
+    fs.write("/usr/include/stdio.h", b"#define EOF (-1)\n" * 2000)
+    for unit in range(4):
+        fs.write(f"/src/u{unit}.c", b"int main(){return 0;}\n" * 500)
+    fs.buffer_cache.sync()
+    fs.buffer_cache.invalidate()
+
+    shell = ux.create_process(name="sh")
+    snap = kernel.clock.snapshot()
+    for unit in range(4):
+        compiler = shell.fork()
+        compiler.exec(cc)
+        compiler.read_file("/usr/include/stdio.h")
+        compiler.read_file(f"/src/u{unit}.c")
+        da, ds = compiler.regions["bss"]
+        compiler.task.write(da, b"compiling...")
+        compiler.write_file(f"/obj/u{unit}.o", b"\x7fOBJ" * 2000)
+        compiler.exit()
+    elapsed = snap.elapsed_interval_ms()
+
+    stats = kernel.vm_statistics()
+    print("Mach run:")
+    print(f"  4 compiles in {elapsed / 1000:.2f} s simulated")
+    print(f"  faults {stats.faults}, cow {stats.cow_faults}, "
+          f"pageins {stats.pageins}")
+    print(f"  object cache hits {stats.object_cache_hits} "
+          f"(text + headers reused across execs)")
+    print(f"  disk reads {fs.disk.reads} "
+          f"(cc text read once, mapped thereafter)")
+    return elapsed
+
+
+def bsd_run() -> float:
+    machine = Machine(hw.VAX_8650)
+    fs = FileSystem(machine, nbufs=64)
+    bsd = BsdVmSystem(machine, fs)
+
+    from repro.unix import Program
+    cc = Program("/bin/cc", 256 * KB, 64 * KB, 32 * KB)
+    fs.write("/bin/cc", bytes(cc.image_size))
+    fs.write("/usr/include/stdio.h", b"#define EOF (-1)\n" * 2000)
+    for unit in range(4):
+        fs.write(f"/src/u{unit}.c", b"int main(){return 0;}\n" * 500)
+    fs.buffer_cache.sync()
+    fs.buffer_cache.invalidate()
+
+    shell = bsd.create_process(name="sh")
+    snap = machine.clock.snapshot()
+    for unit in range(4):
+        compiler = shell.fork()
+        compiler.exec(cc)
+        compiler.read_file("/usr/include/stdio.h")
+        compiler.read_file(f"/src/u{unit}.c")
+        compiler.write("bss", 0, b"compiling...")
+        compiler.write_file(f"/obj/u{unit}.o", b"\x7fOBJ" * 2000)
+        compiler.exit()
+    elapsed = snap.elapsed_interval_ms()
+
+    print("4.3bsd baseline run:")
+    print(f"  4 compiles in {elapsed / 1000:.2f} s simulated")
+    print(f"  faults {bsd.faults}, zero-fills {bsd.zero_fills}")
+    print(f"  disk reads {fs.disk.reads} "
+          f"(cc image re-read through the small buffer cache)")
+    return elapsed
+
+
+def main() -> None:
+    mach_ms = mach_run()
+    print()
+    bsd_ms = bsd_run()
+    print(f"\nMach / 4.3bsd elapsed ratio: "
+          f"{mach_ms / bsd_ms:.2f} (Table 7-2's shape in miniature)")
+
+
+if __name__ == "__main__":
+    main()

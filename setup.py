@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (the execution environment has no network access to fetch it)."""
+
+from setuptools import setup
+
+setup()

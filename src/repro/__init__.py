@@ -1,0 +1,49 @@
+"""repro — a working reproduction of the Mach virtual memory system.
+
+This package implements, in simulation, the system described in
+R. Rashid et al., "Machine-Independent Virtual Memory Management for
+Paged Uniprocessor and Multiprocessor Architectures" (ASPLOS 1987):
+
+* the machine-independent VM layer (:mod:`repro.core`): address maps,
+  memory objects, shadow objects, sharing maps, the resident page table,
+  the fault handler and the paging daemon;
+* the machine-dependent pmap layer (:mod:`repro.pmap`): one module per
+  MMU architecture — VAX page tables, the IBM RT PC inverted page
+  table, SUN 3 segments/contexts, the NS32082, and a TLB-only generic;
+* the hardware substrate (:mod:`repro.hw`): simulated physical memory,
+  per-CPU TLBs, MMU fault delivery and a per-machine cost model;
+* ports/messages (:mod:`repro.ipc`) and external pagers
+  (:mod:`repro.pager`);
+* a small 4.3bsd-flavoured filesystem (:mod:`repro.fs`), a UNIX process
+  emulation (:mod:`repro.unix`) and traditional-UNIX baseline VM
+  systems (:mod:`repro.baseline`) used by the benchmarks that
+  regenerate the paper's Tables 7-1 and 7-2.
+
+Quick start::
+
+    from repro import MachKernel, hw
+
+    kernel = MachKernel(hw.MICROVAX_II)
+    task = kernel.task_create(name="demo")
+    addr = task.vm_allocate(64 * 1024)
+    task.write(addr, b"hello")
+    child = task.fork()                 # copy-on-write
+    assert child.read(addr, 5) == b"hello"
+"""
+
+from repro import hw
+from repro.core import (
+    FaultType,
+    MachKernel,
+    Task,
+    VMInherit,
+    VMProt,
+)
+from repro.pmap.interface import ShootdownStrategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultType", "MachKernel", "ShootdownStrategy", "Task", "VMInherit",
+    "VMProt", "hw", "__version__",
+]

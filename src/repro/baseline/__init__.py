@@ -1,0 +1,10 @@
+"""Traditional-UNIX comparator VM systems (4.3bsd, SunOS 3.2)."""
+
+from repro.baseline.bsd_vm import (
+    BsdProcess,
+    BsdSegment,
+    BsdVmSystem,
+    SunOsVmSystem,
+)
+
+__all__ = ["BsdProcess", "BsdSegment", "BsdVmSystem", "SunOsVmSystem"]

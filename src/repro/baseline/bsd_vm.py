@@ -1,0 +1,353 @@
+"""Traditional UNIX VM baselines.
+
+The paper's Tables 7-1/7-2 compare Mach against 4.3bsd-derived systems:
+plain 4.3bsd on the VAX, ACIS 4.2a on the RT PC and SunOS 3.2 on the
+SUN 3.  "Versions of Berkeley UNIX on non-VAX hardware ... actually
+simulate internally the VAX memory mapping architecture — in effect
+treating it as a machine-independent memory management specification."
+
+:class:`BsdVmSystem` implements that tradition on the same simulated
+hardware the Mach kernel runs on:
+
+* an internally simulated VAX-style linear page table per process,
+  built eagerly at process creation (the space/time cost Mach's lazy
+  pmap avoids);
+* a heavier fault path (``fault_unix_us`` — the layered VAX-emulation
+  code path);
+* **eager fork**: every resident data/stack page is byte-copied into
+  the child;
+* file I/O only through the fixed-size buffer cache, with a byte copy
+  into the caller on every read.
+
+:class:`SunOsVmSystem` refines fork to SunOS 3.2 behaviour: pages are
+shared copy-on-write, but the MMU state (page tables / segment maps) is
+still duplicated eagerly — which is why the paper's SUN 3 fork gap
+(68 ms vs 89 ms) is much narrower than the VAX one (59 ms vs 220 ms).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.constants import round_page
+from repro.fs.filesystem import FileSystem
+from repro.hw.machine import Machine
+from repro.unix.process import Program
+
+_pids = itertools.count(1000)
+
+
+class BsdSegment:
+    """One process memory segment under the traditional VM.
+
+    Pages materialize on first touch (4.3bsd did demand-zero and
+    demand-paging from the executable); ``cow`` marks pages shared with
+    a relative (SunOS fork) that must be copied before writing.
+    """
+
+    def __init__(self, size: int, page_size: int) -> None:
+        self.size = size
+        self.page_size = page_size
+        #: page index -> bytearray(page) for materialized pages.
+        self.pages: dict[int, bytearray] = {}
+        #: page indexes currently shared copy-on-write.
+        self.cow: set[int] = set()
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of materialized pages in the segment."""
+        return len(self.pages)
+
+    def npages(self) -> int:
+        """Total pages the segment spans."""
+        return (self.size + self.page_size - 1) // self.page_size
+
+
+class BsdProcess:
+    """A process under the traditional VM baseline."""
+
+    def __init__(self, system: "BsdVmSystem", name: str = "") -> None:
+        self.system = system
+        self.pid = next(_pids)
+        self.name = name or f"bsd{self.pid}"
+        self.segments: dict[str, BsdSegment] = {}
+        self.program: Optional[Program] = None
+        self.exited = False
+        system._charge_page_table_setup(self)
+
+    # -- memory ---------------------------------------------------------
+
+    def add_segment(self, name: str, size: int) -> BsdSegment:
+        """Create a named memory segment in the process."""
+        seg = BsdSegment(round_page(size, self.system.page_size),
+                         self.system.page_size)
+        self.segments[name] = seg
+        return seg
+
+    def _fault_in(self, seg: BsdSegment, index: int,
+                  write: bool) -> bytearray:
+        costs = self.system.costs
+        clock = self.system.clock
+        page = seg.pages.get(index)
+        if page is None:
+            # Demand zero fill through the traditional fault path.
+            clock.charge(costs.fault_trap_us + costs.fault_unix_us)
+            clock.charge(costs.zero_cost(seg.page_size))
+            clock.charge(costs.pte_write_us
+                         * (seg.page_size // self.system.hw_page_size))
+            self.system.faults += 1
+            self.system.zero_fills += 1
+            page = bytearray(seg.page_size)
+            seg.pages[index] = page
+            return page
+        if write and index in seg.cow:
+            # SunOS-style COW resolution: fault, copy, new PTE.
+            clock.charge(costs.fault_trap_us + costs.fault_unix_us)
+            clock.charge(costs.copy_cost(seg.page_size))
+            clock.charge(costs.pte_write_us
+                         * (seg.page_size // self.system.hw_page_size))
+            self.system.faults += 1
+            self.system.cow_copies += 1
+            page = bytearray(page)
+            seg.pages[index] = page
+            seg.cow.discard(index)
+        return page
+
+    def touch(self, segment: str, offset: int,
+              write: bool = False) -> None:
+        """Access one address, faulting the page in if needed."""
+        seg = self.segments[segment]
+        self._fault_in(seg, offset // seg.page_size, write)
+
+    def write(self, segment: str, offset: int, data: bytes) -> None:
+        """Write bytes (faulting/copying pages as needed)."""
+        seg = self.segments[segment]
+        self.system.clock.charge(
+            self.system.costs.byte_copy_cost(len(data)))
+        cursor = 0
+        while cursor < len(data):
+            index = (offset + cursor) // seg.page_size
+            in_page = (offset + cursor) % seg.page_size
+            page = self._fault_in(seg, index, write=True)
+            chunk = data[cursor:cursor + seg.page_size - in_page]
+            page[in_page:in_page + len(chunk)] = chunk
+            cursor += len(chunk)
+
+    def read(self, segment: str, offset: int, size: int) -> bytes:
+        """Read bytes (faulting pages in as needed)."""
+        seg = self.segments[segment]
+        self.system.clock.charge(self.system.costs.byte_copy_cost(size))
+        out = bytearray()
+        while len(out) < size:
+            index = (offset + len(out)) // seg.page_size
+            in_page = (offset + len(out)) % seg.page_size
+            page = self._fault_in(seg, index, write=False)
+            take = min(seg.page_size - in_page, size - len(out))
+            out += page[in_page:in_page + take]
+        return bytes(out)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def fork(self) -> "BsdProcess":
+        """Fork this process under this system's fork semantics."""
+        return self.system.fork(self)
+
+    def exec(self, program: Program) -> None:
+        """Overlay the process with a program image."""
+        self.system.exec(self, program)
+
+    def exit(self) -> None:
+        """Terminate the process and reap its resources."""
+        self.exited = True
+        if self in self.system.processes:
+            self.system.processes.remove(self)
+
+    # -- file I/O (buffer cache only) --------------------------------------
+
+    def read_file(self, path: str, size: Optional[int] = None) -> bytes:
+        """Read a file the way this system's kernel does."""
+        return self.system.read_file(self, path, size)
+
+    def write_file(self, path: str, data: bytes,
+                   offset: int = 0) -> None:
+        """Write a file the way this system's kernel does."""
+        self.system.write_file(self, path, data, offset)
+
+    def __repr__(self) -> str:
+        return f"BsdProcess(pid={self.pid}, {self.name})"
+
+
+class BsdVmSystem:
+    """4.3bsd-style VM and file I/O on simulated hardware."""
+
+    name = "4.3bsd"
+    #: Traditional kernels limited process addressability so linear page
+    #: tables stayed manageable ("simply limited the total process
+    #: addressiblity to a manageable 8, 16 or 64 megabytes").
+    PROCESS_ADDRESS_LIMIT = 16 * (1 << 20)
+
+    def __init__(self, machine: Machine, fs: FileSystem) -> None:
+        self.machine = machine
+        self.fs = fs
+        self.processes: list[BsdProcess] = []
+        self.faults = 0
+        self.zero_fills = 0
+        self.cow_copies = 0
+        self.forks = 0
+
+    @property
+    def clock(self):
+        """The machine's simulated clock."""
+        return self.machine.clock
+
+    @property
+    def costs(self):
+        """The machine's cost model."""
+        return self.machine.costs
+
+    @property
+    def page_size(self) -> int:
+        """The boot-time Mach page size in bytes."""
+        return self.machine.page_size
+
+    @property
+    def hw_page_size(self) -> int:
+        """The hardware page size in bytes."""
+        return self.machine.hw_page_size
+
+    # ------------------------------------------------------------------
+
+    def _charge_page_table_setup(self, proc: BsdProcess) -> None:
+        """Building the (simulated VAX) linear page table for the
+        process's addressable range, eagerly, at creation."""
+        ptes = self.PROCESS_ADDRESS_LIMIT // self.hw_page_size
+        # One PTE write per page-table page of 128 PTEs (zeroing a
+        # constructed table, not entering each PTE individually).
+        self.clock.charge(self.costs.pt_page_alloc_us * (ptes // 128) / 64)
+
+    def create_process(self, program: Optional[Program] = None,
+                       name: str = "") -> BsdProcess:
+        """Create a new process (optionally exec'ing a program)."""
+        proc = BsdProcess(self, name=name)
+        self.processes.append(proc)
+        if program is not None:
+            self.exec(proc, program)
+        else:
+            proc.add_segment("stack", 64 * 1024)
+            proc.add_segment("u_area", self.page_size)
+        return proc
+
+    # -- fork: EAGER copy ---------------------------------------------------
+
+    def _fork_copy_segment(self, child: BsdProcess, name: str,
+                           seg: BsdSegment) -> None:
+        new = child.add_segment(name, seg.size)
+        for index, page in seg.pages.items():
+            self.clock.charge(self.costs.copy_cost(seg.page_size))
+            self.clock.charge(
+                self.costs.pte_write_us
+                * (seg.page_size // self.hw_page_size))
+            new.pages[index] = bytearray(page)
+
+    def fork(self, parent: BsdProcess) -> BsdProcess:
+        """4.3bsd fork: duplicate every writable page by copying it."""
+        self.forks += 1
+        self.clock.charge(self.costs.proc_fork_unix_us)
+        child = BsdProcess(self, name=f"{parent.name}-child")
+        self.processes.append(child)
+        child.program = parent.program
+        for name, seg in parent.segments.items():
+            if name == "text":
+                # Text is shared read-only even in 4.3bsd.
+                child.segments[name] = seg
+                continue
+            self._fork_copy_segment(child, name, seg)
+        return child
+
+    # -- exec -----------------------------------------------------------------
+
+    def exec(self, proc: BsdProcess, program: Program) -> None:
+        """Overlay the process with *program*; text and data are read
+        from the filesystem through the buffer cache."""
+        self.clock.charge(self.costs.syscall_us)
+        proc.segments.clear()
+        proc.program = program
+        text = proc.add_segment("text", max(program.text_size,
+                                            self.page_size))
+        data = proc.add_segment("data", max(program.data_size,
+                                            self.page_size))
+        proc.add_segment("bss", max(program.bss_size, self.page_size))
+        proc.add_segment("stack", 64 * 1024)
+        proc.add_segment("u_area", self.page_size)
+        image = self.read_file(proc, program.path, program.image_size)
+        for seg, base, size in ((text, 0, program.text_size),
+                                (data, program.text_size,
+                                 program.data_size)):
+            for off in range(0, size, self.page_size):
+                chunk = image[base + off:base + off + self.page_size]
+                seg.pages[off // self.page_size] = bytearray(
+                    chunk.ljust(self.page_size, b"\x00"))
+
+    # -- file I/O: the buffer cache is the only cache -------------------------
+
+    def read_file(self, proc: BsdProcess, path: str,
+                  size: Optional[int] = None) -> bytes:
+        """Read a file the way this system's kernel does."""
+        inode = self.fs.lookup(path)
+        if size is None:
+            size = inode.size
+        size = min(size, inode.size)
+        bs = self.fs.block_size
+        out = bytearray()
+        offset = 0
+        while offset < size:
+            self.clock.charge(self.costs.syscall_us)
+            take = min(bs, size - offset)
+            out += self.fs.read(path, offset, take)
+            # copyout from the buffer to the user.
+            self.clock.charge(self.costs.byte_copy_cost(take))
+            offset += take
+        return bytes(out)
+
+    def write_file(self, proc: BsdProcess, path: str, data: bytes,
+                   offset: int = 0) -> None:
+        """Write a file the way this system's kernel does."""
+        bs = self.fs.block_size
+        cursor = 0
+        while cursor < len(data):
+            self.clock.charge(self.costs.syscall_us)
+            chunk = data[cursor:cursor + bs]
+            self.clock.charge(self.costs.byte_copy_cost(len(chunk)))
+            self.fs.write(path, chunk, offset + cursor)
+            cursor += len(chunk)
+
+
+class SunOsVmSystem(BsdVmSystem):
+    """SunOS 3.2-style baseline: fork is copy-on-write, but the child's
+    MMU state (page tables / segment maps) is built eagerly — and a
+    shared-segment (not shared-page) text policy avoids the RT-style
+    aliasing problem, as ACIS 4.2a did."""
+
+    name = "SunOS 3.2"
+
+    def fork(self, parent: BsdProcess) -> BsdProcess:
+        """Fork this process under this system's fork semantics."""
+        self.forks += 1
+        self.clock.charge(self.costs.proc_fork_unix_us)
+        child = BsdProcess(self, name=f"{parent.name}-child")
+        self.processes.append(child)
+        child.program = parent.program
+        for name, seg in parent.segments.items():
+            if name == "text":
+                child.segments[name] = seg
+                continue
+            new = child.add_segment(name, seg.size)
+            for index, page in seg.pages.items():
+                # Share the page, mark both sides COW, and duplicate the
+                # mapping state eagerly (the expensive part on the SUN).
+                self.clock.charge(self.costs.fork_page_dup_us)
+                new.pages[index] = page
+                new.cow.add(index)
+                seg.cow.add(index)
+        return child

@@ -1,0 +1,113 @@
+"""Paper-style result tables.
+
+Each benchmark produces rows of (label, Mach result, UNIX result) in the
+layout of the paper's Tables 7-1 and 7-2, alongside the paper's own
+published numbers so the reproduction's *shape* (who wins, by what
+rough factor) can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Row:
+    """One benchmark row: our measurements plus the paper's numbers."""
+
+    operation: str
+    mach: str
+    unix: str
+    paper_mach: str = ""
+    paper_unix: str = ""
+
+    def ratio_ok(self) -> Optional[bool]:
+        """Does the winner match the paper's winner (when both paper
+        numbers are parseable)?"""
+        ours = _parse_ms(self.mach), _parse_ms(self.unix)
+        paper = _parse_ms(self.paper_mach), _parse_ms(self.paper_unix)
+        if None in ours or None in paper:
+            return None
+        return (ours[0] <= ours[1]) == (paper[0] <= paper[1])
+
+
+def _parse_ms(text: str) -> Optional[float]:
+    text = text.strip().rstrip("ms").rstrip("sec").rstrip("s").strip()
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+@dataclass
+class Table:
+    """A rendered benchmark table."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[Row] = field(default_factory=list)
+
+    def add(self, operation: str, mach: str, unix: str,
+            paper_mach: str = "", paper_unix: str = "") -> None:
+        """Append one result row."""
+        self.rows.append(Row(operation, mach, unix, paper_mach,
+                             paper_unix))
+
+    def render(self) -> str:
+        """Plain-text table for terminal output."""
+        headers = ["Operation", *self.columns,
+                   f"paper:{self.columns[0]}", f"paper:{self.columns[1]}"]
+        body = [[row.operation, row.mach, row.unix, row.paper_mach,
+                 row.paper_unix] for row in self.rows]
+        widths = [max(len(headers[i]), *(len(r[i]) for r in body))
+                  if body else len(headers[i])
+                  for i in range(len(headers))]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(r)))
+        return "\n".join(lines)
+
+    def markdown(self) -> str:
+        """Markdown table for EXPERIMENTS.md."""
+        headers = ["Operation", *self.columns,
+                   f"paper: {self.columns[0]}",
+                   f"paper: {self.columns[1]}"]
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "---|" * len(headers))
+        for row in self.rows:
+            lines.append("| " + " | ".join(
+                [row.operation, row.mach, row.unix, row.paper_mach,
+                 row.paper_unix]) + " |")
+        return "\n".join(lines)
+
+
+def fmt_ms(ms: float) -> str:
+    """Format milliseconds the way the paper prints them."""
+    if ms >= 100:
+        return f"{ms:.0f}ms"
+    return f"{ms:.2f}ms"
+
+
+def fmt_s(ms: float) -> str:
+    """Format milliseconds as whole seconds."""
+    return f"{ms / 1000.0:.1f}s"
+
+
+def fmt_sys_elapsed(measurement) -> str:
+    """Paper's "system/elapsed sec" cell format."""
+    return (f"{measurement.cpu_ms / 1000.0:.1f}/"
+            f"{measurement.elapsed_ms / 1000.0:.1f}s")
+
+
+def fmt_min(ms: float) -> str:
+    """Format milliseconds as m:ss minutes."""
+    total_seconds = ms / 1000.0
+    minutes = int(total_seconds // 60)
+    seconds = int(round(total_seconds - 60 * minutes))
+    return f"{minutes}:{seconds:02d}min"

@@ -1,0 +1,22 @@
+"""Shared helpers for the test and benchmark suites."""
+
+from __future__ import annotations
+
+from repro.hw.machine import MachineSpec
+
+
+def make_spec(name: str = "test-box", *, hw_page_size: int = 4096,
+              page_size: int = 4096, memory_frames: int = 256,
+              ncpus: int = 1, pmap_name: str = "generic",
+              va_limit: int = 1 << 30, **extra) -> MachineSpec:
+    """A small generic machine for tests and ablation benchmarks."""
+    return MachineSpec(
+        name=name,
+        hw_page_size=hw_page_size,
+        default_page_size=page_size,
+        va_limit=va_limit,
+        ncpus=ncpus,
+        pmap_name=pmap_name,
+        memory_segments=((0, memory_frames * page_size),),
+        **extra,
+    )

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``machines`` — list the simulated machine presets and their MMU
+  parameters;
+* ``demo [--machine NAME]`` — run the core-mechanism walkthrough
+  (allocate, fault, COW fork, sharing, statistics) on a chosen machine;
+* ``bench [--table {7-1,7-2}] [--quick]`` — regenerate the paper's
+  evaluation tables;
+* ``fault-trace [--machine NAME]`` — narrate every step of a single
+  copy-on-write fault, for teaching.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import hw
+from repro.core.constants import FaultType, VMInherit
+from repro.core.kernel import MachKernel
+
+KB = 1024
+
+
+def cmd_machines(args: argparse.Namespace) -> int:
+    """``repro machines``: list the simulated machines."""
+    header = (f"{'machine':<20} {'pmap':<9} {'hw page':>8} "
+              f"{'mach page':>10} {'cpus':>5} {'memory':>8} "
+              f"{'va limit':>10}")
+    print(header)
+    print("-" * len(header))
+    for spec in hw.ALL_SPECS:
+        print(f"{spec.name:<20} {spec.pmap_name:<9} "
+              f"{spec.hw_page_size:>8} {spec.default_page_size:>10} "
+              f"{spec.ncpus:>5} {spec.memory_bytes // (1 << 20):>6}MB "
+              f"{spec.va_limit // (1 << 20):>8}MB")
+    return 0
+
+
+def _resolve_machine(name: str):
+    try:
+        return hw.spec_by_name(name)
+    except KeyError:
+        choices = ", ".join(s.name for s in hw.ALL_SPECS)
+        print(f"unknown machine {name!r}; choose from: {choices}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: run the core-mechanism walkthrough."""
+    spec = _resolve_machine(args.machine)
+    kernel = MachKernel(spec)
+    print(f"booted {spec.name}: {kernel.machine.hw_page_size}-byte "
+          f"hardware pages, {kernel.page_size}-byte Mach pages, "
+          f"{len(kernel.machine.cpus)} cpu(s), "
+          f"{spec.pmap_name!r} pmap")
+
+    task = kernel.task_create(name="demo")
+    addr = task.vm_allocate(64 * KB)
+    task.write(addr, b"machine independent memory")
+    print(f"\nallocated 64K at {addr:#x}; first write took "
+          f"{kernel.stats.faults} fault(s)")
+
+    child = task.fork()
+    child.write(addr, b"COPY-ON-WRITE")
+    print(f"after COW fork + child write: parent reads "
+          f"{task.read(addr, 7)!r}, child reads "
+          f"{child.read(addr, 13)!r}")
+
+    shared = task.vm_allocate(8 * KB)
+    task.vm_inherit(shared, 8 * KB, VMInherit.SHARE)
+    sharer = task.fork()
+    sharer.write(shared, b"shared pages")
+    print(f"after SHARE fork + child write: parent reads "
+          f"{task.read(shared, 12)!r}")
+
+    print("\n" + kernel.vm_statistics().describe())
+    print(f"\nsimulated: {kernel.clock.cpu_ms:.2f} ms cpu / "
+          f"{kernel.clock.elapsed_ms:.2f} ms elapsed")
+    return 0
+
+
+def cmd_fault_trace(args: argparse.Namespace) -> int:
+    """``repro fault-trace``: narrate one COW fault."""
+    spec = _resolve_machine(args.machine)
+    kernel = MachKernel(spec)
+    task = kernel.task_create(name="tracer")
+    page = kernel.page_size
+
+    print(f"machine: {spec.name} ({spec.pmap_name} pmap)\n")
+    addr = task.vm_allocate(4 * page)
+    print(f"1. vm_allocate(4 pages) -> {addr:#x}")
+    found, entry = task.vm_map.lookup_entry(addr)
+    print(f"   map entry: {entry!r}")
+    print("   note: no memory object yet (lazy zero fill)\n")
+
+    task.write(addr, b"A")
+    found, entry = task.vm_map.lookup_entry(addr)
+    print(f"2. first write -> zero-fill fault")
+    print(f"   object materialized: {entry.vm_object!r}")
+    print(f"   pmap now maps it: phys "
+          f"{task.pmap.extract(addr):#x}\n")
+
+    child = task.fork()
+    found, centry = child.vm_map.lookup_entry(addr)
+    print(f"3. fork -> symmetric copy-on-write")
+    print(f"   parent entry: {entry!r}")
+    print(f"   child  entry: {centry!r}\n")
+
+    outcome = kernel.fault(child, addr, FaultType.WRITE)
+    found, centry = child.vm_map.lookup_entry(addr)
+    print(f"4. child write fault:")
+    print(f"   shadow created: {outcome.shadow_created}, "
+          f"page copied: {outcome.cow_copied}")
+    print(f"   child entry now: {centry!r}")
+    print(f"   shadow chain: "
+          f"{[f'#{o.object_id}' for o in centry.vm_object.chain()]}")
+    print(f"\nstatistics: {kernel.stats!r}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """``repro show``: run a small workload and render the kernel's
+    data structures as ASCII diagrams."""
+    from repro.viz import render_queues, render_task
+
+    spec = _resolve_machine(args.machine)
+    kernel = MachKernel(spec)
+    task = kernel.task_create(name="demo")
+    addr = task.vm_allocate(4 * kernel.page_size)
+    task.write(addr, b"rendered")
+    shared = task.vm_allocate(kernel.page_size)
+    task.vm_inherit(shared, kernel.page_size, VMInherit.SHARE)
+    child = task.fork()
+    child.write(addr, b"COW!")
+    child.write(shared, b"shared")
+
+    print(render_task(task))
+    print()
+    print(render_task(child))
+    print()
+    print("resident page queues:")
+    print(render_queues(kernel))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: regenerate evaluation tables."""
+    from repro.bench import (
+        BsdSUT, FORK_TEST_PROGRAM, MachSUT, SunOsSUT,
+        THIRTEEN_PROGRAMS, Table, fmt_sys_elapsed, measure_fork,
+        measure_read_file, measure_zero_fill, run_compile_workload,
+    )
+    from repro.bench.workloads import KB as KB_, MB
+
+    tables = []
+    if args.table in (None, "7-1"):
+        t1 = Table("Table 7-1: zero fill 1K / fork 256K",
+                   ("Mach", "UNIX"))
+        rows = ((hw.IBM_RT_PC, BsdSUT, ".45/.58",),
+                (hw.MICROVAX_II, BsdSUT, ".58/1.2"),
+                (hw.SUN_3_160, SunOsSUT, ".23/.27"))
+        for spec, base, paper in rows:
+            zm = measure_zero_fill(MachSUT(spec))
+            zu = measure_zero_fill(base(spec))
+            t1.add(f"zero fill 1K ({spec.name})",
+                   f"{zm.cpu_ms:.2f}ms", f"{zu.cpu_ms:.2f}ms",
+                   paper.split("/")[0] + "ms", paper.split("/")[1] + "ms")
+        paper_fork = {"IBM RT PC": ("41ms", "145ms"),
+                      "MicroVAX II": ("59ms", "220ms"),
+                      "SUN 3/160": ("68ms", "89ms")}
+        for spec, base, _ in rows:
+            fm = measure_fork(MachSUT(spec))
+            fu = measure_fork(base(spec))
+            t1.add(f"fork 256K ({spec.name})",
+                   f"{fm.cpu_ms:.0f}ms", f"{fu.cpu_ms:.0f}ms",
+                   *paper_fork[spec.name])
+        tables.append(t1)
+        if not args.quick:
+            t2 = Table("Table 7-1: read file (VAX 8200)",
+                       ("Mach", "UNIX"))
+            for label, size in (("2.5M", int(2.5 * MB)),
+                                ("50K", 50 * KB_)):
+                mf, ms = measure_read_file(MachSUT(hw.VAX_8200), size)
+                uf, us = measure_read_file(BsdSUT(hw.VAX_8200), size)
+                t2.add(f"read {label} first", fmt_sys_elapsed(mf),
+                       fmt_sys_elapsed(uf))
+                t2.add(f"read {label} second", fmt_sys_elapsed(ms),
+                       fmt_sys_elapsed(us))
+            tables.append(t2)
+    if args.table in (None, "7-2"):
+        t3 = Table("Table 7-2: compilation", ("Mach", "UNIX"))
+        spec13 = THIRTEEN_PROGRAMS if not args.quick else \
+            FORK_TEST_PROGRAM
+        m = run_compile_workload(MachSUT(hw.VAX_8650), spec13)
+        u = run_compile_workload(BsdSUT(hw.VAX_8650, nbufs=64), spec13)
+        label = "13 programs" if not args.quick else "1 compile"
+        t3.add(f"{label} (generic config)",
+               f"{m.elapsed_ms / 1000:.1f}s",
+               f"{u.elapsed_ms / 1000:.1f}s",
+               "19s" if not args.quick else "", "1:16" if not
+               args.quick else "")
+        tables.append(t3)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mach VM reproduction (Rashid et al., ASPLOS "
+                    "1987)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list simulated machines")
+
+    demo = sub.add_parser("demo", help="core-mechanism walkthrough")
+    demo.add_argument("--machine", default="MicroVAX II")
+
+    trace = sub.add_parser("fault-trace",
+                           help="narrate one copy-on-write fault")
+    trace.add_argument("--machine", default="MicroVAX II")
+
+    show = sub.add_parser("show",
+                          help="render kernel structures as ASCII")
+    show.add_argument("--machine", default="MicroVAX II")
+
+    bench = sub.add_parser("bench", help="regenerate evaluation tables")
+    bench.add_argument("--table", choices=["7-1", "7-2"])
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "machines": cmd_machines,
+        "demo": cmd_demo,
+        "fault-trace": cmd_fault_trace,
+        "show": cmd_show,
+        "bench": cmd_bench,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Machine-independent VM constants.
+
+These mirror the protection, inheritance and fault-type values used by the
+Mach virtual memory system described in Rashid et al. (ASPLOS 1987).
+Protections are small bitmasks combining read, write and execute
+permission; inheritance is a per-entry attribute consulted at ``fork``
+time; fault types describe the access that triggered a page fault.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VMProt(enum.IntFlag):
+    """Page protection bits (current and maximum protection values).
+
+    The paper, Section 2.1: "Each protection is implemented as a
+    combination of read, write and execute permissions."
+    """
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+    ALL = READ | WRITE | EXECUTE
+    DEFAULT = READ | WRITE
+
+    def allows(self, access: "VMProt") -> bool:
+        """True when every permission in *access* is present in *self*."""
+        return (self & access) == access
+
+
+class VMInherit(enum.Enum):
+    """Per-entry inheritance attribute consulted by ``task_fork``.
+
+    Section 2.1: "Inheritance may be specified as shared, copy or none
+    ... Pages specified as shared, are shared for read and write.  Pages
+    marked as copy are logically copied by value, although for efficiency
+    copy-on-write techniques are employed.  An inheritance specification
+    of none signifies that a page is not to be passed to a child."
+    """
+
+    SHARE = "share"
+    COPY = "copy"
+    NONE = "none"
+
+
+class FaultType(enum.IntFlag):
+    """The access that caused a fault, as reported by the (simulated) MMU.
+
+    ``FaultType`` values are deliberately the same bit positions as
+    :class:`VMProt` so a fault can be checked directly against an entry's
+    protection.
+    """
+
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+
+
+#: Smallest hardware page size any supported MMU uses (VAX: 512 bytes).
+MIN_HARDWARE_PAGE_SIZE = 512
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def validate_page_size(mach_page_size: int, hardware_page_size: int) -> None:
+    """Check the boot-time Mach page size against the hardware page size.
+
+    Section 3.1: "The size of a Mach page is a boot time system
+    parameter.  It relates to the physical page size only in that it must
+    be a power of two multiple of the machine dependent size."
+
+    Raises:
+        ValueError: if either size is not a power of two, or the Mach
+            page size is not a multiple of the hardware page size.
+    """
+    if not is_power_of_two(hardware_page_size):
+        raise ValueError(
+            f"hardware page size {hardware_page_size} is not a power of two")
+    if not is_power_of_two(mach_page_size):
+        raise ValueError(
+            f"Mach page size {mach_page_size} is not a power of two")
+    if mach_page_size < hardware_page_size:
+        raise ValueError(
+            f"Mach page size {mach_page_size} is smaller than the hardware "
+            f"page size {hardware_page_size}")
+    if mach_page_size % hardware_page_size != 0:
+        raise ValueError(
+            f"Mach page size {mach_page_size} is not a multiple of the "
+            f"hardware page size {hardware_page_size}")
+
+
+def trunc_page(address: int, page_size: int) -> int:
+    """Round *address* down to a page boundary."""
+    return address & ~(page_size - 1)
+
+
+def round_page(address: int, page_size: int) -> int:
+    """Round *address* up to a page boundary."""
+    return (address + page_size - 1) & ~(page_size - 1)
+
+
+def page_aligned(address: int, page_size: int) -> bool:
+    """True when *address* sits exactly on a page boundary."""
+    return address % page_size == 0

@@ -1,0 +1,222 @@
+"""The page fault handler.
+
+This is the rendezvous point of the whole design: "all virtual memory
+information can be reconstructed at fault time from Mach's machine
+independent data structures" (Section 3.6).  A fault resolves by
+
+1. looking the address up in the task's address map (descending a
+   sharing map when present),
+2. materializing a lazily allocated zero-fill object if none exists,
+3. creating a shadow object when a write hits a ``needs_copy`` entry,
+4. walking the shadow chain for a resident page, asking each object's
+   pager for data along the way, zero-filling at the bottom,
+5. copying a backing page up into the first object on write (the actual
+   copy-on-write copy), then attempting shadow-chain collapse,
+6. entering the translation in the machine-dependent pmap — with write
+   permission withheld when the page is still logically shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import FaultType, VMProt, trunc_page
+from repro.core.errors import MemoryObjectError
+from repro.core.page import VMPage
+
+
+@dataclass
+class FaultOutcome:
+    """What a resolved fault did (for statistics and tests)."""
+
+    page: VMPage
+    zero_filled: bool = False
+    paged_in: bool = False
+    cow_copied: bool = False
+    shadow_created: bool = False
+    entered_prot: VMProt = VMProt.NONE
+
+
+def vm_fault(kernel, task, vaddr: int, fault_type: FaultType,
+             wiring: bool = False) -> FaultOutcome:
+    """Resolve a page fault for *task* at *vaddr*.
+
+    Raises:
+        InvalidAddressError: nothing mapped at *vaddr*.
+        ProtectionFailureError: the mapping forbids the access.
+    """
+    vm = kernel.vm
+    costs = vm.costs
+    vm.clock.charge(costs.fault_trap_us + costs.fault_mi_us)
+    kernel.stats.faults += 1
+
+    page_addr = trunc_page(vaddr, vm.page_size)
+    vm_map = task.vm_map
+    result = vm_map.lookup(page_addr, fault_type)
+    entry = result.leaf_entry
+    outcome = FaultOutcome(page=None)  # type: ignore[arg-type]
+
+    # (2) Materialize lazy zero-fill memory: "Memory with no pager is
+    # automatically zero filled."
+    if entry.vm_object is None:
+        entry.vm_object = vm.objects.create_internal(entry.size)
+        entry.offset = 0
+        result = vm_map.lookup(page_addr, fault_type)
+        entry = result.leaf_entry
+
+    # (3) Shadow a needs-copy entry before letting a write through.
+    # A pager that declared itself readonly (Table 3-2 pager_readonly:
+    # "Forces the kernel to allocate a new memory object should a write
+    # attempt to this paging object be made") makes every write behave
+    # as needs-copy.
+    writing = bool(fault_type & FaultType.WRITE)
+    if (writing and not result.needs_copy and entry.vm_object is not None
+            and getattr(entry.vm_object.pager, "readonly", False)):
+        result.needs_copy = True
+    if result.needs_copy and writing:
+        assert not entry.is_sub_map, \
+            "needs_copy is never set on sharing-map references"
+        old_object = entry.vm_object
+        shadow = vm.objects.shadow(old_object, entry.offset, entry.size)
+        entry.vm_object = shadow
+        entry.offset = 0
+        entry.needs_copy = False
+        outcome.shadow_created = True
+        if result.leaf_map.is_sharing_map:
+            # Shadowing a sharing-map leaf changes what *every* sharer
+            # maps: their existing hardware translations point directly
+            # at the old object's pages and would bypass the shadow for
+            # pages modified from now on.  Flush them all; each sharer
+            # refaults through the new chain.
+            lo = shadow.shadow_offset
+            hi = lo + entry.size
+            for page in old_object.iter_resident():
+                if lo <= page.offset < hi:
+                    vm.pmap_system.remove_all(page.phys_addr)
+        result = vm_map.lookup(page_addr, fault_type)
+        entry = result.leaf_entry
+
+    first_object = entry.vm_object
+    first_offset = result.offset
+
+    # (4) Walk the shadow chain for the data.
+    page, level = _find_page(kernel, first_object, first_offset, outcome)
+
+    # (4a) Honour pager data locks (Table 3-2 pager_data_lock:
+    # "Prevents further access to the specified data until an unlock").
+    required = VMProt(int(fault_type))
+    if page.page_lock & required:
+        new_lock = kernel.pager_unlock_request(page.vm_object,
+                                               page.offset, required)
+        page.page_lock = new_lock
+        if page.page_lock & required:
+            from repro.core.errors import ProtectionFailureError
+            raise ProtectionFailureError(
+                f"pager holds {page.page_lock!r} lock at "
+                f"{vaddr:#x}")
+
+    # (5) Copy-on-write copy when a write found its data in a backing
+    # object.
+    if page.vm_object is not first_object and writing:
+        page = _copy_up(kernel, page, first_object, first_offset)
+        outcome.cow_copied = True
+        kernel.stats.cow_faults += 1
+        vm.objects.collapse(first_object)
+
+    # (6) Decide the hardware protection and enter the mapping.
+    prot = result.protection
+    if page.vm_object is not first_object:
+        # Reading through to a backing object: never writable.
+        prot &= ~VMProt.WRITE
+    elif result.needs_copy and not writing:
+        # A read fault on a needs-copy entry maps the shared data
+        # read-only; the eventual write refaults and shadows.
+        prot &= ~VMProt.WRITE
+    if page.page_lock:
+        # Still-locked access kinds stay out of the hardware mapping so
+        # the next such access faults back to the pager.
+        prot &= ~page.page_lock
+
+    pmap = vm_map.pmap
+    if pmap is not None:
+        pmap.enter(page_addr, page.phys_addr, prot,
+                   wired=wiring or result.wired)
+
+    page.referenced = True
+    if writing:
+        page.modified = True
+    if wiring or result.wired:
+        vm.resident.wire(page)
+    else:
+        vm.resident.activate(page)
+    page.busy = False
+
+    outcome.page = page
+    outcome.entered_prot = prot
+    return outcome
+
+
+def _find_page(kernel, first_object, first_offset: int,
+               outcome: FaultOutcome):
+    """Walk the shadow chain from (first_object, first_offset); returns
+    (page, depth).  The page may live in a backing object."""
+    vm = kernel.vm
+    obj = first_object
+    offset = first_offset
+    level = 0
+    while True:
+        page = vm.resident.lookup(obj, offset)
+        if page is not None:
+            assert not page.busy, "single-threaded fault hit a busy page"
+            if not page.absent:
+                return page, level
+            # An absent marker: the pager has no data here; treat as a
+            # hole and keep looking down the chain.
+            vm.resident.free(page)
+
+        if obj.pager is not None and kernel.pager_has_data(obj, offset):
+            page = kernel.request_object_data(obj, offset)
+            if page is not None:
+                outcome.paged_in = True
+                kernel.stats.pageins += 1
+                return page, level
+
+        if obj.shadow is not None:
+            # "it relies on the original object that it shadows for all
+            # unmodified data."
+            offset += obj.shadow_offset
+            obj = obj.shadow
+            level += 1
+            continue
+
+        # (4b) Bottom of the chain: zero fill, in the *first* object so
+        # the page is immediately private to it.
+        page = vm.resident.allocate(first_object, first_offset, busy=True)
+        vm.pmap_system.zero_page(page.phys_addr)
+        outcome.zero_filled = True
+        kernel.stats.zero_fill_count += 1
+        return page, 0
+
+
+def _copy_up(kernel, source: VMPage, first_object, first_offset: int):
+    """Copy *source* (found in a backing object) into *first_object* —
+    "a new page accessible only to the writing task must be allocated
+    into which the modifications are placed" (Section 3.4)."""
+    vm = kernel.vm
+    new_page = vm.resident.allocate(first_object, first_offset, busy=True)
+    vm.pmap_system.copy_page(source.phys_addr, new_page.phys_addr)
+    new_page.modified = True
+    # The source page keeps serving other readers; make sure it is on a
+    # queue appropriate to recent use.
+    vm.resident.activate(source)
+    return new_page
+
+
+def resolve_task_fault(kernel, task, hw_fault) -> FaultOutcome:
+    """Trap-handler entry: adjust an MMU-reported fault through the
+    pmap's erratum hook (Section 5.1's NS32082 bug), then resolve it."""
+    pmap = task.vm_map.pmap
+    fault_type = hw_fault.fault_type
+    if pmap is not None:
+        fault_type = pmap.translate_fault_type(hw_fault.vaddr, fault_type)
+    return vm_fault(kernel, task, hw_fault.vaddr, fault_type)

@@ -1,0 +1,575 @@
+"""The Mach kernel.
+
+Boots a simulated machine, owns the machine-independent VM state
+(resident page table, object manager, paging daemon, default pager) and
+the machine-dependent pmap system, creates tasks, routes simulated MMU
+faults into :func:`repro.core.fault.vm_fault`, and implements the
+Table 2-1 task operations plus message passing with copy-on-write
+out-of-line data transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.address_map import AddressMap
+from repro.core.constants import FaultType, VMInherit, VMProt, round_page
+from repro.core.errors import InvalidArgumentError, PageFault
+from repro.core.fault import resolve_task_fault, vm_fault
+from repro.core.page import VMPage
+from repro.core.pageout import PageoutDaemon
+from repro.core.resident import ResidentPageTable
+from repro.core.statistics import KernelStats, VMStatistics
+from repro.core.task import Task
+from repro.core.vm_object import VMObjectManager
+from repro.hw.machine import Machine, MachineSpec
+from repro.ipc.kernel_server import KernelServer
+from repro.ipc.message import Message
+from repro.ipc.port import Port
+from repro.pager.default_pager import DefaultPager
+from repro.pager.protocol import UNAVAILABLE
+from repro.pager.swap import SwapSpace
+from repro.pmap.interface import PmapSystem, ShootdownStrategy
+from repro.pmap.registry import pmap_class_for
+
+
+class VMContext:
+    """The bundle of machine-independent VM state shared by address
+    maps, the fault handler and the paging daemon."""
+
+    def __init__(self, machine: Machine, pmap_system: PmapSystem,
+                 resident: ResidentPageTable,
+                 objects: VMObjectManager) -> None:
+        self.machine = machine
+        self.page_size = machine.page_size
+        self.clock = machine.clock
+        self.costs = machine.costs
+        self.pmap_system = pmap_system
+        self.resident = resident
+        self.objects = objects
+
+
+class MachKernel:
+    """One booted instance of the (simulated) Mach kernel.
+
+    Args:
+        spec: machine description to boot on.
+        page_size: boot-time Mach page size ("The definition of page
+            size is a boot time system parameter and can be any power of
+            two multiple of the hardware page size").
+        shootdown: TLB consistency strategy (Section 5.2).
+        object_cache_limit: memory objects retained after their last
+            reference (Section 3.3's object cache).
+        swap_slots: default-pager swap capacity, in pages.
+    """
+
+    def __init__(self, spec: MachineSpec,
+                 page_size: Optional[int] = None,
+                 shootdown: ShootdownStrategy = ShootdownStrategy.IMMEDIATE,
+                 object_cache_limit: int = 64,
+                 object_cache_page_limit: Optional[int] = None,
+                 swap_slots: int = 8192) -> None:
+        self.machine = Machine(spec, page_size)
+        self.pmap_system = PmapSystem(self.machine, shootdown)
+        resident = ResidentPageTable(self.machine.physmem)
+        objects = VMObjectManager(resident, self.machine.clock,
+                                  self.machine.costs,
+                                  cache_limit=object_cache_limit,
+                                  cache_page_limit=object_cache_page_limit)
+        self.vm = VMContext(self.machine, self.pmap_system, resident,
+                            objects)
+        self._pmap_class = pmap_class_for(spec.pmap_name)
+        self.kernel_pmap = self._pmap_class(self.pmap_system,
+                                            name="kernel")
+        self.stats = KernelStats()
+        self.swap = SwapSpace(self.machine, total_slots=swap_slots)
+        self.default_pager = DefaultPager(self.swap)
+        self.pageout_daemon = PageoutDaemon(self)
+        resident.reclaim_hook = self._low_memory
+        self.tasks: list[Task] = []
+        self.max_fault_retries = 8
+        #: "The kernel task acts as a server": task/thread ports are
+        #: serviced here (Section 2).
+        self.server = KernelServer(self)
+
+    def attach_swap_filesystem(self, fs, path: str = "/private/swapfile",
+                               total_slots: int = 2048) -> None:
+        """Re-home the default pager's backing store into a swap *file*
+        on *fs* — "eliminates the traditional Berkeley UNIX need for
+        separate paging partitions" (Section 3.3).
+
+        Must be called before any anonymous memory has been paged out.
+        """
+        from repro.pager.swap import FileBackedSwap
+        if self.swap.slots_used:
+            raise RuntimeError(
+                "cannot switch swap stores with pages already swapped")
+        self.swap = FileBackedSwap(fs, self.page_size, path=path,
+                                   total_slots=total_slots)
+        self.default_pager.swap = self.swap
+
+    # Convenience views ---------------------------------------------------
+
+    @property
+    def spec(self) -> MachineSpec:
+        """The machine specification this kernel booted on."""
+        return self.machine.spec
+
+    @property
+    def page_size(self) -> int:
+        """The boot-time Mach page size in bytes."""
+        return self.machine.page_size
+
+    @property
+    def clock(self):
+        """The machine's simulated clock."""
+        return self.machine.clock
+
+    @property
+    def current_cpu(self):
+        """The CPU the simulation is currently executing on."""
+        return self.machine.cpus[self.pmap_system.current_cpu_id]
+
+    def set_current_cpu(self, cpu_id: int) -> None:
+        """Move the simulation's point of execution to another CPU."""
+        if not 0 <= cpu_id < len(self.machine.cpus):
+            raise InvalidArgumentError(f"no cpu {cpu_id}")
+        self.pmap_system.current_cpu_id = cpu_id
+
+    def _low_memory(self) -> None:
+        self.pageout_daemon.run()
+        if self.vm.resident.free_count == 0:
+            # Last resort: drop cached objects and their pages.
+            self.vm.objects.flush_cache()
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+
+    def task_create(self, parent: Optional[Task] = None,
+                    name: str = "") -> Task:
+        """Create a task; with *parent*, the child's address space is
+        built from the parent's inheritance values (UNIX fork)."""
+        self.clock.charge(self.machine.costs.task_create_us)
+        pmap = self._pmap_class(self.pmap_system)
+        vm_map = AddressMap(self.vm, 0, self.spec.va_limit, pmap=pmap)
+        task = Task(self, vm_map, pmap, name=name)
+        pmap.name = f"pmap:{task.name}"
+        task.task_port = Port(name=f"{task.name}.task_port")
+        task.thread_create()
+        self.server.register_task(task)
+        if parent is not None:
+            parent.vm_map.fork_into(vm_map)
+            # Table 3-4: pmap_copy may (optionally) pre-copy hardware
+            # mappings so the child faults less; the default
+            # implementation does nothing.  It is offered only the
+            # copy-inherited object ranges — never NONE-inherited or
+            # shared ones.
+            for entry in vm_map.entries():
+                if entry.vm_object is not None and not entry.is_sub_map:
+                    pmap.copy(parent.pmap, entry.start, entry.size,
+                              entry.start)
+        self.tasks.append(task)
+        self.stats.tasks_created += 1
+        return task
+
+    def task_terminate(self, task: Task) -> None:
+        """Tear down a task: map, pmap, ports."""
+        if task.terminated:
+            return
+        task.terminated = True
+        for cpu in self.machine.cpus:
+            if cpu.active_pmap is task.pmap:
+                task.pmap.deactivate(cpu.active_thread, cpu)
+        task.vm_map.destroy()
+        task.pmap.destroy()
+        task.task_port.destroy()
+        if task in self.tasks:
+            self.tasks.remove(task)
+        self.stats.tasks_terminated += 1
+
+    # ------------------------------------------------------------------
+    # Table 2-1 operations
+    # ------------------------------------------------------------------
+
+    def vm_allocate(self, task: Task, size: int,
+                    address: Optional[int] = None,
+                    anywhere: bool = True) -> int:
+        """Table 2-1 vm_allocate."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        return task.vm_map.allocate(size, address=address,
+                                    anywhere=anywhere)
+
+    def vm_allocate_with_pager(self, task: Task, size: int, pager,
+                               offset: int = 0,
+                               address: Optional[int] = None,
+                               anywhere: bool = True) -> int:
+        """Table 3-2 vm_allocate_with_pager."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        size = round_page(size, self.page_size)
+        obj = self.vm.objects.create_for_pager(pager, offset + size)
+        self._pager_init(pager, obj)
+        return task.vm_map.allocate(size, address=address,
+                                    anywhere=anywhere,
+                                    vm_object=obj, offset=offset)
+
+    def _pager_init(self, pager, obj) -> None:
+        """Table 3-1 ``pager_init``: tell the pager about its object's
+        ports the first time the object is mapped."""
+        if obj.pager_initialized:
+            return
+        init = getattr(pager, "pager_init", None)
+        if init is not None:
+            init(obj)
+        obj.pager_initialized = True
+
+    def vm_deallocate(self, task: Task, address: int, size: int) -> None:
+        """Table 2-1 vm_deallocate."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        task.vm_map.delete_range(address, size)
+
+    def vm_protect(self, task: Task, address: int, size: int,
+                   set_maximum: bool, new_protection: VMProt) -> None:
+        """Table 2-1 vm_protect."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        task.vm_map.protect(address, size, new_protection,
+                            set_maximum=set_maximum)
+
+    def vm_inherit(self, task: Task, address: int, size: int,
+                   new_inheritance: VMInherit) -> None:
+        """Table 2-1 vm_inherit."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        task.vm_map.inherit(address, size, new_inheritance)
+
+    def vm_copy(self, task: Task, source_address: int, count: int,
+                dest_address: int) -> None:
+        """Virtual (copy-on-write) copy within one task's space; the
+        destination range is replaced."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        task.vm_map.delete_range(dest_address, count)
+        task.vm_map.copy_region(source_address, count, task.vm_map,
+                                dest_address)
+
+    def vm_read(self, task: Task, address: int, size: int) -> bytes:
+        """Table 2-1 vm_read."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        return self.task_memory_read(task, address, size)
+
+    def vm_write(self, task: Task, address: int, data: bytes) -> None:
+        """Table 2-1 vm_write."""
+        self.clock.charge(self.machine.costs.syscall_us)
+        self.task_memory_write(task, address, data)
+
+    def vm_statistics(self) -> VMStatistics:
+        """Table 2-1 vm_statistics."""
+        vm = self.vm
+        return VMStatistics(
+            pagesize=self.page_size,
+            free_count=vm.resident.free_count,
+            active_count=vm.resident.active_count,
+            inactive_count=vm.resident.inactive_count,
+            wire_count=vm.resident.wired_count,
+            faults=self.stats.faults,
+            cow_faults=self.stats.cow_faults,
+            zero_fill_count=self.stats.zero_fill_count,
+            pageins=self.stats.pageins,
+            pageouts=self.stats.pageouts,
+            reactivations=self.stats.reactivations,
+            objects_created=vm.objects.objects_created,
+            shadows_created=vm.objects.shadows_created,
+            shadow_collapses=vm.objects.collapses,
+            shadow_bypasses=vm.objects.bypasses,
+            object_cache_hits=vm.objects.cache_hits,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulated memory access (drives the MMU; faults as needed)
+    # ------------------------------------------------------------------
+
+    def _run_on_cpu(self, task: Task):
+        cpu = self.current_cpu
+        if cpu.active_pmap is not task.pmap:
+            thread = task.threads[0] if task.threads else None
+            task.pmap.activate(thread, cpu)
+        return cpu
+
+    def translate_for(self, task: Task, vaddr: int, access: FaultType,
+                      rmw: bool = False) -> int:
+        """Translate one access on the current CPU, resolving faults
+        through the machine-independent handler; returns the physical
+        address."""
+        cpu = self._run_on_cpu(task)
+        for _ in range(self.max_fault_retries):
+            try:
+                return self.machine.mmu.translate(cpu, vaddr, access,
+                                                  rmw=rmw)
+            except PageFault as hw_fault:
+                resolve_task_fault(self, task, hw_fault)
+        raise RuntimeError(
+            f"access at {vaddr:#x} did not converge after "
+            f"{self.max_fault_retries} faults")
+
+    def _chunks(self, address: int, size: int):
+        """Split [address, address+size) at hardware-page boundaries."""
+        hw = self.machine.hw_page_size
+        cursor = address
+        end = address + size
+        while cursor < end:
+            limit = (cursor - cursor % hw) + hw
+            yield cursor, min(end, limit) - cursor
+            cursor = min(end, limit)
+
+    def task_memory_read(self, task: Task, address: int,
+                         size: int) -> bytes:
+        """Load bytes as the task's thread would (TLB + faults)."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative read size {size}")
+        if size == 0:
+            return b""
+        parts = []
+        for vaddr, length in self._chunks(address, size):
+            paddr = self.translate_for(task, vaddr, FaultType.READ)
+            parts.append(self.machine.physmem.read(paddr, length))
+        self.clock.charge(self.machine.costs.byte_copy_cost(size))
+        return b"".join(parts)
+
+    def task_memory_write(self, task: Task, address: int,
+                          data: bytes) -> None:
+        """Store bytes as the task's thread would (TLB + faults)."""
+        cursor = 0
+        for vaddr, length in self._chunks(address, len(data)):
+            paddr = self.translate_for(task, vaddr, FaultType.WRITE)
+            self.machine.physmem.write(paddr, data[cursor:cursor + length])
+            cursor += length
+        self.clock.charge(self.machine.costs.byte_copy_cost(len(data)))
+
+    def task_memory_execute(self, task: Task, address: int) -> None:
+        """Simulate an instruction fetch at *address*.
+
+        On machines that enforce execute permission the access requires
+        EXECUTE; on the rest, hardware checks read permission only
+        (Section 2.1: enforcement "depends on hardware support").
+        """
+        self.translate_for(task, address, FaultType.EXECUTE)
+
+    def task_memory_rmw(self, task: Task, address: int,
+                        delta: int = 1) -> int:
+        """A read-modify-write (e.g. an increment instruction): one
+        translation needing both read and write permission.  On machines
+        with the NS32082 erratum the fault is *misreported* as a read —
+        this path exercises the pmap workaround."""
+        paddr = self.translate_for(task, address, FaultType.WRITE,
+                                   rmw=True)
+        value = (self.machine.physmem.read(paddr, 1)[0] + delta) % 256
+        self.machine.physmem.write(paddr, bytes([value]))
+        return value
+
+    def fault(self, task: Task, vaddr: int, fault_type: FaultType):
+        """Resolve one fault directly (without an MMU access) — used by
+        tests and by wiring."""
+        return vm_fault(self, task, vaddr, fault_type)
+
+    def wire_range(self, task: Task, address: int, size: int) -> None:
+        """Fault in and wire every page of a range (kernel-style wired
+        memory)."""
+        end = round_page(address + size, self.page_size)
+        cursor = address - address % self.page_size
+        while cursor < end:
+            vm_fault(self, task, cursor, FaultType.WRITE, wiring=True)
+            cursor += self.page_size
+
+    def unwire_range(self, task: Task, address: int, size: int) -> None:
+        """Release the wiring taken by :meth:`wire_range`; the pages
+        rejoin the pageable pool."""
+        end = round_page(address + size, self.page_size)
+        cursor = address - address % self.page_size
+        while cursor < end:
+            result = task.vm_map.lookup(cursor, FaultType.READ)
+            if result.vm_object is not None:
+                page = self.vm.resident.lookup(result.vm_object,
+                                               result.offset)
+                if page is not None and page.wired:
+                    self.vm.resident.unwire(page)
+            cursor += self.page_size
+
+    # ------------------------------------------------------------------
+    # Pager plumbing (kernel side)
+    # ------------------------------------------------------------------
+
+    def pager_has_data(self, obj, offset: int) -> bool:
+        """Ask the object's pager whether it holds data here."""
+        probe = getattr(obj.pager, "has_data", None)
+        if probe is None:
+            return True
+        return probe(obj, offset)
+
+    def request_object_data(self, obj, offset: int) -> Optional[VMPage]:
+        """``pager_data_request`` round trip: ask the object's pager for
+        data; install pages and return the one at *offset* (None when
+        unavailable).
+
+        Pagers advertising a ``transfer_size`` larger than the page size
+        (the inode pager's filesystem block size) are asked for a whole
+        aligned cluster, and every page of the reply is installed —
+        "The physical page size used in Mach is also independent of the
+        page size used by memory object handlers" (Section 3.1).
+        """
+        page_size = self.page_size
+        cluster = max(getattr(obj.pager, "transfer_size", page_size),
+                      page_size)
+        base = offset - offset % cluster
+        obj.paging_in_progress += 1
+        try:
+            data = obj.pager.data_request(obj, base, cluster, VMProt.READ)
+        finally:
+            obj.paging_in_progress -= 1
+        if data is UNAVAILABLE or data is None:
+            return None
+        data = bytes(data)
+        if len(data) < cluster:
+            data += bytes(cluster - len(data))
+        result = None
+        for off in range(base, base + cluster, page_size):
+            if off != offset and (off >= obj.size
+                                  or self.vm.resident.lookup(obj, off)
+                                  is not None):
+                continue
+            page = self.vm.resident.allocate(obj, off, busy=True)
+            self.clock.charge(self.machine.costs.copy_cost(page_size))
+            chunk = data[off - base:off - base + page_size]
+            self.machine.physmem.write(page.phys_addr, chunk)
+            page.modified = False
+            page.page_lock = self._pager_lock_value(obj, off)
+            # The fill is complete (the simulation is single-threaded,
+            # so the busy window closes before anyone else can look).
+            page.busy = False
+            if off == offset:
+                result = page
+            else:
+                self.vm.resident.activate(page)
+        return result
+
+    def _pager_lock_value(self, obj, offset: int) -> VMProt:
+        """The pager-imposed access lock for a page, if the pager
+        tracks locks (``pager_data_lock``)."""
+        query = getattr(obj.pager, "lock_value_for", None)
+        if query is None:
+            return VMProt.NONE
+        return query(obj, offset)
+
+    def pager_unlock_request(self, obj, offset: int,
+                             desired: VMProt) -> VMProt:
+        """``pager_data_unlock`` round trip: ask the pager to unlock a
+        region; returns the lock value afterwards."""
+        unlock = getattr(obj.pager, "data_unlock", None)
+        if unlock is not None:
+            unlock(obj, offset, self.page_size, desired)
+        return self._pager_lock_value(obj, offset)
+
+    def pager_write_data(self, obj, offset: int, data: bytes) -> None:
+        """``pager_data_write``: push pageout data at the pager."""
+        obj.pager.data_write(obj, offset, data)
+
+    def clean_object(self, obj, offset: int, length: int) -> None:
+        """``pager_clean_request``: write modified cached pages of the
+        object back to its pager (the pages stay resident, clean).
+
+        Contiguous dirty pages go to the pager as one ``data_write`` so
+        block-structured pagers (the inode pager) can write whole blocks
+        instead of read-modify-write cycles per page.
+        """
+        end = offset + length
+        dirty_pages = []
+        for page in obj.iter_resident():
+            if not offset <= page.offset < end:
+                continue
+            if (page.modified
+                    or self.pmap_system.is_modified(page.phys_addr)):
+                dirty_pages.append(page)
+        dirty_pages.sort(key=lambda p: p.offset)
+        run: list = []
+        for page in dirty_pages:
+            if run and page.offset != run[-1].offset + self.page_size:
+                self._clean_run(obj, run)
+                run = []
+            run.append(page)
+        if run:
+            self._clean_run(obj, run)
+
+    def _clean_run(self, obj, run: list) -> None:
+        data = bytearray()
+        for page in run:
+            # Stop further writes racing the clean, then push the data.
+            self.pmap_system.copy_on_write(page.phys_addr)
+            data += self.machine.physmem.read(page.phys_addr,
+                                              self.page_size)
+            page.modified = False
+            self.pmap_system.clear_modify(page.phys_addr)
+        self.pager_write_data(obj, run[0].offset, bytes(data))
+
+    def flush_object(self, obj, offset: int, length: int) -> None:
+        """``pager_flush_request``: destroy the object's physically
+        cached data in the range (no writeback)."""
+        end = offset + length
+        for page in obj.iter_resident():
+            if not offset <= page.offset < end:
+                continue
+            self.pmap_system.remove_all(page.phys_addr)
+            if page.wired:
+                page.wire_count = 0
+            self.vm.resident.free(page)
+
+    # ------------------------------------------------------------------
+    # Message passing with copy-on-write OOL transfer
+    # ------------------------------------------------------------------
+
+    def msg_send(self, task: Task, port: Port, message: Message) -> None:
+        """Send *message*; out-of-line regions are snapshotted into
+        kernel holding maps by virtual copy — "An entire address space
+        may be sent in a single message with no actual data copy
+        operations performed."
+        """
+        costs = self.machine.costs
+        self.clock.charge(costs.syscall_us)
+        self.clock.charge(costs.byte_copy_cost(message.inline_bytes()))
+        for region in message.ool:
+            size = round_page(region.size, self.page_size)
+            holder = AddressMap(self.vm, 0, size, pmap=None)
+            task.vm_map.copy_region(region.address, size, holder, 0)
+            region.holding = holder
+            if region.deallocate:
+                task.vm_map.delete_range(region.address, size)
+        message.sender = task
+        port.send(message)
+        self.stats.messages_sent += 1
+
+    def msg_receive(self, task: Task, port: Port) -> Optional[Message]:
+        """Receive the next message; out-of-line regions land in the
+        receiver's space by copy-on-write remap."""
+        message = port.receive()
+        if message is None:
+            return None
+        costs = self.machine.costs
+        self.clock.charge(costs.syscall_us)
+        self.clock.charge(costs.byte_copy_cost(message.inline_bytes()))
+        for region in message.ool:
+            size = round_page(region.size, self.page_size)
+            holder = region.holding
+            dst = holder.copy_region(0, size, task.vm_map, None)
+            holder.destroy()
+            region.holding = None
+            region.received_at = dst
+        self.stats.messages_received += 1
+        return message
+
+    def msg_destroy(self, message: Message) -> None:
+        """Destroy an unreceived (or undeliverable) message, releasing
+        the kernel holding maps of its out-of-line regions."""
+        for region in message.ool:
+            if region.holding is not None:
+                region.holding.destroy()
+                region.holding = None
+
+    def __repr__(self) -> str:
+        return (f"MachKernel({self.spec.name}, page={self.page_size}, "
+                f"{len(self.tasks)} tasks)")

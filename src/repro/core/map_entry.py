@@ -1,0 +1,112 @@
+"""Address map entries.
+
+Section 3.2: "An address map is a doubly linked list of address map
+entries each of which maps a contiguous range of virtual addresses onto
+a contiguous area of a memory object. ... Each address map entry carries
+with it information about the inheritance and protection attributes of
+the region of memory it defines."
+
+An entry points either at a :class:`~repro.core.vm_object.VMObject`
+(possibly none yet, for lazily created anonymous memory) or at a
+*sharing map* (Section 3.4), which is itself an address map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constants import VMInherit, VMProt
+
+
+class MapEntry:
+    """One mapping: [start, end) -> object-or-submap at ``offset``.
+
+    Attributes:
+        start, end: virtual address range (page aligned, end exclusive).
+        vm_object: the mapped memory object (None = not yet materialized
+            anonymous memory; created lazily at first fault).
+        submap: a sharing map, mutually exclusive with ``vm_object``.
+        offset: byte offset of ``start`` within the object or submap.
+        protection: current protection ("controls actual hardware
+            permissions").
+        max_protection: ceiling for ``protection`` ("can never be
+            raised, it may be lowered").
+        inheritance: share / copy / none, consulted at fork.
+        needs_copy: the object must be shadowed before this entry allows
+            a write (asymmetric half of a copy-on-write pair).
+        wired_count: >0 means the range is pinned (kernel memory).
+    """
+
+    __slots__ = (
+        "start", "end", "vm_object", "submap", "offset", "protection",
+        "max_protection", "inheritance", "needs_copy", "wired_count",
+        "prev", "next",
+    )
+
+    def __init__(self, start: int, end: int,
+                 vm_object=None, submap=None, offset: int = 0,
+                 protection: VMProt = VMProt.DEFAULT,
+                 max_protection: VMProt = VMProt.ALL,
+                 inheritance: VMInherit = VMInherit.COPY,
+                 needs_copy: bool = False,
+                 wired_count: int = 0) -> None:
+        if end <= start:
+            raise ValueError(f"empty entry [{start:#x}, {end:#x})")
+        if vm_object is not None and submap is not None:
+            raise ValueError("entry cannot map both an object and a submap")
+        self.start = start
+        self.end = end
+        self.vm_object = vm_object
+        self.submap = submap
+        self.offset = offset
+        self.protection = protection
+        self.max_protection = max_protection
+        self.inheritance = inheritance
+        self.needs_copy = needs_copy
+        self.wired_count = wired_count
+        # Doubly-linked list links, managed by AddressMap.
+        self.prev: Optional[MapEntry] = None
+        self.next: Optional[MapEntry] = None
+
+    @property
+    def is_sub_map(self) -> bool:
+        """True when this entry references a sharing map."""
+        return self.submap is not None
+
+    @property
+    def size(self) -> int:
+        """Length of the mapped range in bytes."""
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        """True when *address* falls inside this entry's range."""
+        return self.start <= address < self.end
+
+    def offset_of(self, address: int) -> int:
+        """Object/submap offset corresponding to *address*."""
+        if not self.contains(address):
+            raise ValueError(f"{address:#x} outside {self!r}")
+        return self.offset + (address - self.start)
+
+    def same_attributes(self, other: "MapEntry") -> bool:
+        """True when this entry and *other* could be one entry but for
+        their address ranges (used for coalescing)."""
+        return (self.protection == other.protection
+                and self.max_protection == other.max_protection
+                and self.inheritance == other.inheritance
+                and self.needs_copy == other.needs_copy
+                and self.wired_count == other.wired_count
+                and self.submap is other.submap
+                and self.vm_object is other.vm_object)
+
+    def __repr__(self) -> str:
+        if self.is_sub_map:
+            target = f"submap@{id(self.submap):#x}"
+        elif self.vm_object is not None:
+            target = f"obj#{self.vm_object.object_id}"
+        else:
+            target = "lazy"
+        return (f"MapEntry([{self.start:#x},{self.end:#x}) -> {target}"
+                f"+{self.offset:#x}, prot={self.protection!r}, "
+                f"inherit={self.inheritance.value}"
+                f"{', needs_copy' if self.needs_copy else ''})")

@@ -1,0 +1,89 @@
+"""Resident page entries.
+
+Section 3.1: "Information about physical pages (e.g., modified and
+reference bits) is maintained in page entries in a table indexed by
+physical page number.  Each page entry may simultaneously be linked into
+several lists: a memory object list, a memory allocation queue and an
+object/offset hash bucket."
+
+A :class:`VMPage` is the machine-independent description of one Mach
+page of physical memory.  It carries the (object, byte-offset) identity
+of the data it caches, software copies of the reference/modify bits,
+wiring and queue state.  Byte offsets are used throughout "to avoid
+linking the implementation to a particular notion of physical page
+size."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class PageQueue(enum.Enum):
+    """Which allocation queue a page entry currently sits on."""
+
+    NONE = "none"          # wired, or in transit
+    ACTIVE = "active"      # recently used
+    INACTIVE = "inactive"  # reclaim candidate (paging daemon scans this)
+    FREE = "free"          # on the free list
+
+
+class VMPage:
+    """One Mach page of resident physical memory.
+
+    Attributes:
+        phys_addr: base physical address of the frame.
+        vm_object: the memory object whose data this page caches (a page
+            belongs to at most one object — "Memory object semantics
+            permit each page to belong to at most one memory object").
+        offset: byte offset of this page's data within the object.
+        wire_count: >0 pins the page in memory (kernel structures).
+        busy: page is in transit (being filled by a pager or zeroed);
+            in the single-threaded simulation this is an invariant-check
+            aid rather than a sleep/wakeup channel.
+        absent: the entry records that data is *not* resident (a request
+            to the pager is outstanding or returned unavailable).
+        modified: software modify bit (ORed with the pmap layer's
+            hardware-maintained bit at pageout time).
+        referenced: software reference bit (same).
+        copy_on_write: the pmap layer has been told to write-protect all
+            mappings of this page.
+    """
+
+    __slots__ = (
+        "phys_addr", "vm_object", "offset", "wire_count", "busy", "absent",
+        "modified", "referenced", "copy_on_write", "page_lock", "queue",
+    )
+
+    def __init__(self, phys_addr: int) -> None:
+        self.phys_addr = phys_addr
+        self.vm_object = None
+        self.offset: Optional[int] = None
+        self.wire_count = 0
+        self.busy = False
+        self.absent = False
+        self.modified = False
+        self.referenced = False
+        self.copy_on_write = False
+        #: Access kinds currently prohibited by the pager
+        #: (``pager_data_lock``); 0 when unlocked.
+        self.page_lock = 0
+        self.queue = PageQueue.NONE
+
+    @property
+    def wired(self) -> bool:
+        """True while any wiring holds the page in memory."""
+        return self.wire_count > 0
+
+    @property
+    def tabled(self) -> bool:
+        """True when the page is entered in an object."""
+        return self.vm_object is not None
+
+    def __repr__(self) -> str:
+        ident = "untabled"
+        if self.vm_object is not None:
+            ident = f"obj@{id(self.vm_object):#x}+{self.offset:#x}"
+        return (f"VMPage(phys={self.phys_addr:#x}, {ident}, "
+                f"queue={self.queue.value}, wire={self.wire_count})")

@@ -1,0 +1,288 @@
+"""The resident page table.
+
+Physical memory in Mach "is treated primarily as a cache for the
+contents of virtual memory objects" (Section 3.1).  This module manages
+that cache: page entries indexed by physical page, the free / active /
+inactive allocation queues used by the paging daemon, the
+(object, offset) hash for fast fault-time lookup, and the per-object
+page lists that speed object deallocation and virtual-copy operations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.core.errors import ResourceShortageError
+from repro.core.page import PageQueue, VMPage
+from repro.hw.physmem import PhysicalMemory
+
+
+class ResidentPageTable:
+    """Machine-independent bookkeeping for all physical pages.
+
+    Args:
+        physmem: the machine's frame store (frame size == Mach page
+            size).
+        free_target: the paging daemon tries to keep at least this many
+            frames free.
+        free_min: allocations below this level trigger synchronous
+            reclamation.
+    """
+
+    def __init__(self, physmem: PhysicalMemory,
+                 free_target: Optional[int] = None,
+                 free_min: Optional[int] = None) -> None:
+        self.physmem = physmem
+        total = physmem.total_frames
+        self.free_target = free_target if free_target is not None \
+            else max(4, total // 16)
+        self.free_min = free_min if free_min is not None \
+            else max(2, total // 32)
+        #: phys_addr -> VMPage for every *allocated* frame.
+        self._pages: dict[int, VMPage] = {}
+        #: (vm_object, offset) -> VMPage: the fault-time hash bucket.
+        self._hash: dict[tuple, VMPage] = {}
+        #: LRU-ordered queues (OrderedDict keyed by phys_addr).
+        self._active: OrderedDict[int, VMPage] = OrderedDict()
+        self._inactive: OrderedDict[int, VMPage] = OrderedDict()
+        #: Called (with no arguments) when allocation finds free memory
+        #: below ``free_min``; the kernel wires this to the paging
+        #: daemon so reclamation happens before exhaustion.
+        self.reclaim_hook = None
+        self._reclaiming = False
+        # Statistics.
+        self.pages_allocated = 0
+        self.pages_freed = 0
+        self.lookups = 0
+        self.lookup_hits = 0
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Frames currently free."""
+        return self.physmem.free_frames
+
+    @property
+    def active_count(self) -> int:
+        """Pages on the active queue."""
+        return len(self._active)
+
+    @property
+    def inactive_count(self) -> int:
+        """Pages on the inactive queue."""
+        return len(self._inactive)
+
+    @property
+    def resident_count(self) -> int:
+        """Pages currently resident (allocated frames)."""
+        return len(self._pages)
+
+    @property
+    def wired_count(self) -> int:
+        """Resident pages that are wired."""
+        return sum(1 for p in self._pages.values() if p.wired)
+
+    @property
+    def needs_reclaim(self) -> bool:
+        """True when free memory is below the daemon's target."""
+        return self.free_count < self.free_target
+
+    @property
+    def critically_low(self) -> bool:
+        """True when free memory is below the hard minimum."""
+        return self.free_count < self.free_min
+
+    # ------------------------------------------------------------------
+    # Allocation and identity
+    # ------------------------------------------------------------------
+
+    def allocate(self, vm_object=None, offset: Optional[int] = None,
+                 busy: bool = True) -> VMPage:
+        """Allocate a frame and optionally enter it in an object.
+
+        The new page starts ``busy`` (in transit) and on no queue; the
+        caller activates it once its contents are valid.
+
+        Raises:
+            ResourceShortageError: physical memory is exhausted (the
+                kernel's wrapper reclaims via the paging daemon before
+                letting this propagate).
+        """
+        if (self.critically_low and self.reclaim_hook is not None
+                and not self._reclaiming):
+            # Synchronous reclamation: the simulated paging daemon runs
+            # "in front of" the allocation, as the real daemon's wakeup
+            # would.  The guard stops the daemon's own allocations (if
+            # any) from recursing.
+            self._reclaiming = True
+            try:
+                self.reclaim_hook()
+            finally:
+                self._reclaiming = False
+        phys = self.physmem.allocate_frame()
+        page = VMPage(phys)
+        page.busy = busy
+        self._pages[phys] = page
+        self.pages_allocated += 1
+        if vm_object is not None:
+            if offset is None:
+                raise ValueError("offset required when inserting in object")
+            self.insert(page, vm_object, offset)
+        return page
+
+    def insert(self, page: VMPage, vm_object, offset: int) -> None:
+        """Enter *page* in *vm_object* at *offset* (hash + object list)."""
+        if page.tabled:
+            raise ValueError(f"{page!r} already belongs to an object")
+        key = (vm_object, offset)
+        if key in self._hash:
+            raise ValueError(
+                f"object already has a resident page at offset {offset:#x}")
+        page.vm_object = vm_object
+        page.offset = offset
+        self._hash[key] = page
+        vm_object.page_inserted(page)
+
+    def remove(self, page: VMPage) -> None:
+        """Remove *page* from its object (hash + object list)."""
+        if not page.tabled:
+            return
+        key = (page.vm_object, page.offset)
+        del self._hash[key]
+        page.vm_object.page_removed(page)
+        page.vm_object = None
+        page.offset = None
+
+    def rename(self, page: VMPage, new_object, new_offset: int) -> None:
+        """Move *page* to a different (object, offset) identity.
+
+        Used by object collapse: pages of a dying shadow migrate into
+        the object that shadowed it.
+        """
+        self.remove(page)
+        self.insert(page, new_object, new_offset)
+
+    def lookup(self, vm_object, offset: int) -> Optional[VMPage]:
+        """Fast fault-time lookup via the object/offset hash bucket."""
+        self.lookups += 1
+        page = self._hash.get((vm_object, offset))
+        if page is not None:
+            self.lookup_hits += 1
+        return page
+
+    def free(self, page: VMPage) -> None:
+        """Release *page* back to the free pool.
+
+        The page must not be wired; it is removed from its object and
+        all queues, and the underlying frame is freed.
+        """
+        if page.wired:
+            raise ValueError(f"cannot free wired {page!r}")
+        self.remove(page)
+        self._dequeue(page)
+        page.queue = PageQueue.FREE
+        del self._pages[page.phys_addr]
+        self.physmem.free_frame(page.phys_addr)
+        self.pages_freed += 1
+
+    def page_for(self, phys_addr: int) -> VMPage:
+        """The page entry for an allocated frame ("indexed by physical
+        page number")."""
+        return self._pages[phys_addr]
+
+    # ------------------------------------------------------------------
+    # Allocation queues
+    # ------------------------------------------------------------------
+
+    def _dequeue(self, page: VMPage) -> None:
+        if page.queue is PageQueue.ACTIVE:
+            del self._active[page.phys_addr]
+        elif page.queue is PageQueue.INACTIVE:
+            del self._inactive[page.phys_addr]
+        page.queue = PageQueue.NONE
+
+    def activate(self, page: VMPage) -> None:
+        """Put *page* at the tail (most recent end) of the active queue."""
+        self._dequeue(page)
+        if page.wired:
+            return
+        page.queue = PageQueue.ACTIVE
+        self._active[page.phys_addr] = page
+
+    def deactivate(self, page: VMPage) -> None:
+        """Move *page* to the inactive queue (a reclaim candidate); its
+        reference state is cleared so a later scan can tell whether it
+        was touched again."""
+        self._dequeue(page)
+        if page.wired:
+            return
+        page.referenced = False
+        page.queue = PageQueue.INACTIVE
+        self._inactive[page.phys_addr] = page
+
+    def wire(self, page: VMPage) -> None:
+        """Pin *page*: wired pages leave the allocation queues."""
+        if page.wire_count == 0:
+            self._dequeue(page)
+        page.wire_count += 1
+
+    def unwire(self, page: VMPage) -> None:
+        """Release one wiring; the page rejoins the active queue when
+        the last wiring goes away."""
+        if page.wire_count == 0:
+            raise ValueError(f"{page!r} is not wired")
+        page.wire_count -= 1
+        if page.wire_count == 0:
+            self.activate(page)
+
+    def oldest_active(self) -> Optional[VMPage]:
+        """The least recently activated page (head of the active queue)."""
+        for page in self._active.values():
+            return page
+        return None
+
+    def oldest_inactive(self) -> Optional[VMPage]:
+        """The next reclaim candidate (head of the inactive queue)."""
+        for page in self._inactive.values():
+            return page
+        return None
+
+    def iter_active(self) -> Iterator[VMPage]:
+        """Snapshot iterator over the active queue."""
+        return iter(list(self._active.values()))
+
+    def iter_inactive(self) -> Iterator[VMPage]:
+        """Snapshot iterator over the inactive queue."""
+        return iter(list(self._inactive.values()))
+
+    def iter_resident(self) -> Iterator[VMPage]:
+        """Snapshot iterator over every resident page."""
+        return iter(list(self._pages.values()))
+
+    def check_consistency(self) -> None:
+        """Verify the cross-linked structures agree (used by tests and
+        the property-based suite).
+
+        Invariants: every hashed page is allocated and tabled at the
+        hashed identity; every object's page list matches the hash; the
+        queues partition the non-wired pages.
+        """
+        for (obj, offset), page in self._hash.items():
+            assert page.vm_object is obj and page.offset == offset, \
+                f"hash identity mismatch for {page!r}"
+            assert page.phys_addr in self._pages, \
+                f"hashed page {page!r} is not allocated"
+            assert obj.resident_page(offset) is page, \
+                f"object list missing {page!r}"
+        for page in self._pages.values():
+            if page.queue is PageQueue.ACTIVE:
+                assert page.phys_addr in self._active
+            elif page.queue is PageQueue.INACTIVE:
+                assert page.phys_addr in self._inactive
+            if page.wired:
+                assert page.queue is PageQueue.NONE, \
+                    f"wired page {page!r} is on a queue"

@@ -1,0 +1,126 @@
+"""The Mach system-call surface of Table 2-1, with C-style semantics.
+
+The rest of the package uses Python idioms (methods and exceptions).
+This module provides the paper's exact interface: free functions named
+and parameterized as in Table 2-1, returning
+:class:`~repro.core.errors.KernReturn` codes instead of raising — the
+way a 1987 client written against ``<mach/mach.h>`` would see the
+kernel.
+
+    vm_allocate(target_task, address, size, anywhere)
+    vm_copy(target_task, source_address, count, dest_address)
+    vm_deallocate(target_task, address, size)
+    vm_inherit(target_task, address, size, new_inheritance)
+    vm_protect(target_task, address, size, set_maximum, new_protection)
+    vm_read(target_task, address, size)
+    vm_regions(target_task, address, size)
+    vm_statistics(target_task)
+    vm_write(target_task, address, count, data)
+
+Out parameters become result tuples: ``(kern_return, value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import KernReturn, VMError
+from repro.core.task import Task
+
+
+def _guard(fn):
+    """Run *fn*, translating VM exceptions to kern_return codes."""
+    try:
+        return KernReturn.SUCCESS, fn()
+    except VMError as exc:
+        return exc.kern_return, None
+    except (TypeError, AttributeError):
+        return KernReturn.INVALID_ARGUMENT, None
+
+
+def vm_allocate(target_task: Task, address: Optional[int], size: int,
+                anywhere: bool) -> tuple[KernReturn, Optional[int]]:
+    """Allocate and fill with zeros new virtual memory either anywhere
+    or at a specified address.  Returns (kr, allocated_address)."""
+    return _guard(lambda: target_task.vm_allocate(
+        size, address=address, anywhere=anywhere))
+
+
+def vm_deallocate(target_task: Task, address: int,
+                  size: int) -> KernReturn:
+    """Deallocate a range of addresses, i.e. make them no longer
+    valid."""
+    kr, _ = _guard(lambda: target_task.vm_deallocate(address, size))
+    return kr
+
+
+def vm_copy(target_task: Task, source_address: int, count: int,
+            dest_address: int) -> KernReturn:
+    """Virtually copy a range of memory from one address to another."""
+    kr, _ = _guard(lambda: target_task.vm_copy(source_address, count,
+                                               dest_address))
+    return kr
+
+
+def vm_inherit(target_task: Task, address: int, size: int,
+               new_inheritance: VMInherit) -> KernReturn:
+    """Set the inheritance attribute of an address range."""
+    kr, _ = _guard(lambda: target_task.vm_inherit(address, size,
+                                                  new_inheritance))
+    return kr
+
+
+def vm_protect(target_task: Task, address: int, size: int,
+               set_maximum: bool,
+               new_protection: VMProt) -> KernReturn:
+    """Set the protection attribute of an address range."""
+    kr, _ = _guard(lambda: target_task.vm_protect(
+        address, size, set_maximum, new_protection))
+    return kr
+
+
+def vm_read(target_task: Task, address: int,
+            size: int) -> tuple[KernReturn, Optional[bytes]]:
+    """Read the contents of a region of a task's address space.
+    Returns (kr, data)."""
+    return _guard(lambda: target_task.vm_read(address, size))
+
+
+def vm_write(target_task: Task, address: int, count: int,
+             data: bytes) -> KernReturn:
+    """Write the contents of a region of a task's address space."""
+    if count != len(data):
+        return KernReturn.INVALID_ARGUMENT
+    kr, _ = _guard(lambda: target_task.vm_write(address, data))
+    return kr
+
+
+def vm_regions(target_task: Task) -> tuple[KernReturn, Optional[list]]:
+    """Return descriptions of the regions of a task's address space.
+    Returns (kr, [RegionInfo, ...])."""
+    return _guard(target_task.vm_regions)
+
+
+def vm_statistics(target_task: Task):
+    """Return statistics about the use of memory by target_task.
+    Returns (kr, VMStatistics)."""
+    return _guard(target_task.vm_statistics)
+
+
+def vm_allocate_with_pager(target_task: Task, address: Optional[int],
+                           size: int, anywhere: bool, paging_object,
+                           offset: int
+                           ) -> tuple[KernReturn, Optional[int]]:
+    """Allocate a region of memory at specified address backed by a
+    memory object (Table 3-2).  Returns (kr, allocated_address)."""
+    return _guard(lambda: target_task.vm_allocate_with_pager(
+        size, paging_object, offset=offset, address=address,
+        anywhere=anywhere))
+
+
+#: The full Table 2-1 operation set, for introspection and tests.
+TABLE_2_1 = (
+    vm_allocate, vm_copy, vm_deallocate, vm_inherit, vm_protect,
+    vm_read, vm_regions, vm_statistics, vm_write,
+)

@@ -1,0 +1,171 @@
+"""Tasks and threads.
+
+Section 2: "A task is an execution environment in which threads may
+run.  It is the basic unit of resource allocation.  A task includes a
+paged virtual address space and protected access to system resources.
+... A thread is the basic unit of CPU utilization."
+
+The task object carries its address map, pmap and port namespace, and
+offers the Table 2-1 virtual memory operations as methods (each
+delegating to the kernel, which is where policy lives).  "The UNIX
+notion of a process is, in Mach, represented by a task with a single
+thread of control."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.constants import VMInherit, VMProt
+
+_task_ids = itertools.count(1)
+_thread_ids = itertools.count(1)
+
+
+class Thread:
+    """An independent program counter operating within a task."""
+
+    def __init__(self, task: "Task", name: str = "") -> None:
+        self.thread_id = next(_thread_ids)
+        self.task = task
+        self.name = name or f"thread{self.thread_id}"
+        self.suspended = False
+        self.cpu = None
+
+    def suspend(self) -> None:
+        """Stop the thread from being scheduled."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        """Allow the thread to be scheduled again."""
+        self.suspended = False
+
+    def __repr__(self) -> str:
+        return f"Thread({self.name} of {self.task.name})"
+
+
+class Task:
+    """An execution environment: address space + ports + threads.
+
+    Created through :meth:`repro.core.kernel.MachKernel.task_create`
+    (never directly), which also builds the pmap and address map.
+    """
+
+    def __init__(self, kernel, vm_map, pmap, name: str = "") -> None:
+        self.task_id = next(_task_ids)
+        self.kernel = kernel
+        self.vm_map = vm_map
+        self.pmap = pmap
+        self.name = name or f"task{self.task_id}"
+        self.threads: list[Thread] = []
+        #: The task's port name space: label -> Port.
+        self.ports: dict[str, object] = {}
+        self.task_port = None      # set by the kernel at creation
+        self.terminated = False
+        self.suspended = False
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def thread_create(self, name: str = "") -> Thread:
+        """Create a new thread in this task."""
+        thread = Thread(self, name)
+        self.threads.append(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    # Table 2-1: virtual memory operations
+    # ------------------------------------------------------------------
+
+    def vm_allocate(self, size: int, address: Optional[int] = None,
+                    anywhere: bool = True) -> int:
+        """Allocate and (lazily) fill with zeros new virtual memory
+        either anywhere or at a specified address."""
+        return self.kernel.vm_allocate(self, size, address=address,
+                                       anywhere=anywhere)
+
+    def vm_deallocate(self, address: int, size: int) -> None:
+        """Deallocate a range of addresses, i.e. make them no longer
+        valid."""
+        self.kernel.vm_deallocate(self, address, size)
+
+    def vm_protect(self, address: int, size: int, set_maximum: bool,
+                   new_protection: VMProt) -> None:
+        """Set the protection attribute of an address range."""
+        self.kernel.vm_protect(self, address, size, set_maximum,
+                               new_protection)
+
+    def vm_inherit(self, address: int, size: int,
+                   new_inheritance: VMInherit) -> None:
+        """Set the inheritance attribute of an address range."""
+        self.kernel.vm_inherit(self, address, size, new_inheritance)
+
+    def vm_copy(self, source_address: int, count: int,
+                dest_address: int) -> None:
+        """Virtually copy a range of memory from one address to
+        another (copy-on-write)."""
+        self.kernel.vm_copy(self, source_address, count, dest_address)
+
+    def vm_read(self, address: int, size: int) -> bytes:
+        """Read the contents of a region of the task's address space."""
+        return self.kernel.vm_read(self, address, size)
+
+    def vm_write(self, address: int, data: bytes) -> None:
+        """Write the contents of a region of the task's address space."""
+        self.kernel.vm_write(self, address, data)
+
+    def vm_regions(self):
+        """Return descriptions of the regions of the address space."""
+        return self.vm_map.regions()
+
+    def vm_statistics(self):
+        """Return statistics about the use of memory."""
+        return self.kernel.vm_statistics()
+
+    def vm_allocate_with_pager(self, size: int, pager,
+                               offset: int = 0,
+                               address: Optional[int] = None,
+                               anywhere: bool = True) -> int:
+        """Allocate a region of memory at specified address backed by a
+        memory object (Table 3-2: ``vm_allocate_with_pager``)."""
+        return self.kernel.vm_allocate_with_pager(
+            self, size, pager, offset=offset, address=address,
+            anywhere=anywhere)
+
+    # ------------------------------------------------------------------
+    # Direct memory access (drives the simulated MMU, faulting as needed)
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        """Load *size* bytes as the task's thread would (TLB + faults)."""
+        return self.kernel.task_memory_read(self, address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Store bytes as the task's thread would (TLB + faults)."""
+        self.kernel.task_memory_write(self, address, data)
+
+    def touch(self, address: int, write: bool = False) -> None:
+        """Touch a single address (one load or store)."""
+        if write:
+            self.write(address, b"\x01")
+        else:
+            self.read(address, 1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def fork(self, name: str = "") -> "Task":
+        """Create a child task whose address space follows this task's
+        inheritance values (Section 2.1's ``fork`` example)."""
+        return self.kernel.task_create(parent=self, name=name)
+
+    def terminate(self) -> None:
+        """Destroy the task and release its resources."""
+        self.kernel.task_terminate(self)
+
+    def __repr__(self) -> str:
+        return (f"Task({self.name}, map={self.vm_map.nentries} entries, "
+                f"{len(self.threads)} threads)")

@@ -1,0 +1,432 @@
+"""Memory objects, shadow objects and the object cache.
+
+Section 3.3: "a virtual memory object is a repository for data, indexed
+by byte, upon which various operations (e.g., read and write) can be
+performed. ... A reference counter is maintained for each memory object."
+
+Section 3.4: shadow objects "collect and remember modified pages which
+result from copy-on-write faults"; a shadow "relies on the original
+object that it shadows for all unmodified data" and may itself be
+shadowed.
+
+Section 3.5: "Most of the complexity of Mach memory management arises
+from a need to prevent the potentially large chains of shadow objects" —
+the collapse/bypass garbage collection implemented here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.core.resident import ResidentPageTable
+
+_object_ids = itertools.count(1)
+
+
+class VMObject:
+    """A byte-indexed repository of data that can be mapped into tasks.
+
+    Attributes:
+        size: length in bytes (page aligned).
+        ref_count: mapped/internal references; the object is destroyed
+            (or cached) when this drops to zero.
+        pager: backing-store manager (``None`` until one is needed; "It
+            is initially an empty object without a pager").
+        shadow: the backing object this one shadows, if any.
+        shadow_offset: offset of this object's byte 0 within ``shadow``.
+        internal: created by the kernel (anonymous/shadow memory) rather
+            than by a user providing a pager.
+        temporary: contents need not outlive all references.
+        can_persist: keep the object (with its resident pages) in the
+            object cache after the last reference dies — set by the
+            ``pager_cache`` call, and used for e.g. UNIX text segments.
+    """
+
+    def __init__(self, size: int, internal: bool = True,
+                 temporary: bool = True) -> None:
+        self.object_id = next(_object_ids)
+        self.size = size
+        self.ref_count = 1
+        self.pager = None
+        self.pager_initialized = False
+        self.shadow: Optional[VMObject] = None
+        self.shadow_offset = 0
+        self.internal = internal
+        self.temporary = temporary
+        self.can_persist = False
+        self.cached = False
+        self.terminated = False
+        #: Pages of this object resident in physical memory, by offset
+        #: ("All the page entries associated with a given object are
+        #: linked together in a memory object list").
+        self._resident: dict[int, object] = {}
+        #: Outstanding pager operations; blocks collapse while nonzero.
+        self.paging_in_progress = 0
+
+    # -- page list maintenance (called by the resident page table) -----
+
+    def page_inserted(self, page) -> None:
+        """Resident-table callback: a page joined this object."""
+        self._resident[page.offset] = page
+
+    def page_removed(self, page) -> None:
+        """Resident-table callback: a page left this object."""
+        del self._resident[page.offset]
+
+    def resident_page(self, offset: int):
+        """The resident page at *offset*, or None."""
+        return self._resident.get(offset)
+
+    def resident_offsets(self) -> list[int]:
+        """Sorted offsets of this object's resident pages."""
+        return sorted(self._resident)
+
+    def iter_resident(self) -> Iterator:
+        """Snapshot iterator over every resident page."""
+        return iter(list(self._resident.values()))
+
+    @property
+    def resident_count(self) -> int:
+        """Pages currently resident (allocated frames)."""
+        return len(self._resident)
+
+    # -- reference counting ---------------------------------------------
+
+    def reference(self) -> "VMObject":
+        """Take an additional reference; returns self for convenience."""
+        if self.terminated:
+            raise ValueError(f"{self!r} is terminated")
+        self.ref_count += 1
+        return self
+
+    # -- shadow chain helpers -------------------------------------------
+
+    def chain_length(self) -> int:
+        """Number of objects in this object's shadow chain (>= 1)."""
+        length = 0
+        obj: Optional[VMObject] = self
+        while obj is not None:
+            length += 1
+            obj = obj.shadow
+        return length
+
+    def chain(self) -> Iterator["VMObject"]:
+        """Iterate this object and every object it shadows."""
+        obj: Optional[VMObject] = self
+        while obj is not None:
+            yield obj
+            obj = obj.shadow
+
+    def __repr__(self) -> str:
+        kind = "internal" if self.internal else "external"
+        extra = ""
+        if self.shadow is not None:
+            extra = f", shadows #{self.shadow.object_id}"
+        return (f"VMObject(#{self.object_id}, {kind}, size={self.size:#x}, "
+                f"refs={self.ref_count}, resident={self.resident_count}"
+                f"{extra})")
+
+
+class VMObjectManager:
+    """Creation, destruction, shadowing, collapse and caching of
+    :class:`VMObject` instances.
+
+    Owns the object cache (Section 3.3: "Mach maintains a cache of such
+    frequently used memory objects") and the pager -> object registry the
+    kernel uses to find an existing object for a pager.
+    """
+
+    def __init__(self, resident: ResidentPageTable, clock, costs,
+                 cache_limit: int = 64,
+                 cache_page_limit: int | None = None) -> None:
+        self.resident = resident
+        self.clock = clock
+        self.costs = costs
+        self.cache_limit = cache_limit
+        #: Optional cap on the total resident pages held by *cached*
+        #: (unreferenced) objects — the Table 7-2 "400 buffers"
+        #: configuration, where both systems' file caches are limited.
+        self.cache_page_limit = cache_page_limit
+        #: pager -> VMObject for every live or cached object with a pager.
+        self._by_pager: dict[object, VMObject] = {}
+        #: LRU of unreferenced-but-persistent objects.
+        self._cache: OrderedDict[int, VMObject] = OrderedDict()
+        # Statistics (exposed through vm_statistics and the shadow-chain
+        # ablation benchmark).
+        self.objects_created = 0
+        self.objects_destroyed = 0
+        self.shadows_created = 0
+        self.collapses = 0
+        self.bypasses = 0
+        self.cache_hits = 0
+        self.cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    def create_internal(self, size: int) -> VMObject:
+        """A fresh kernel-created (anonymous, zero-fill) object."""
+        self.clock.charge(self.costs.object_op_us)
+        self.objects_created += 1
+        return VMObject(size, internal=True, temporary=True)
+
+    def create_for_pager(self, pager, size: int,
+                         temporary: bool = False) -> VMObject:
+        """The object for *pager*, reviving it from the cache or from
+        the live registry when the pager is already known.
+
+        This is the mechanism behind Table 7-1's cheap second file read:
+        re-mapping a cached object finds all its pages still resident.
+        """
+        existing = self._by_pager.get(pager)
+        if existing is not None and not existing.terminated:
+            # The backing file may have grown since the object was last
+            # mapped.
+            existing.size = max(existing.size, size)
+            if existing.cached:
+                del self._cache[existing.object_id]
+                existing.cached = False
+                existing.ref_count = 1
+                self.cache_hits += 1
+            else:
+                existing.reference()
+            return existing
+        self.clock.charge(self.costs.object_op_us)
+        self.objects_created += 1
+        obj = VMObject(size, internal=False, temporary=temporary)
+        obj.pager = pager
+        self._by_pager[pager] = obj
+        return obj
+
+    def set_pager(self, obj: VMObject, pager,
+                  register: bool = True) -> None:
+        """Bind a pager to an existing (internal) object — done when the
+        default pager first needs to page it out.
+
+        ``register=False`` skips the pager -> object registry; the
+        shared default pager backs many objects at once, so it cannot be
+        a registry key.
+        """
+        if obj.pager is not None:
+            raise ValueError(f"{obj!r} already has a pager")
+        obj.pager = pager
+        if register:
+            self._by_pager[pager] = obj
+
+    def shadow(self, obj: VMObject, offset: int, length: int) -> VMObject:
+        """Create a shadow of *obj* covering [offset, offset+length).
+
+        The caller's reference to *obj* is consumed by the new shadow
+        (exactly ``vm_object_shadow``): the map entry that held *obj*
+        now holds the shadow, whose byte 0 corresponds to *offset* in
+        the shadowed object.
+        """
+        self.clock.charge(self.costs.object_op_us)
+        self.objects_created += 1
+        self.shadows_created += 1
+        new = VMObject(length, internal=True, temporary=True)
+        new.shadow = obj
+        new.shadow_offset = offset
+        return new
+
+    # ------------------------------------------------------------------
+    # Destruction and the object cache
+    # ------------------------------------------------------------------
+
+    def deallocate(self, obj: Optional[VMObject]) -> None:
+        """Drop one reference; destroy or cache the object at zero.
+
+        "This counter allows the object to be garbage collected when all
+        mapped references to it are removed."
+        """
+        while obj is not None:
+            if obj.ref_count <= 0:
+                raise ValueError(f"{obj!r} over-released")
+            obj.ref_count -= 1
+            if obj.ref_count > 0:
+                return
+            if obj.can_persist and obj.pager is not None \
+                    and not obj.terminated:
+                self._enter_cache(obj)
+                return
+            # Terminate, then continue with the backing object whose
+            # reference we held (iteratively, so long shadow chains do
+            # not recurse deeply).
+            obj = self._terminate(obj)
+
+    def _cached_pages(self) -> int:
+        return sum(o.resident_count for o in self._cache.values())
+
+    def _enter_cache(self, obj: VMObject) -> None:
+        obj.cached = True
+        self._cache[obj.object_id] = obj
+        while len(self._cache) > self.cache_limit or (
+                self.cache_page_limit is not None
+                and len(self._cache) > 1
+                and self._cached_pages() > self.cache_page_limit):
+            _, victim = self._cache.popitem(last=False)
+            victim.cached = False
+            self.cache_evictions += 1
+            self._terminate_chain(victim)
+
+    def _terminate(self, obj: VMObject) -> Optional[VMObject]:
+        """Free the object's pages and registry entries; returns the
+        shadowed object (whose reference the caller must now drop)."""
+        obj.terminated = True
+        self.objects_destroyed += 1
+        for page in obj.iter_resident():
+            if page.wired:
+                page.wire_count = 0
+            self.resident.free(page)
+        if obj.pager is not None:
+            if self._by_pager.get(obj.pager) is obj:
+                del self._by_pager[obj.pager]
+            release = getattr(obj.pager, "release_object", None)
+            if release is not None:
+                release(obj)
+        backing, obj.shadow = obj.shadow, None
+        return backing
+
+    def _terminate_chain(self, obj: VMObject) -> None:
+        backing = self._terminate(obj)
+        self.deallocate(backing)
+
+    @property
+    def cached_count(self) -> int:
+        """Number of objects held in the object cache."""
+        return len(self._cache)
+
+    def flush_cache(self) -> int:
+        """Drop every cached object (used by tests and by low-memory
+        reclamation); returns the number evicted."""
+        evicted = 0
+        while self._cache:
+            _, victim = self._cache.popitem(last=False)
+            victim.cached = False
+            self._terminate_chain(victim)
+            evicted += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Shadow-chain garbage collection (Section 3.5)
+    # ------------------------------------------------------------------
+
+    def _pager_movable(self, backing: VMObject) -> bool:
+        """Can *backing*'s paged-out data be migrated during collapse?
+
+        Only internal objects whose pager supports slot migration (the
+        default pager) qualify; the paper notes that chains "sometimes
+        occur during periods of heavy paging and cannot always be
+        detected on the basis of in memory data structures alone" — an
+        external pager's data is exactly such undetectable state.
+        """
+        if backing.pager is None:
+            return True
+        return backing.internal and hasattr(backing.pager, "move_slots")
+
+    def collapse(self, obj: VMObject) -> None:
+        """Collapse or bypass shadows along *obj*'s chain where
+        possible.
+
+        Two cases per object/backing pair, as in
+        ``vm_object_collapse``:
+
+        * **collapse** — the backing object has no other references, so
+          its pages (and paged-out slots) migrate up and the backing
+          object disappears;
+        * **bypass** — the backing object is shared, but the shadowing
+          object already has every page it could supply within its
+          window, so it can point past it.
+
+        When the top pair is pinned (the paper's repeated-fork pattern:
+        a live child still references the first backing object), the
+        walk *descends* and tries deeper pairs — a middle merge is
+        always safe when the deeper object's only reference is the
+        shadow pointer above it.  Without this, chains grow without
+        bound whenever paged-out data blocks the bypass check ("chains
+        sometimes occur during periods of heavy paging").
+        """
+        current: Optional[VMObject] = obj
+        while current is not None:
+            backing = current.shadow
+            if backing is None:
+                return
+            if current.paging_in_progress or backing.paging_in_progress:
+                return
+            if backing.ref_count == 1 and self._pager_movable(backing):
+                self._do_collapse(current, backing)
+                self.collapses += 1
+                continue          # retry this pair (new backing)
+            if self._can_bypass(current, backing):
+                self._do_bypass(current, backing)
+                self.bypasses += 1
+                continue
+            current = backing     # pinned pair: try one level deeper
+
+    def _do_collapse(self, obj: VMObject, backing: VMObject) -> None:
+        """Merge *backing* (ref_count == 1) up into *obj*."""
+        delta = obj.shadow_offset
+        for page in backing.iter_resident():
+            new_offset = page.offset - delta
+            if (0 <= new_offset < obj.size
+                    and obj.resident_page(new_offset) is None
+                    and not self._paged_out(obj, new_offset)):
+                self.resident.rename(page, obj, new_offset)
+            else:
+                # Invisible from obj (outside the window, or obscured
+                # by obj's own page/slot): discard.
+                if page.wired:
+                    page.wire_count = 0
+                self.resident.free(page)
+        if backing.pager is not None:
+            backing.pager.move_slots(backing, obj, delta)
+            if obj.pager is None:
+                # The migrated slots live with the (shared) default
+                # pager; obj must now know to consult it.
+                obj.pager = backing.pager
+                backing.pager = None
+        obj.shadow = backing.shadow
+        obj.shadow_offset += backing.shadow_offset
+        backing.shadow = None
+        backing.ref_count = 0
+        self._terminate(backing)
+
+    def _paged_out(self, obj: VMObject, offset: int) -> bool:
+        """True when *obj* has non-resident data at *offset* kept by its
+        pager — such data must not be shadowed over during collapse."""
+        if obj.pager is None:
+            return False
+        has_slot = getattr(obj.pager, "has_slot", None)
+        if has_slot is None:
+            # External pager: assume it may hold data anywhere.
+            return True
+        return has_slot(obj, offset)
+
+    def _can_bypass(self, obj: VMObject, backing: VMObject) -> bool:
+        """Does *obj* completely obscure *backing* within its window?"""
+        if backing.pager is not None:
+            # Paged-out data in the backing object cannot be proven
+            # obscured "on the basis of in memory data structures alone".
+            return False
+        # The bypass is safe when, for every offset in obj's window,
+        # either obj has its own page (the backing page is obscured) or
+        # the backing object has none (the lookup falls through to
+        # backing.shadow identically before and after).
+        lo = obj.shadow_offset
+        hi = obj.shadow_offset + obj.size
+        for offset in backing.resident_offsets():
+            if lo <= offset < hi and obj.resident_page(offset - lo) is None:
+                return False
+        return True
+
+    def _do_bypass(self, obj: VMObject, backing: VMObject) -> None:
+        """Point *obj* past *backing* (which keeps its other refs)."""
+        grand = backing.shadow
+        if grand is not None:
+            grand.reference()
+        obj.shadow = grand
+        obj.shadow_offset += backing.shadow_offset
+        self.deallocate(backing)

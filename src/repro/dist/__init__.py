@@ -1,0 +1,15 @@
+"""Loosely-coupled systems: copy-on-reference task migration
+(Section 6 / reference [13])."""
+
+from repro.dist.migration import (
+    Migration,
+    NetworkLink,
+    RemoteTaskPager,
+    finalize_migration,
+    migrate_task,
+)
+
+__all__ = [
+    "Migration", "NetworkLink", "RemoteTaskPager",
+    "finalize_migration", "migrate_task",
+]

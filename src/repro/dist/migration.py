@@ -1,0 +1,197 @@
+"""Copy-on-reference task migration.
+
+Section 6 of the paper: "An important way in which Mach differs from
+previous systems is that it has integrated memory management and
+communication. ... It is likewise possible to implement shared
+copy-on-reference [13] or read/write data in a network or loosely
+coupled multiprocessor."  Reference [13] is Zayas's process-migration
+thesis, whose headline technique was moving a process between machines
+*without* copying its address space: the destination maps the memory by
+reference and pages travel only when touched.
+
+This module implements exactly that on two simulated kernels:
+
+* :class:`RemoteTaskPager` — a pager on the *destination* kernel whose
+  backing store is the *source* task's memory, reached over a simulated
+  network link (latency + bandwidth charged on the destination's
+  clock);
+* :func:`migrate_task` — freezes the source task, recreates its address
+  map shape on the destination, and installs a RemoteTaskPager per
+  region.  Pages move lazily; dirty pages migrate back on pageout so
+  the source's memory remains the master copy until
+  :func:`finalize_migration` severs the link by forcing the remaining
+  pages across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import FaultType, round_page
+from repro.core.kernel import MachKernel
+from repro.core.task import Task
+from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+
+
+@dataclass
+class NetworkLink:
+    """A simulated link between two kernels: per-message latency plus
+    per-byte bandwidth cost, charged to whichever side waits."""
+
+    latency_us: float = 1500.0
+    bandwidth_us_per_kb: float = 300.0
+    messages: int = 0
+    bytes_moved: int = 0
+
+    def transfer(self, clock, nbytes: int) -> None:
+        """Charge one network transfer to a clock."""
+        self.messages += 1
+        self.bytes_moved += nbytes
+        clock.wait(self.latency_us
+                   + self.bandwidth_us_per_kb * nbytes / 1024.0)
+
+
+class RemoteTaskPager(PagerProtocol):
+    """Backing store = one region of a (frozen) task on another kernel.
+
+    ``data_request`` reads the source task's memory through the source
+    kernel's own fault path — paged-out source pages transparently come
+    back from the source's swap.  ``data_write`` pushes dirty pages back
+    into the source task, keeping it the master copy.
+    """
+
+    def __init__(self, source_kernel: MachKernel, source_task: Task,
+                 region_start: int, region_size: int,
+                 link: NetworkLink, dest_kernel: MachKernel) -> None:
+        self.source_kernel = source_kernel
+        self.source_task = source_task
+        self.region_start = region_start
+        self.region_size = region_size
+        self.link = link
+        self.dest_kernel = dest_kernel
+        self.pages_pulled = 0
+        self.pages_pushed = 0
+        self.severed = False
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        """PagerProtocol: supply data for a faulting region."""
+        if self.severed or offset >= self.region_size:
+            return UNAVAILABLE
+        length = min(length, self.region_size - offset)
+        data = self.source_kernel.task_memory_read(
+            self.source_task, self.region_start + offset, length)
+        self.link.transfer(self.dest_kernel.clock, length)
+        self.pages_pulled += 1
+        return data
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        """PagerProtocol: accept page-out data."""
+        if self.severed:
+            raise RuntimeError("migration link already severed")
+        data = bytes(data)[:max(0, self.region_size - offset)]
+        if not data:
+            return
+        self.link.transfer(self.dest_kernel.clock, len(data))
+        self.source_kernel.task_memory_write(
+            self.source_task, self.region_start + offset, data)
+        self.pages_pushed += 1
+
+    def has_data(self, obj, offset: int) -> bool:
+        """Cheap residency probe used by the fault handler."""
+        return not self.severed and offset < self.region_size
+
+    def name(self) -> str:
+        """Human-readable pager identity."""
+        return (f"remote:{self.source_task.name}"
+                f"@{self.region_start:#x}")
+
+
+@dataclass
+class Migration:
+    """Handle for an in-progress copy-on-reference migration."""
+
+    source_kernel: MachKernel
+    source_task: Task
+    dest_kernel: MachKernel
+    dest_task: Task
+    link: NetworkLink
+    pagers: list[RemoteTaskPager] = field(default_factory=list)
+    finalized: bool = False
+
+    @property
+    def pages_pulled(self) -> int:
+        """Pages moved to the destination so far."""
+        return sum(p.pages_pulled for p in self.pagers)
+
+    @property
+    def pages_pushed(self) -> int:
+        """Dirty pages pushed back to the source so far."""
+        return sum(p.pages_pushed for p in self.pagers)
+
+
+def migrate_task(source_kernel: MachKernel, source_task: Task,
+                 dest_kernel: MachKernel,
+                 link: NetworkLink | None = None,
+                 name: str = "") -> Migration:
+    """Start a copy-on-reference migration of *source_task* onto
+    *dest_kernel*.
+
+    The destination task gets the same address-map shape (same ranges,
+    same protections), each region backed by a pager that pulls pages
+    from the source on first touch.  The source task is suspended — it
+    remains the master copy of all unmigrated data.
+    """
+    if link is None:
+        link = NetworkLink()
+    if dest_kernel.page_size != source_kernel.page_size:
+        raise ValueError(
+            "copy-on-reference migration needs matching page sizes "
+            f"({source_kernel.page_size} != {dest_kernel.page_size})")
+    source_task.suspended = True
+    dest_task = dest_kernel.task_create(
+        name=name or f"{source_task.name}@migrated")
+    migration = Migration(source_kernel, source_task, dest_kernel,
+                          dest_task, link)
+    for region in source_task.vm_regions():
+        pager = RemoteTaskPager(source_kernel, source_task,
+                                region.start, region.size, link,
+                                dest_kernel)
+        dest_kernel.vm_allocate_with_pager(
+            dest_task, region.size, pager, address=region.start,
+            anywhere=False)
+        dest_task.vm_map.protect(region.start, region.size,
+                                 region.protection)
+        migration.pagers.append(pager)
+    return migration
+
+
+def finalize_migration(migration: Migration) -> int:
+    """Sever the link: push the remaining (never-touched) pages across
+    eagerly, clean dirty destination pages back first so nothing is
+    lost, then cut the source free.  Returns pages transferred during
+    finalization.
+
+    After finalization the destination task is fully self-contained and
+    the source task can be terminated.
+    """
+    if migration.finalized:
+        return 0
+    dest = migration.dest_kernel
+    page_size = dest.page_size
+    moved = 0
+    for pager in migration.pagers:
+        # Find the destination object for this region.
+        obj = dest.vm.objects._by_pager.get(pager)
+        for offset in range(0, pager.region_size, page_size):
+            if obj is not None and obj.resident_page(offset) is not None:
+                continue      # already migrated by reference
+            if obj is not None and dest.pager_has_data(obj, offset):
+                page = dest.request_object_data(obj, offset)
+                if page is not None:
+                    dest.vm.resident.activate(page)
+                    moved += 1
+        pager.severed = True
+    migration.finalized = True
+    migration.source_task.suspended = False
+    return moved

@@ -1,0 +1,8 @@
+"""A small 4.3bsd-flavoured filesystem substrate."""
+
+from repro.fs.buffer_cache import BufferCache
+from repro.fs.disk import SimDisk
+from repro.fs.filesystem import FileSystem
+from repro.fs.inode import Inode
+
+__all__ = ["BufferCache", "FileSystem", "Inode", "SimDisk"]

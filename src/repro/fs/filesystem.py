@@ -1,0 +1,191 @@
+"""A small 4.3bsd-flavoured filesystem.
+
+Provides exactly what the evaluation workloads need:
+
+* path -> inode lookup and file creation;
+* ``read``/``write`` through the buffer cache — the traditional UNIX
+  file I/O path the baseline systems use (per-syscall block lookups and
+  a byte copy out of the buffer);
+* ``read_direct`` — block reads that bypass the buffer cache, used by
+  the Mach inode/vnode pager to fill memory-object pages ("The current
+  inode pager utilizes 4.3bsd UNIX file systems and eliminates the
+  traditional Berkeley UNIX need for separate paging partitions").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.buffer_cache import BufferCache
+from repro.fs.disk import SimDisk
+from repro.fs.inode import Inode
+
+
+class FileSystem:
+    """Files, a block allocator, and the buffer cache."""
+
+    def __init__(self, machine, nblocks: int = 16384,
+                 block_size: int = 8192, nbufs: int = 400) -> None:
+        self.machine = machine
+        self.disk = SimDisk(machine, nblocks=nblocks,
+                            block_size=block_size)
+        self.buffer_cache = BufferCache(self.disk, nbufs=nbufs)
+        self._files: dict[str, Inode] = {}
+        self._next_free_block = 0
+
+    @property
+    def block_size(self) -> int:
+        """The filesystem's block size in bytes."""
+        return self.disk.block_size
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+
+    def create(self, path: str) -> Inode:
+        """Create an empty file; error if it exists."""
+        if path in self._files:
+            raise FileExistsError(path)
+        inode = Inode()
+        self._files[path] = inode
+        return inode
+
+    def lookup(self, path: str) -> Inode:
+        """Resolve a path to its inode."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def exists(self, path: str) -> bool:
+        """True when the path names a file."""
+        return path in self._files
+
+    def unlink(self, path: str) -> None:
+        """Remove a file from the namespace."""
+        inode = self.lookup(path)
+        del self._files[path]
+        inode.link_count -= 1
+        if inode.link_count == 0:
+            inode.blocks.clear()
+            inode.size = 0
+
+    def paths(self) -> list[str]:
+        """All file paths, sorted."""
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # Block allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_block(self) -> int:
+        if self._next_free_block >= self.disk.nblocks:
+            raise OSError("filesystem full")
+        block = self._next_free_block
+        self._next_free_block += 1
+        return block
+
+    def _extend_to(self, inode: Inode, size: int) -> None:
+        needed = (size + self.block_size - 1) // self.block_size
+        while len(inode.blocks) < needed:
+            inode.blocks.append(self._allocate_block())
+        inode.size = max(inode.size, size)
+
+    # ------------------------------------------------------------------
+    # Buffer-cache I/O (the traditional UNIX read/write path)
+    # ------------------------------------------------------------------
+
+    def write(self, path: str, data: bytes, offset: int = 0,
+              create: bool = True) -> None:
+        """Write through the buffer cache (creating the file if
+        needed)."""
+        if not self.exists(path):
+            if not create:
+                raise FileNotFoundError(path)
+            self.create(path)
+        inode = self.lookup(path)
+        self._extend_to(inode, offset + len(data))
+        bs = self.block_size
+        cursor = offset
+        remaining = data
+        while remaining:
+            block = inode.bmap(cursor, bs)
+            in_block = cursor % bs
+            chunk = remaining[:bs - in_block]
+            if len(chunk) < bs:
+                merged = bytearray(self.buffer_cache.read(block))
+                merged[in_block:in_block + len(chunk)] = chunk
+                self.buffer_cache.write(block, bytes(merged))
+            else:
+                self.buffer_cache.write(block, chunk)
+            cursor += len(chunk)
+            remaining = remaining[len(chunk):]
+
+    def read(self, path: str, offset: int = 0,
+             size: Optional[int] = None) -> bytes:
+        """Read through the buffer cache."""
+        inode = self.lookup(path)
+        if size is None:
+            size = inode.size - offset
+        size = max(0, min(size, inode.size - offset))
+        bs = self.block_size
+        out = bytearray()
+        cursor = offset
+        while len(out) < size:
+            block = inode.bmap(cursor, bs)
+            data = self.buffer_cache.read(block)
+            in_block = cursor % bs
+            take = min(bs - in_block, size - len(out))
+            out += data[in_block:in_block + take]
+            cursor += take
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Direct I/O (the Mach inode-pager path: no buffer-cache pollution)
+    # ------------------------------------------------------------------
+
+    def read_direct(self, inode: Inode, offset: int, size: int) -> bytes:
+        """Read raw blocks for a pager fill, bypassing the buffer
+        cache."""
+        size = max(0, min(size, inode.size - offset))
+        bs = self.block_size
+        out = bytearray()
+        cursor = offset
+        while len(out) < size:
+            block = inode.bmap(cursor, bs)
+            data = self.buffer_cache.peek_dirty(block)
+            if data is None:
+                data = self.disk.read_block(block)
+            in_block = cursor % bs
+            take = min(bs - in_block, size - len(out))
+            out += data[in_block:in_block + take]
+            cursor += take
+        return bytes(out)
+
+    def write_direct(self, inode: Inode, offset: int,
+                     data: bytes) -> None:
+        """Write raw blocks for a pager cleaning pass."""
+        self._extend_to(inode, offset + len(data))
+        bs = self.block_size
+        cursor = offset
+        remaining = data
+        while remaining:
+            block = inode.bmap(cursor, bs)
+            in_block = cursor % bs
+            chunk = remaining[:bs - in_block]
+            if len(chunk) < bs:
+                merged = bytearray(self.buffer_cache.peek_dirty(block)
+                                   or self.disk.read_block(block))
+                merged[in_block:in_block + len(chunk)] = chunk
+                self.disk.write_block(block, bytes(merged))
+            else:
+                self.disk.write_block(block, chunk)
+            # The direct write bypassed the buffer cache: drop any
+            # (now stale) cached copy so future reads see the disk.
+            self.buffer_cache.drop_block(block)
+            cursor += len(chunk)
+            remaining = remaining[len(chunk):]
+
+    def __repr__(self) -> str:
+        return (f"FileSystem({len(self._files)} files, "
+                f"{self._next_free_block}/{self.disk.nblocks} blocks)")

@@ -1,0 +1,35 @@
+"""Inodes: per-file metadata and block maps."""
+
+from __future__ import annotations
+
+import itertools
+
+_inode_numbers = itertools.count(2)  # 1 is reserved for the root
+
+
+class Inode:
+    """One file's metadata: size and the ordered list of data blocks.
+
+    The block list is flat (no indirect blocks) — simulation-scale files
+    are small enough that the indirection would add structure without
+    changing any measured behaviour.
+    """
+
+    def __init__(self, number: int | None = None) -> None:
+        self.number = number if number is not None else next(_inode_numbers)
+        self.size = 0
+        self.blocks: list[int] = []
+        self.link_count = 1
+
+    def bmap(self, offset: int, block_size: int) -> int:
+        """Logical byte offset -> physical disk block."""
+        index = offset // block_size
+        if index >= len(self.blocks):
+            raise ValueError(
+                f"offset {offset} beyond inode {self.number} "
+                f"({self.size} bytes)")
+        return self.blocks[index]
+
+    def __repr__(self) -> str:
+        return f"Inode(#{self.number}, {self.size} bytes, " \
+               f"{len(self.blocks)} blocks)"

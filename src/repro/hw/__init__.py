@@ -1,0 +1,32 @@
+"""Simulated hardware substrate: clock, costs, RAM, TLBs, MMU, CPUs."""
+
+from repro.hw.clock import ClockSnapshot, SimClock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import CPU
+from repro.hw.machine import (
+    ALL_SPECS,
+    ENCORE_MULTIMAX,
+    IBM_RP3,
+    IBM_RT_PC,
+    MICROVAX_II,
+    SEQUENT_BALANCE,
+    SUN_3_160,
+    SUN_3_260,
+    VAX_11_784,
+    VAX_8200,
+    VAX_8650,
+    Machine,
+    MachineSpec,
+    spec_by_name,
+)
+from repro.hw.mmu import MMU
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+from repro.hw.tlb import TLB, TLBEntry, TLBStats
+
+__all__ = [
+    "ALL_SPECS", "CPU", "ClockSnapshot", "CostModel", "ENCORE_MULTIMAX",
+    "IBM_RP3", "IBM_RT_PC", "MICROVAX_II", "MMU", "Machine", "MachineSpec",
+    "MemorySegment", "PhysicalMemory", "SEQUENT_BALANCE", "SUN_3_160",
+    "SUN_3_260", "SimClock", "TLB", "TLBEntry", "TLBStats",
+    "VAX_11_784", "VAX_8200", "VAX_8650", "spec_by_name",
+]

@@ -1,0 +1,340 @@
+"""Machine specifications and instantiation.
+
+A :class:`MachineSpec` is a frozen description of a hardware platform:
+page size, virtual/physical address limits, CPU count, MMU model, memory
+layout and cost model.  :class:`Machine` instantiates one — allocating
+the physical memory, CPUs and TLBs — given the boot-time Mach page size.
+
+The preset specs reproduce the machines of the paper's evaluation:
+
+* the VAX family (MicroVAX II, VAX 8200, VAX 8650, and the 4-CPU
+  VAX 11/784), 512-byte hardware pages and linear page tables;
+* the IBM RT PC, inverted page table, full 4 GB address space;
+* the SUN 3/160, 8 KB pages, segment-mapped MMU with 8 contexts and a
+  display-memory hole in the physical address space;
+* the Encore Multimax and Sequent Balance, NS32082 MMU (16 MB VA /
+  32 MB PA limits, and the read-modify-write fault-reporting erratum),
+  multiprocessors without TLB coherence;
+* the IBM RP3 as simulated in the paper: "a version of Mach has already
+  run on a simulator for the IBM RP3 which assumed only TLB hardware
+  support" — our ``generic`` TLB-only pmap.
+
+Cost-model numbers are calibrated against the paper's Table 7-1 Mach
+column; see DESIGN.md ("Calibration") and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import validate_page_size
+from repro.hw.clock import SimClock
+from repro.hw.costs import CostModel
+from repro.hw.mmu import MMU
+from repro.hw.cpu import CPU
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+from repro.hw.tlb import TLB
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a hardware platform."""
+
+    name: str
+    hw_page_size: int
+    default_page_size: int
+    va_limit: int
+    ncpus: int = 1
+    pmap_name: str = "generic"
+    tlb_capacity: int = 64
+    #: (start, size) physical RAM ranges; holes are simply absent ranges.
+    memory_segments: tuple[tuple[int, int], ...] = ((0, 16 * MB),)
+    #: Hard ceiling on addressable physical memory (NS32082: 32 MB).
+    phys_limit: int = 4 * GB
+    #: SUN 3: number of hardware MMU contexts available.
+    mmu_contexts: int = 0
+    #: NS32082 erratum: read-modify-write faults reported as read faults.
+    buggy_rmw_reports_read: bool = False
+    #: Section 2.1: "many machines do not allow for explicit execute
+    #: permissions, but those that do will have that protection
+    #: properly enforced."  False models an MMU whose hardware treats
+    #: execute as read.
+    enforces_execute: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+
+    def validate(self) -> None:
+        """Sanity-check the spec's memory layout against its limits."""
+        for start, size in self.memory_segments:
+            if start + size > self.phys_limit:
+                raise ValueError(
+                    f"{self.name}: memory segment {start:#x}+{size:#x} "
+                    f"exceeds the physical limit {self.phys_limit:#x}")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes of RAM across all segments."""
+        return sum(size for _, size in self.memory_segments)
+
+
+class Machine:
+    """A powered-on machine: clock, RAM, CPUs, TLBs, MMU.
+
+    Args:
+        spec: the platform description.
+        page_size: boot-time Mach page size; must be a power-of-two
+            multiple of the hardware page size (defaults to the spec's
+            customary value).
+    """
+
+    def __init__(self, spec: MachineSpec, page_size: int | None = None):
+        spec.validate()
+        self.spec = spec
+        self.page_size = page_size or spec.default_page_size
+        validate_page_size(self.page_size, spec.hw_page_size)
+        self.hw_page_size = spec.hw_page_size
+        self.clock = SimClock()
+        self.costs = spec.costs
+        segments = [MemorySegment(start, size)
+                    for start, size in spec.memory_segments]
+        self.physmem = PhysicalMemory(self.page_size, segments)
+        self.mmu = MMU(self)
+        self.cpus = [
+            CPU(i, TLB(spec.hw_page_size, spec.tlb_capacity), self)
+            for i in range(spec.ncpus)
+        ]
+
+    @property
+    def boot_cpu(self) -> CPU:
+        """CPU 0 - where the simulation starts executing."""
+        return self.cpus[0]
+
+    def tick_all_timers(self) -> None:
+        """Advance simulated time to the next timer tick on every CPU,
+        draining any deferred TLB flushes (shootdown strategy 2)."""
+        self.clock.wait(self.costs.timer_tick_us)
+        for cpu in self.cpus:
+            cpu.timer_tick()
+
+    def __repr__(self) -> str:
+        return (f"Machine({self.spec.name}, page={self.page_size}, "
+                f"cpus={len(self.cpus)})")
+
+
+def _vax_costs(cpu_factor: float) -> CostModel:
+    """VAX-family cost model; *cpu_factor* scales relative to a MicroVAX
+    II (so a VAX 8650 at roughly six times the speed uses ~0.16)."""
+    base = CostModel(
+        fault_trap_us=60.0,
+        fault_mi_us=230.0,
+        fault_unix_us=2700.0,
+        zero_us_per_kb=70.0,
+        copy_us_per_kb=680.0,
+        byte_copy_us_per_kb=430.0,
+        pte_write_us=3.0,
+        pt_page_alloc_us=400.0,
+        task_create_us=55000.0,
+        proc_fork_unix_us=42000.0,
+        map_entry_op_us=60.0,
+        object_op_us=90.0,
+        syscall_us=180.0,
+        tlb_fill_us=2.0,
+        disk_block_us=19000.0,
+        disk_seek_us=9000.0,
+        disk_block_cpu_us=9000.0,
+        buffer_cache_hit_us=250.0,
+    )
+    return base.scaled(cpu_factor)
+
+
+MICROVAX_II = MachineSpec(
+    name="MicroVAX II",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=2 * GB,
+    pmap_name="vax",
+    tlb_capacity=64,
+    memory_segments=((0, 16 * MB),),
+    costs=_vax_costs(1.0),
+)
+
+VAX_8200 = MachineSpec(
+    name="VAX 8200",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=2 * GB,
+    pmap_name="vax",
+    tlb_capacity=128,
+    memory_segments=((0, 16 * MB),),
+    costs=_vax_costs(0.85),
+)
+
+VAX_8650 = MachineSpec(
+    name="VAX 8650",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=2 * GB,
+    pmap_name="vax",
+    tlb_capacity=512,
+    memory_segments=((0, 36 * MB),),
+    costs=_vax_costs(0.16),
+)
+
+VAX_11_784 = MachineSpec(
+    name="VAX 11/784",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=2 * GB,
+    ncpus=4,
+    pmap_name="vax",
+    tlb_capacity=128,
+    memory_segments=((0, 32 * MB),),
+    costs=_vax_costs(0.55),
+)
+
+IBM_RT_PC = MachineSpec(
+    name="IBM RT PC",
+    hw_page_size=2048,
+    default_page_size=4096,
+    va_limit=4 * GB,
+    pmap_name="rt_pc",
+    tlb_capacity=64,
+    memory_segments=((0, 16 * MB),),
+    costs=CostModel(
+        fault_trap_us=45.0,
+        fault_mi_us=160.0,
+        fault_unix_us=680.0,
+        zero_us_per_kb=60.0,
+        copy_us_per_kb=430.0,
+        byte_copy_us_per_kb=335.0,
+        pte_write_us=6.0,          # inverted-table hash insert
+        task_create_us=39000.0,
+        proc_fork_unix_us=35000.0,
+        map_entry_op_us=45.0,
+        object_op_us=70.0,
+        syscall_us=140.0,
+        disk_block_us=17000.0,
+        disk_seek_us=9000.0,
+        buffer_cache_hit_us=200.0,
+    ),
+)
+
+SUN_3_160 = MachineSpec(
+    name="SUN 3/160",
+    hw_page_size=8192,
+    default_page_size=8192,
+    va_limit=256 * MB,
+    pmap_name="sun3",
+    tlb_capacity=0,             # the SUN 3 MMU *is* the mapping RAM
+    mmu_contexts=8,
+    # 16 MB of RAM with a display-memory hole at 12 MB (Section 5.1:
+    # "potentially large holes ... due to the presence of display
+    # memory addressible as high physical memory").
+    memory_segments=((0, 12 * MB), (14 * MB, 4 * MB)),
+    costs=CostModel(
+        fault_trap_us=25.0,
+        fault_mi_us=90.0,
+        fault_unix_us=410.0,
+        zero_us_per_kb=13.0,
+        copy_us_per_kb=95.0,
+        byte_copy_us_per_kb=202.0,
+        pte_write_us=4.0,
+        segment_load_us=60.0,
+        task_create_us=66500.0,
+        proc_fork_unix_us=58000.0,
+        fork_page_dup_us=950.0,
+        map_entry_op_us=30.0,
+        object_op_us=45.0,
+        syscall_us=90.0,
+        disk_block_us=14000.0,
+        disk_seek_us=8000.0,
+        buffer_cache_hit_us=120.0,
+    ),
+)
+
+SUN_3_260 = MachineSpec(
+    name="SUN 3/260",
+    hw_page_size=8192,
+    default_page_size=8192,
+    va_limit=256 * MB,
+    pmap_name="sun3_vac",
+    tlb_capacity=0,
+    mmu_contexts=8,
+    # The /260 had more memory and a write-back virtually addressed
+    # cache in front of the MMU (handled in its pmap module).
+    memory_segments=((0, 24 * MB), (26 * MB, 6 * MB)),
+    costs=SUN_3_160.costs.scaled(0.7),
+)
+
+_NS32082_COSTS = CostModel(
+    fault_trap_us=35.0,
+    fault_mi_us=140.0,
+    fault_unix_us=300.0,
+    zero_us_per_kb=30.0,
+    copy_us_per_kb=220.0,
+    byte_copy_us_per_kb=280.0,
+    pte_write_us=3.0,
+    pt_page_alloc_us=300.0,
+    ipi_us=120.0,
+    tlb_flush_all_us=30.0,
+    task_create_us=40000.0,
+    proc_fork_unix_us=38000.0,
+    syscall_us=120.0,
+    disk_block_us=15000.0,
+    disk_seek_us=8500.0,
+)
+
+ENCORE_MULTIMAX = MachineSpec(
+    name="Encore Multimax",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=16 * MB,
+    ncpus=8,
+    pmap_name="ns32082",
+    tlb_capacity=32,
+    memory_segments=((0, 32 * MB),),
+    phys_limit=32 * MB,
+    buggy_rmw_reports_read=True,
+    costs=_NS32082_COSTS,
+)
+
+SEQUENT_BALANCE = MachineSpec(
+    name="Sequent Balance",
+    hw_page_size=512,
+    default_page_size=4096,
+    va_limit=16 * MB,
+    ncpus=8,
+    pmap_name="ns32082",
+    tlb_capacity=32,
+    memory_segments=((0, 24 * MB),),
+    phys_limit=32 * MB,
+    buggy_rmw_reports_read=True,
+    costs=_NS32082_COSTS,
+)
+
+IBM_RP3 = MachineSpec(
+    name="IBM RP3 (simulated)",
+    hw_page_size=4096,
+    default_page_size=4096,
+    va_limit=4 * GB,
+    ncpus=4,
+    pmap_name="generic",
+    tlb_capacity=128,
+    memory_segments=((0, 32 * MB),),
+    costs=CostModel(),
+)
+
+ALL_SPECS = (
+    MICROVAX_II, VAX_8200, VAX_8650, VAX_11_784, IBM_RT_PC, SUN_3_160,
+    SUN_3_260, ENCORE_MULTIMAX, SEQUENT_BALANCE, IBM_RP3,
+)
+
+
+def spec_by_name(name: str) -> MachineSpec:
+    """Look up a preset :class:`MachineSpec` by its display name."""
+    for spec in ALL_SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no machine spec named {name!r}")

@@ -1,0 +1,137 @@
+"""Per-CPU translation lookaside buffer.
+
+Section 5.2 of the paper: "hardware manufacturers do not typically treat
+the translation lookaside buffer of a memory management unit as another
+type of cache which also must be kept consistent.  None of the
+multiprocessors running Mach support TLB consistency."
+
+The simulated TLB is therefore deliberately *not* coherent: a mapping
+change in a pmap leaves stale TLB entries on every CPU until somebody
+flushes them.  The shootdown strategies of Section 5.2 are implemented
+above this layer (see :mod:`repro.pmap.interface`); tests exercise both
+the stale-entry hazard and each remedy.
+
+Entries are tagged with the owning pmap, modelling a context-tagged TLB;
+``flush_all`` models untagged designs by dropping everything.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.constants import VMProt
+
+
+class TLBEntry:
+    """One cached translation: hardware page -> frame, with permissions."""
+
+    __slots__ = ("paddr", "prot")
+
+    def __init__(self, paddr: int, prot: VMProt) -> None:
+        self.paddr = paddr
+        self.prot = prot
+
+
+class TLBStats:
+    """Hit/miss/flush counters for one TLB."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.entry_flushes = 0
+        self.full_flushes = 0
+        self.protection_blocks = 0
+
+    def __repr__(self) -> str:
+        return (f"TLBStats(hits={self.hits}, misses={self.misses}, "
+                f"fills={self.fills}, entry_flushes={self.entry_flushes}, "
+                f"full_flushes={self.full_flushes})")
+
+
+class TLB:
+    """A finite, FIFO-evicting, pmap-tagged TLB.
+
+    Args:
+        page_size: the *hardware* page size the TLB maps.
+        capacity: number of entries (e.g. VAX-11/780: 128).
+    """
+
+    def __init__(self, page_size: int, capacity: int = 64) -> None:
+        self.page_size = page_size
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], TLBEntry] = OrderedDict()
+        self.stats = TLBStats()
+
+    def _key(self, pmap, vaddr: int) -> tuple[int, int]:
+        return (id(pmap), vaddr // self.page_size)
+
+    def probe(self, pmap, vaddr: int) -> Optional[TLBEntry]:
+        """Look up a translation; counts a hit or a miss."""
+        entry = self._entries.get(self._key(pmap, vaddr))
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def fill(self, pmap, vaddr: int, paddr: int, prot: VMProt) -> None:
+        """Install a translation, evicting the oldest entry when full.
+
+        A zero-capacity TLB (SUN 3: the MMU mapping RAM *is* the
+        translation store, there is no separate TLB) caches nothing —
+        every access walks the pmap structure.
+        """
+        if self.capacity == 0:
+            return
+        key = self._key(pmap, vaddr)
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = TLBEntry(paddr, prot)
+        self.stats.fills += 1
+
+    def invalidate(self, pmap, vaddr: int) -> bool:
+        """Drop one translation; returns True when it was present."""
+        removed = self._entries.pop(self._key(pmap, vaddr), None)
+        if removed is not None:
+            self.stats.entry_flushes += 1
+        return removed is not None
+
+    def invalidate_range(self, pmap, start: int, end: int) -> int:
+        """Drop all translations of *pmap* covering [start, end)."""
+        first = start // self.page_size
+        last = (end + self.page_size - 1) // self.page_size
+        count = 0
+        pmap_tag = id(pmap)
+        for key in list(self._entries):
+            tag, vpn = key
+            if tag == pmap_tag and first <= vpn < last:
+                del self._entries[key]
+                count += 1
+        self.stats.entry_flushes += count
+        return count
+
+    def invalidate_pmap(self, pmap) -> int:
+        """Drop every translation belonging to *pmap*."""
+        pmap_tag = id(pmap)
+        stale = [key for key in self._entries if key[0] == pmap_tag]
+        for key in stale:
+            del self._entries[key]
+        self.stats.entry_flushes += len(stale)
+        return len(stale)
+
+    def flush_all(self) -> int:
+        """Drop everything (untagged-TLB context switch, or shootdown)."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.full_flushes += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_for(self, pmap) -> int:
+        """Number of live entries tagged with *pmap* (for tests)."""
+        pmap_tag = id(pmap)
+        return sum(1 for tag, _ in self._entries if tag == pmap_tag)

@@ -1,0 +1,10 @@
+"""Mach IPC substrate: ports and typed messages."""
+
+from repro.ipc.kernel_server import KernelServer
+from repro.ipc.message import Message, MsgType, OOLRegion, TypedItem
+from repro.ipc.port import DeadPortError, Port
+
+__all__ = [
+    "DeadPortError", "KernelServer", "Message", "MsgType", "OOLRegion",
+    "Port", "TypedItem",
+]

@@ -1,0 +1,191 @@
+"""The kernel as a message server.
+
+Section 2: "Operations on objects other than messages are performed by
+sending messages to ports. ... the Mach kernel itself can be considered
+a task with multiple threads of control.  The kernel task acts as a
+server which in turn implements tasks, threads and memory objects.  The
+act of creating a task, a thread or a memory object, returns access
+rights to a port which represents the new object and can be used to
+manipulate it.  Incoming messages on such a port results in an operation
+performed on the object it represents."
+
+This module implements that discipline: every task's ``task_port`` is
+serviced by :class:`KernelServer`, which translates incoming typed
+messages into the Table 2-1 operations and sends typed replies.  Because
+the request is *just a message*, it can originate anywhere — including
+another kernel across a simulated network link — which is the paper's
+"consistent interface to all resources" point: "a thread can suspend
+another thread by sending a suspend message to that thread's thread
+port even if the requesting thread is on another node in a network."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import KernReturn, VMError
+from repro.core.task import Task
+from repro.ipc.message import Message, MsgType
+from repro.ipc.port import Port
+
+#: Message ids for the kernel interface (one per operation).
+MSG_VM_ALLOCATE = "msg_vm_allocate"
+MSG_VM_DEALLOCATE = "msg_vm_deallocate"
+MSG_VM_PROTECT = "msg_vm_protect"
+MSG_VM_INHERIT = "msg_vm_inherit"
+MSG_VM_COPY = "msg_vm_copy"
+MSG_VM_READ = "msg_vm_read"
+MSG_VM_WRITE = "msg_vm_write"
+MSG_VM_REGIONS = "msg_vm_regions"
+MSG_VM_STATISTICS = "msg_vm_statistics"
+MSG_TASK_SUSPEND = "msg_task_suspend"
+MSG_TASK_RESUME = "msg_task_resume"
+MSG_TASK_TERMINATE = "msg_task_terminate"
+MSG_THREAD_SUSPEND = "msg_thread_suspend"
+MSG_THREAD_RESUME = "msg_thread_resume"
+
+
+class KernelServer:
+    """Services task ports: messages in, operations out.
+
+    One server per kernel; it installs itself as the handler of every
+    task's ``task_port`` (and thread ports) at registration time.
+    """
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        #: port -> the kernel object it represents.
+        self._objects: dict[Port, object] = {}
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Registration ("the act of creating a task ... returns access
+    # rights to a port which represents the new object")
+    # ------------------------------------------------------------------
+
+    def register_task(self, task: Task) -> Port:
+        """Wire a task's task_port to this server."""
+        port = task.task_port
+        self._objects[port] = task
+        port.handler = lambda message: self._serve(port, message)
+        for thread in task.threads:
+            self.register_thread(thread)
+        return port
+
+    def register_thread(self, thread) -> Port:
+        """Wire a thread's thread_port to this server."""
+        port = getattr(thread, "thread_port", None)
+        if port is None:
+            port = Port(name=f"{thread.name}.thread_port")
+            thread.thread_port = port
+        self._objects[port] = thread
+        port.handler = lambda message: self._serve(port, message)
+        return port
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+
+    def call(self, port: Port, msgh_id: str, reply_to: Optional[Port]
+             = None, **fields) -> Message:
+        """Send a request to *port*, pump the server, return the reply.
+
+        This is the client-side stub a user task (or remote node) would
+        use; the reply carries ``kern_return`` plus any out values.
+        """
+        reply_port = reply_to or Port(name="reply")
+        message = Message(msgh_id=msgh_id, reply_port=reply_port)
+        for key, value in fields.items():
+            message.add_inline(MsgType.STRING, (key, value))
+        port.send(message)
+        port.pump()
+        reply = reply_port.receive()
+        if reply is None:
+            raise RuntimeError(f"no reply to {msgh_id}")
+        return reply
+
+    @staticmethod
+    def result_of(reply: Message) -> tuple[KernReturn, dict]:
+        """Split a reply message into (kern_return, out-fields)."""
+        fields = dict(item.value for item in reply.inline)
+        return fields.pop("kern_return"), fields
+
+    def _reply(self, message: Message, kern_return: KernReturn,
+               **fields) -> None:
+        if message.reply_port is None:
+            return
+        reply = Message(msgh_id=f"{message.msgh_id}_reply")
+        reply.add_inline(MsgType.STRING, ("kern_return", kern_return))
+        for key, value in fields.items():
+            reply.add_inline(MsgType.STRING, (key, value))
+        message.reply_port.send(reply)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _serve(self, port: Port, message: Message) -> None:
+        self.requests_served += 1
+        target = self._objects.get(port)
+        if target is None:
+            self._reply(message, KernReturn.INVALID_ARGUMENT)
+            return
+        fields = dict(item.value for item in message.inline)
+        try:
+            out = self._dispatch(target, message.msgh_id, fields)
+        except VMError as exc:
+            self._reply(message, exc.kern_return)
+        except (KeyError, TypeError):
+            self._reply(message, KernReturn.INVALID_ARGUMENT)
+        else:
+            self._reply(message, KernReturn.SUCCESS, **(out or {}))
+
+    def _dispatch(self, target, msgh_id: str,
+                  fields: dict) -> Optional[dict]:
+        if msgh_id == MSG_VM_ALLOCATE:
+            address = target.vm_allocate(
+                fields["size"], address=fields.get("address"),
+                anywhere=fields.get("anywhere", True))
+            return {"address": address}
+        if msgh_id == MSG_VM_DEALLOCATE:
+            target.vm_deallocate(fields["address"], fields["size"])
+            return None
+        if msgh_id == MSG_VM_PROTECT:
+            target.vm_protect(fields["address"], fields["size"],
+                              fields.get("set_maximum", False),
+                              fields["new_protection"])
+            return None
+        if msgh_id == MSG_VM_INHERIT:
+            target.vm_inherit(fields["address"], fields["size"],
+                              fields["new_inheritance"])
+            return None
+        if msgh_id == MSG_VM_COPY:
+            target.vm_copy(fields["source_address"], fields["count"],
+                           fields["dest_address"])
+            return None
+        if msgh_id == MSG_VM_READ:
+            data = target.vm_read(fields["address"], fields["size"])
+            return {"data": data}
+        if msgh_id == MSG_VM_WRITE:
+            target.vm_write(fields["address"], fields["data"])
+            return None
+        if msgh_id == MSG_VM_REGIONS:
+            return {"regions": target.vm_regions()}
+        if msgh_id == MSG_VM_STATISTICS:
+            return {"vm_stats": target.vm_statistics()}
+        if msgh_id == MSG_TASK_SUSPEND:
+            target.suspended = True
+            return None
+        if msgh_id == MSG_TASK_RESUME:
+            target.suspended = False
+            return None
+        if msgh_id == MSG_TASK_TERMINATE:
+            target.terminate()
+            return None
+        if msgh_id == MSG_THREAD_SUSPEND:
+            target.suspend()
+            return None
+        if msgh_id == MSG_THREAD_RESUME:
+            target.resume()
+            return None
+        raise KeyError(msgh_id)

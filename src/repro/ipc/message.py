@@ -1,0 +1,94 @@
+"""Typed messages.
+
+Section 2: "A message is a typed collection of data objects used in
+communication between threads.  Messages may be of any size and may
+contain pointers and typed capabilities for ports."
+
+The key Mach efficiency claim (Section 2, 6) is that "large amounts of
+data including whole files and even whole address spaces [can] be sent
+in a single message with the efficiency of simple memory remapping":
+out-of-line regions are transferred copy-on-write through the VM layer,
+never byte-copied.  The kernel-side remap lives in
+:meth:`repro.core.kernel.MachKernel.msg_send` /
+:meth:`~repro.core.kernel.MachKernel.msg_receive`; a message merely
+describes its regions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_msg_ids = itertools.count(1)
+
+
+class MsgType(enum.Enum):
+    """Type descriptors for message data items."""
+
+    INTEGER_32 = "int32"
+    BYTE = "byte"
+    STRING = "string"
+    PORT = "port"
+    BOOLEAN = "boolean"
+
+
+@dataclass
+class TypedItem:
+    """One inline datum with its type descriptor."""
+
+    msg_type: MsgType
+    value: Any
+
+
+@dataclass
+class OOLRegion:
+    """An out-of-line data region: an address range of the *sender's*
+    space to be moved by copy-on-write remapping.
+
+    After ``msg_send`` the kernel fills ``holding`` (its internal COW
+    snapshot); after ``msg_receive`` the receiver learns the address the
+    region landed at via ``received_at``.
+    """
+
+    address: int
+    size: int
+    deallocate: bool = False
+    holding: Optional[object] = None
+    received_at: Optional[int] = None
+
+
+@dataclass
+class Message:
+    """A typed collection of data items plus out-of-line regions."""
+
+    msgh_id: int = 0
+    inline: list[TypedItem] = field(default_factory=list)
+    ool: list[OOLRegion] = field(default_factory=list)
+    reply_port: Optional[object] = None
+    sender: Optional[object] = None
+    sequence: int = field(default_factory=lambda: next(_msg_ids))
+
+    def add_inline(self, msg_type: MsgType, value: Any) -> "Message":
+        """Append a typed inline item; returns self for chaining."""
+        self.inline.append(TypedItem(msg_type, value))
+        return self
+
+    def add_ool(self, address: int, size: int,
+                deallocate: bool = False) -> "Message":
+        """Append an out-of-line region; returns self for chaining."""
+        self.ool.append(OOLRegion(address, size, deallocate))
+        return self
+
+    def inline_bytes(self) -> int:
+        """Approximate inline payload size (for copy-cost accounting)."""
+        total = 0
+        for item in self.inline:
+            if item.msg_type is MsgType.STRING:
+                total += len(item.value)
+            elif item.msg_type is MsgType.BYTE:
+                total += 1
+            else:
+                total += 4
+        return total

@@ -1,0 +1,89 @@
+"""Ports: kernel-protected message queues.
+
+Section 2: "A port is a communication channel — logically a queue for
+messages protected by the kernel.  Ports are the reference objects of
+the Mach design. ... Send and Receive are the fundamental primitive
+operations on ports."
+
+The reproduction keeps ports deliberately small: a FIFO of messages plus
+an optional *handler* (the receiving task's server function), which is
+how the single-threaded simulation pumps synchronous request/reply
+protocols such as the external-pager interface.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+_port_ids = itertools.count(1)
+
+
+class DeadPortError(Exception):
+    """A message was sent to a destroyed port."""
+
+
+class Port:
+    """A kernel message queue.
+
+    Attributes:
+        name: debugging label (e.g. ``paging_object`` /
+            ``paging_object_request`` / ``paging_name`` for the three
+            ports the kernel keeps per memory object).
+        handler: optional callable invoked per message when the port is
+            *pumped* (the owning task's server loop).
+    """
+
+    def __init__(self, name: str = "",
+                 handler: Optional[Callable] = None) -> None:
+        self.port_id = next(_port_ids)
+        self.name = name or f"port{self.port_id}"
+        self.handler = handler
+        self._queue: deque = deque()
+        self.dead = False
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def send(self, message) -> None:
+        """Enqueue *message* (the Send primitive)."""
+        if self.dead:
+            raise DeadPortError(f"send to dead port {self.name}")
+        self._queue.append(message)
+        self.messages_sent += 1
+
+    def receive(self):
+        """Dequeue the oldest message, or None when the queue is empty
+        (the Receive primitive; non-blocking in the simulation)."""
+        if not self._queue:
+            return None
+        self.messages_received += 1
+        return self._queue.popleft()
+
+    def pump(self) -> int:
+        """Deliver every queued message to the handler; returns how many
+        were processed.  This is how the simulation runs a user-state
+        server (e.g. an external pager's ``pager_server`` loop)."""
+        if self.handler is None:
+            raise RuntimeError(f"port {self.name} has no handler")
+        processed = 0
+        while self._queue:
+            message = self._queue.popleft()
+            self.messages_received += 1
+            self.handler(message)
+            processed += 1
+        return processed
+
+    def destroy(self) -> None:
+        """Mark the port dead and drop its queued messages."""
+        self.dead = True
+        self._queue.clear()
+
+    @property
+    def pending(self) -> int:
+        """Number of messages waiting in the queue."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        state = "dead" if self.dead else f"{len(self._queue)} queued"
+        return f"Port({self.name}, {state})"

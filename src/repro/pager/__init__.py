@@ -1,0 +1,37 @@
+"""Pagers: backing-store managers for memory objects.
+
+Internal pagers (default/swap, vnode) implement
+:class:`~repro.pager.protocol.PagerProtocol` directly; external
+user-state pagers run behind
+:class:`~repro.pager.base.ExternalPagerAdapter`, which speaks the real
+Table 3-1 / Table 3-2 message protocol over ports.
+"""
+
+from repro.pager.base import (
+    ExternalPager,
+    ExternalPagerAdapter,
+    KernelRequestInterface,
+    SimpleReadWritePager,
+)
+from repro.pager.default_pager import DefaultPager
+from repro.pager.netmemory import (
+    NetMemoryPager,
+    NetMemoryServer,
+    map_remote_region,
+)
+from repro.pager.protocol import (
+    UNAVAILABLE,
+    KernelToPager,
+    PagerProtocol,
+    PagerToKernel,
+)
+from repro.pager.swap import SwapSpace
+from repro.pager.vnode_pager import VnodePager, map_file, vnode_pager_for
+
+__all__ = [
+    "DefaultPager", "ExternalPager", "ExternalPagerAdapter",
+    "KernelRequestInterface", "KernelToPager", "NetMemoryPager",
+    "NetMemoryServer", "PagerProtocol", "PagerToKernel",
+    "SimpleReadWritePager", "SwapSpace", "UNAVAILABLE", "VnodePager",
+    "map_file", "map_remote_region", "vnode_pager_for",
+]

@@ -1,0 +1,334 @@
+"""External (user-state) pagers over real ports and messages.
+
+Section 3.3: "Access to a pager is represented by a port (called the
+``paging_object`` port) to which the kernel can send messages requesting
+data ... the kernel maintains for each memory object a unique identifier
+called the ``paging_name`` which is also represented by a port ... A
+third port, the ``paging_object_request`` port is used by the pager to
+send messages to the kernel."
+
+This module implements that three-port protocol literally:
+
+* :class:`ExternalPager` — subclass this and override the Table 3-1
+  handlers (``pager_data_request`` etc.).  Handlers answer by calling
+  methods on the supplied :class:`KernelRequestInterface`, which sends
+  Table 3-2 messages to the kernel on the request port.
+* :class:`ExternalPagerAdapter` — the kernel-side stub: it satisfies the
+  kernel-internal :class:`~repro.pager.protocol.PagerProtocol` by
+  exchanging messages on the object's ports, pumping the (cooperatively
+  scheduled) pager task in between.
+
+"Simple pagers can be implemented by largely ignoring the more
+sophisticated interface calls and implementing a trivial read/write
+object mechanism" — see :class:`SimpleReadWritePager`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constants import VMProt
+from repro.ipc.message import Message, MsgType
+from repro.ipc.port import Port
+from repro.pager.protocol import (
+    UNAVAILABLE,
+    DataResult,
+    KernelToPager,
+    PagerProtocol,
+    PagerToKernel,
+)
+
+
+class KernelRequestInterface:
+    """What a user-state pager uses to talk back to the kernel — each
+    method sends one Table 3-2 message on the paging_object_request
+    port."""
+
+    def __init__(self, adapter: "ExternalPagerAdapter") -> None:
+        self._adapter = adapter
+
+    def _send(self, call: PagerToKernel, **fields) -> None:
+        message = Message(msgh_id=call.value)
+        for key, value in fields.items():
+            message.add_inline(MsgType.STRING, (key, value))
+        self._adapter.request_port.send(message)
+
+    def pager_data_provided(self, offset: int, data: bytes,
+                            lock_value: VMProt = VMProt.NONE) -> None:
+        """Supplies the kernel with the data contents of a region of a
+        memory object."""
+        self._send(PagerToKernel.DATA_PROVIDED, offset=offset, data=data,
+                   lock_value=lock_value)
+
+    def pager_data_unavailable(self, offset: int, size: int) -> None:
+        """Notifies kernel that no data is available for that region."""
+        self._send(PagerToKernel.DATA_UNAVAILABLE, offset=offset,
+                   size=size)
+
+    def pager_data_lock(self, offset: int, length: int,
+                        lock_value: VMProt) -> None:
+        """Prevents further access to the specified data until an
+        unlock."""
+        self._send(PagerToKernel.DATA_LOCK, offset=offset, length=length,
+                   lock_value=lock_value)
+
+    def pager_clean_request(self, offset: int, length: int) -> None:
+        """Forces modified physically cached data to be written back."""
+        self._send(PagerToKernel.CLEAN_REQUEST, offset=offset,
+                   length=length)
+
+    def pager_flush_request(self, offset: int, length: int) -> None:
+        """Forces physically cached data to be destroyed."""
+        self._send(PagerToKernel.FLUSH_REQUEST, offset=offset,
+                   length=length)
+
+    def pager_readonly(self) -> None:
+        """Forces the kernel to allocate a new memory object should a
+        write attempt to this paging object be made."""
+        self._send(PagerToKernel.READONLY)
+
+    def pager_cache(self, should_cache_object: bool) -> None:
+        """Notifies the kernel that it should retain knowledge about the
+        memory object even after all references to it have been
+        removed."""
+        self._send(PagerToKernel.CACHE, should_cache=should_cache_object)
+
+
+class ExternalPager:
+    """Base class for user-state pagers.
+
+    Override the Table 3-1 handlers; each receives the kernel interface
+    to reply through.  The default implementations satisfy nothing —
+    ``pager_data_request`` must be provided.
+    """
+
+    def pager_init(self, kernel_if: KernelRequestInterface,
+                   paging_object, pager_name: Port) -> None:
+        """Initialize a paging object (i.e. memory object)."""
+
+    def pager_create(self, kernel_if: KernelRequestInterface,
+                     old_paging_object) -> None:
+        """Accept ownership of a memory object."""
+
+    def pager_data_request(self, kernel_if: KernelRequestInterface,
+                           paging_object, offset: int, length: int,
+                           desired_access: VMProt) -> None:
+        """Requests data from an external pager."""
+        raise NotImplementedError
+
+    def pager_data_unlock(self, kernel_if: KernelRequestInterface,
+                          paging_object, offset: int, length: int,
+                          desired_access: VMProt) -> None:
+        """Requests an unlock of an object."""
+        kernel_if.pager_data_lock(offset, length, VMProt.NONE)
+
+    def pager_data_write(self, kernel_if: KernelRequestInterface,
+                         paging_object, offset: int,
+                         data: bytes) -> None:
+        """Writes data back to a memory object."""
+
+
+class ExternalPagerAdapter(PagerProtocol):
+    """Kernel-side stub bridging PagerProtocol calls onto the message
+    protocol, and processing the pager's replies."""
+
+    def __init__(self, pager: ExternalPager, kernel=None,
+                 name: str = "") -> None:
+        self.user_pager = pager
+        self.kernel = kernel
+        label = name or type(pager).__name__
+        #: The three ports of Section 3.3.
+        self.pager_port = Port(name=f"{label}.paging_object",
+                               handler=self._pager_server)
+        self.request_port = Port(name=f"{label}.paging_object_request",
+                                 handler=self._kernel_server)
+        self.name_port = Port(name=f"{label}.paging_name")
+        self.kernel_if = KernelRequestInterface(self)
+        self.readonly = False
+        #: offset -> lock_value (prot bits currently prohibited).
+        self.locks: dict[int, VMProt] = {}
+        #: Data provided but not yet consumed by a request (prefetch).
+        self._provided: dict[int, DataResult] = {}
+        self._bound_object = None
+        self.requests = 0
+        self.writes = 0
+
+    # -- Table 3-1: kernel -> pager ("pager_server routine called by
+    # task to process a message from the kernel") ----------------------
+
+    def _pager_server(self, message: Message) -> None:
+        call = KernelToPager(message.msgh_id)
+        fields = dict(item.value for item in message.inline)
+        pager = self.user_pager
+        if call is KernelToPager.PAGER_INIT:
+            pager.pager_init(self.kernel_if, self._bound_object,
+                             self.name_port)
+        elif call is KernelToPager.PAGER_DATA_REQUEST:
+            pager.pager_data_request(
+                self.kernel_if, self._bound_object, fields["offset"],
+                fields["length"], fields["desired_access"])
+        elif call is KernelToPager.PAGER_DATA_UNLOCK:
+            pager.pager_data_unlock(
+                self.kernel_if, self._bound_object, fields["offset"],
+                fields["length"], fields["desired_access"])
+        elif call is KernelToPager.PAGER_DATA_WRITE:
+            pager.pager_data_write(
+                self.kernel_if, self._bound_object, fields["offset"],
+                fields["data"])
+        elif call is KernelToPager.PAGER_CREATE:
+            pager.pager_create(self.kernel_if, self._bound_object)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown pager call {call}")
+
+    def _send_to_pager(self, call: KernelToPager, **fields) -> None:
+        message = Message(msgh_id=call.value)
+        for key, value in fields.items():
+            message.add_inline(MsgType.STRING, (key, value))
+        self.pager_port.send(message)
+
+    # -- Table 3-2: pager -> kernel -------------------------------------
+
+    def _kernel_server(self, message: Message) -> None:
+        call = PagerToKernel(message.msgh_id)
+        fields = dict(item.value for item in message.inline)
+        obj = self._bound_object
+        if call is PagerToKernel.DATA_PROVIDED:
+            offset = fields["offset"]
+            self._provided[offset] = fields["data"]
+            lock_value = fields.get("lock_value", VMProt.NONE)
+            if lock_value:
+                self.locks[offset] = lock_value
+        elif call is PagerToKernel.DATA_UNAVAILABLE:
+            self._provided[fields["offset"]] = UNAVAILABLE
+        elif call is PagerToKernel.DATA_LOCK:
+            offset, length = fields["offset"], fields["length"]
+            lock_value = fields["lock_value"]
+            page = self._page_size()
+            for off in range(offset, offset + length, page):
+                if lock_value is VMProt.NONE:
+                    self.locks.pop(off, None)
+                else:
+                    self.locks[off] = lock_value
+        elif call is PagerToKernel.CLEAN_REQUEST:
+            if self.kernel is not None and obj is not None:
+                self.kernel.clean_object(obj, fields["offset"],
+                                         fields["length"])
+        elif call is PagerToKernel.FLUSH_REQUEST:
+            if self.kernel is not None and obj is not None:
+                self.kernel.flush_object(obj, fields["offset"],
+                                         fields["length"])
+        elif call is PagerToKernel.READONLY:
+            self.readonly = True
+        elif call is PagerToKernel.CACHE:
+            if obj is not None:
+                obj.can_persist = bool(fields["should_cache"])
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown kernel call {call}")
+
+    def _page_size(self) -> int:
+        if self.kernel is not None:
+            return self.kernel.page_size
+        return 4096
+
+    # -- PagerProtocol (what the kernel's fault handler calls) ----------
+
+    def pager_init(self, obj) -> None:
+        """Kernel binding hook: remember the object and run the
+        ``pager_init`` message round trip."""
+        self._bound_object = obj
+        self._send_to_pager(KernelToPager.PAGER_INIT)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Run the pager task's server loop, then process whatever it
+        sent back (cooperative scheduling of the user-state task)."""
+        while self.pager_port.pending or self.request_port.pending:
+            if self.pager_port.pending:
+                self.pager_port.pump()
+            if self.request_port.pending:
+                self.request_port.pump()
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        """PagerProtocol: supply data for a faulting region."""
+        self.requests += 1
+        lock = self.locks.get(offset, VMProt.NONE)
+        if lock & desired_access:
+            # Locked against this access: ask the pager to unlock first.
+            self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
+                                offset=offset, length=length,
+                                desired_access=desired_access)
+            self._pump()
+            lock = self.locks.get(offset, VMProt.NONE)
+            if lock & desired_access:
+                return UNAVAILABLE
+        if offset in self._provided:
+            # Satisfied by data the pager pushed earlier.
+            return self._take_provided(offset, length)
+        self._send_to_pager(KernelToPager.PAGER_DATA_REQUEST,
+                            offset=offset, length=length,
+                            desired_access=desired_access)
+        self._pump()
+        if offset in self._provided:
+            return self._take_provided(offset, length)
+        return UNAVAILABLE
+
+    def _take_provided(self, offset: int, length: int) -> DataResult:
+        data = self._provided.pop(offset)
+        if data is UNAVAILABLE:
+            return UNAVAILABLE
+        return bytes(data)[:length]
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        """PagerProtocol: accept page-out data."""
+        self.writes += 1
+        self._send_to_pager(KernelToPager.PAGER_DATA_WRITE,
+                            offset=offset, data=bytes(data))
+        self._pump()
+
+    def data_unlock(self, obj, offset: int, length: int,
+                    desired_access) -> None:
+        """Kernel hook: a fault hit pager-locked data; run the
+        ``pager_data_unlock`` message round trip."""
+        self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
+                            offset=offset, length=length,
+                            desired_access=desired_access)
+        self._pump()
+
+    def lock_value_for(self, obj, offset: int) -> VMProt:
+        """Kernel hook: the current pager lock on a page."""
+        return self.locks.get(offset, VMProt.NONE)
+
+    def release_object(self, obj) -> None:
+        """The object was terminated; drop its state."""
+        if obj is self._bound_object:
+            self._bound_object = None
+
+    def name(self) -> str:
+        """Human-readable pager identity."""
+        return f"external:{type(self.user_pager).__name__}"
+
+
+class SimpleReadWritePager(ExternalPager):
+    """The paper's "trivial read/write object mechanism": a pager backed
+    by a plain byte store, ignoring the sophisticated calls."""
+
+    def __init__(self, initial: bytes = b"") -> None:
+        self.store = bytearray(initial)
+
+    def pager_data_request(self, kernel_if, paging_object, offset,
+                           length, desired_access) -> None:
+        """Table 3-1 pager_data_request handler."""
+        if offset >= len(self.store):
+            kernel_if.pager_data_unavailable(offset, length)
+            return
+        chunk = bytes(self.store[offset:offset + length])
+        kernel_if.pager_data_provided(offset, chunk)
+
+    def pager_data_write(self, kernel_if, paging_object, offset,
+                         data) -> None:
+        """Table 3-1 pager_data_write handler."""
+        end = offset + len(data)
+        if end > len(self.store):
+            self.store.extend(bytes(end - len(self.store)))
+        self.store[offset:end] = data

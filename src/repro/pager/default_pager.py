@@ -1,0 +1,87 @@
+"""The default pager.
+
+Section 3.3: "Mach currently provides some basic paging services inside
+the kernel.  Memory with no pager is automatically zero filled, and
+page-out is done to a default inode pager."
+
+The default pager backs anonymous (internal, temporary) memory objects:
+it stores paged-out pages in swap slots, answers ``has_slot`` queries
+for the fault handler and the shadow-collapse code, and supports slot
+migration so shadow chains can still be collapsed after their pages were
+paged out.
+"""
+
+from __future__ import annotations
+
+from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+from repro.pager.swap import SwapSpace
+
+
+class DefaultPager(PagerProtocol):
+    """Swap-backed pager for anonymous memory."""
+
+    def __init__(self, swap: SwapSpace) -> None:
+        self.swap = swap
+        #: object id -> {offset -> swap slot}.
+        self._slots: dict[int, dict[int, int]] = {}
+
+    # -- PagerProtocol ---------------------------------------------------
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        """PagerProtocol: supply data for a faulting region."""
+        slots = self._slots.get(obj.object_id)
+        if slots is None or offset not in slots:
+            return UNAVAILABLE
+        return self.swap.read_slot(slots[offset])
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        """PagerProtocol: accept page-out data."""
+        slots = self._slots.setdefault(obj.object_id, {})
+        slot = slots.get(offset)
+        slots[offset] = self.swap.write_slot(data, slot)
+
+    # -- optional hooks used by the kernel -------------------------------
+
+    def has_data(self, obj, offset: int) -> bool:
+        """Cheap residency probe used by the fault handler."""
+        slots = self._slots.get(obj.object_id)
+        return slots is not None and offset in slots
+
+    def has_slot(self, obj, offset: int) -> bool:
+        """True when paged-out data exists at the offset."""
+        return self.has_data(obj, offset)
+
+    def move_slots(self, src_obj, dst_obj, delta: int) -> None:
+        """Migrate paged-out data during shadow collapse: data at
+        ``offset`` in *src_obj* becomes data at ``offset - delta`` in
+        *dst_obj* where the destination does not already have its own.
+
+        Destination slots win — they are the more recent copy-on-write
+        data shadowing the source.
+        """
+        src = self._slots.pop(src_obj.object_id, None)
+        if src is None:
+            return
+        dst = self._slots.setdefault(dst_obj.object_id, {})
+        for offset, slot in src.items():
+            new_offset = offset - delta
+            if (0 <= new_offset < dst_obj.size
+                    and new_offset not in dst
+                    and dst_obj.resident_page(new_offset) is None):
+                dst[new_offset] = slot
+            else:
+                self.swap.free_slot(slot)
+        if not dst:
+            del self._slots[dst_obj.object_id]
+
+    def release_object(self, obj) -> None:
+        """The object was terminated; drop its state."""
+        slots = self._slots.pop(obj.object_id, None)
+        if slots:
+            for slot in slots.values():
+                self.swap.free_slot(slot)
+
+    def slots_for(self, obj) -> dict[int, int]:
+        """Snapshot of an object's swap slots (tests only)."""
+        return dict(self._slots.get(obj.object_id, {}))

@@ -1,0 +1,116 @@
+"""Network shared memory: copy-on-reference pagers.
+
+Section 6: "It is likewise possible to implement shared copy-on-
+reference [13] or read/write data in a network or loosely coupled
+multiprocessor.  Tasks may map into their address spaces references to
+memory objects which can be implemented by pagers anywhere on the
+network or within a multiprocessor."
+
+A :class:`NetMemoryServer` holds master copies of named regions; a
+:class:`NetMemoryPager` maps one region into a local task.  Pages cross
+the simulated network only when referenced (copy-on-reference — the
+process-migration technique of reference [13], Zayas), paying a per-
+message latency plus per-byte bandwidth cost on the *client's* clock.
+"""
+
+from __future__ import annotations
+
+from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+
+
+class NetMemoryServer:
+    """Master-copy holder for named memory regions."""
+
+    def __init__(self, latency_us: float = 2000.0,
+                 bandwidth_us_per_kb: float = 400.0) -> None:
+        self.latency_us = latency_us
+        self.bandwidth_us_per_kb = bandwidth_us_per_kb
+        self._regions: dict[str, bytearray] = {}
+        self.fetches = 0
+        self.stores = 0
+
+    def create_region(self, name: str, size: int,
+                      initial: bytes = b"") -> None:
+        """Create a named master-copy region on the server."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        region = bytearray(size)
+        region[:len(initial)] = initial
+        self._regions[name] = region
+
+    def region_size(self, name: str) -> int:
+        """Size in bytes of a named region."""
+        return len(self._regions[name])
+
+    def region_bytes(self, name: str) -> bytes:
+        """Master copy contents (server-side view, no network cost)."""
+        return bytes(self._regions[name])
+
+    def _charge(self, clock, nbytes: int) -> None:
+        clock.wait(self.latency_us
+                   + self.bandwidth_us_per_kb * nbytes / 1024.0)
+
+    def fetch(self, name: str, offset: int, length: int, clock) -> bytes:
+        """One page crosses the network to a client."""
+        self._charge(clock, length)
+        self.fetches += 1
+        region = self._regions[name]
+        return bytes(region[offset:offset + length])
+
+    def store(self, name: str, offset: int, data: bytes, clock) -> None:
+        """A dirty page returns to the master copy."""
+        self._charge(clock, len(data))
+        self.stores += 1
+        region = self._regions[name]
+        end = offset + len(data)
+        if end > len(region):
+            raise ValueError("store beyond region")
+        region[offset:end] = data
+
+
+class NetMemoryPager(PagerProtocol):
+    """Client-side pager for one named server region."""
+
+    def __init__(self, server: NetMemoryServer, name: str,
+                 machine) -> None:
+        self.server = server
+        self.region_name = name
+        self.machine = machine
+        self.pages_fetched = 0
+        self.pages_stored = 0
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        """PagerProtocol: supply data for a faulting region."""
+        if offset >= self.server.region_size(self.region_name):
+            return UNAVAILABLE
+        self.pages_fetched += 1
+        return self.server.fetch(self.region_name, offset, length,
+                                 self.machine.clock)
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        """PagerProtocol: accept page-out data."""
+        size = self.server.region_size(self.region_name)
+        data = bytes(data)[:max(0, size - offset)]
+        if not data:
+            return
+        self.pages_stored += 1
+        self.server.store(self.region_name, offset, data,
+                          self.machine.clock)
+
+    def has_data(self, obj, offset: int) -> bool:
+        """Cheap residency probe used by the fault handler."""
+        return offset < self.server.region_size(self.region_name)
+
+    def name(self) -> str:
+        """Human-readable pager identity."""
+        return f"netmemory:{self.region_name}"
+
+
+def map_remote_region(kernel, task, server: NetMemoryServer,
+                      name: str) -> int:
+    """Map a server region into *task* (copy-on-reference); returns the
+    address."""
+    pager = NetMemoryPager(server, name, kernel.machine)
+    size = server.region_size(name)
+    return kernel.vm_allocate_with_pager(task, size, pager)

@@ -1,0 +1,104 @@
+"""The pager interface.
+
+Section 3.3: "An important feature of Mach's virtual memory is the
+ability to handle page faults and page-out requests outside of the
+kernel.  This is accomplished by associating with each memory object a
+managing task (called a pager)."
+
+Two layers live here:
+
+* :class:`PagerProtocol` — the *kernel-internal* calling convention: the
+  fault handler and paging daemon speak to every pager (internal or
+  external) through these few methods.  Internal pagers (default pager,
+  vnode pager) implement them directly; external user-state pagers are
+  reached through :class:`~repro.pager.base.ExternalPagerAdapter`, which
+  turns each call into real messages on the object's ports.
+
+* The message identifiers of the external protocol — the exact calls of
+  Table 3-1 (kernel -> pager) and Table 3-2 (pager -> kernel).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Optional, Union
+
+
+class _Unavailable:
+    """Singleton returned by ``data_request`` when the pager holds no
+    data for the requested region (``pager_data_unavailable``)."""
+
+    _instance: Optional["_Unavailable"] = None
+
+    def __new__(cls) -> "_Unavailable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNAVAILABLE"
+
+
+UNAVAILABLE = _Unavailable()
+
+#: What ``data_request`` may return.
+DataResult = Union[bytes, _Unavailable]
+
+
+class KernelToPager(enum.Enum):
+    """Table 3-1: Calls made by Mach kernel to a task providing external
+    paging service for a memory object."""
+
+    PAGER_INIT = "pager_init"
+    PAGER_CREATE = "pager_create"
+    PAGER_DATA_REQUEST = "pager_data_request"
+    PAGER_DATA_UNLOCK = "pager_data_unlock"
+    PAGER_DATA_WRITE = "pager_data_write"
+
+
+class PagerToKernel(enum.Enum):
+    """Table 3-2: Calls made by a task on the kernel to allocate and
+    manage a memory object."""
+
+    DATA_PROVIDED = "pager_data_provided"
+    DATA_UNAVAILABLE = "pager_data_unavailable"
+    DATA_LOCK = "pager_data_lock"
+    CLEAN_REQUEST = "pager_clean_request"
+    FLUSH_REQUEST = "pager_flush_request"
+    READONLY = "pager_readonly"
+    CACHE = "pager_cache"
+
+
+class PagerProtocol(abc.ABC):
+    """Kernel-side view of any pager.
+
+    Implementations may also provide the optional hooks the kernel
+    probes with ``getattr``:
+
+    * ``has_data(obj, offset) -> bool`` — cheap residency test; pagers
+      without it are assumed to potentially hold data everywhere.
+    * ``has_slot(obj, offset) -> bool`` — like has_data, used by the
+      shadow-collapse code (only meaningful for internal pagers).
+    * ``move_slots(src_obj, dst_obj, delta)`` — migrate paged-out data
+      during shadow collapse (default pager only).
+    * ``release_object(obj)`` — the object was terminated; drop state.
+    """
+
+    @abc.abstractmethod
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        """Return *length* bytes of the object's data at *offset*, or
+        :data:`UNAVAILABLE` (= zero fill / fall through)."""
+
+    @abc.abstractmethod
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        """Accept pageout data (``pager_data_write``)."""
+
+    def data_unlock(self, obj, offset: int, length: int,
+                    desired_access) -> None:
+        """Request an unlock of a locked region (default: no locking)."""
+
+    def name(self) -> str:
+        """Human-readable pager identity."""
+        return type(self).__name__

@@ -1,0 +1,48 @@
+"""Machine-dependent physical maps — one module per MMU architecture."""
+
+from repro.pmap.generic import GenericPmap
+from repro.pmap.interface import (
+    Pmap,
+    PmapStats,
+    PmapSystem,
+    ShootdownStrategy,
+    pmap_access,
+    pmap_activate,
+    pmap_copy,
+    pmap_copy_on_write,
+    pmap_copy_page,
+    pmap_create,
+    pmap_deactivate,
+    pmap_destroy,
+    pmap_enter,
+    pmap_extract,
+    pmap_pageable,
+    pmap_protect,
+    pmap_reference,
+    pmap_remove,
+    pmap_remove_all,
+    pmap_update,
+    pmap_zero_page,
+)
+from repro.pmap.ns32082 import Ns32082Pmap
+from repro.pmap.registry import (
+    pmap_class_for,
+    register_pmap,
+    registered_pmaps,
+)
+from repro.pmap.rt_pc import RtPcPmap
+from repro.pmap.sun3 import Sun3Pmap
+from repro.pmap.sun3_vac import Sun3VacPmap
+from repro.pmap.vax import VaxPmap
+
+__all__ = [
+    "GenericPmap", "Ns32082Pmap", "Pmap", "PmapStats", "PmapSystem",
+    "RtPcPmap", "ShootdownStrategy", "Sun3Pmap", "Sun3VacPmap",
+    "VaxPmap",
+    "pmap_access", "pmap_activate", "pmap_class_for", "pmap_copy",
+    "pmap_copy_on_write", "pmap_copy_page", "pmap_create",
+    "pmap_deactivate", "pmap_destroy", "pmap_enter", "pmap_extract",
+    "pmap_pageable", "pmap_protect", "pmap_reference", "pmap_remove",
+    "pmap_remove_all", "pmap_update", "pmap_zero_page", "register_pmap",
+    "registered_pmaps",
+]

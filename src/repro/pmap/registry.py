@@ -1,0 +1,54 @@
+"""Name -> pmap-class registry.
+
+Machine specs name their MMU model (``pmap_name``); the kernel resolves
+it here at boot.  Porting Mach to a new architecture in this
+reproduction is exactly the paper's recipe: implement one
+:class:`~repro.pmap.interface.Pmap` subclass and register it (see
+``examples/port_to_new_mmu.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.pmap.generic import GenericPmap
+from repro.pmap.interface import Pmap
+from repro.pmap.ns32082 import Ns32082Pmap
+from repro.pmap.rt_pc import RtPcPmap
+from repro.pmap.sun3 import Sun3Pmap
+from repro.pmap.sun3_vac import Sun3VacPmap
+from repro.pmap.vax import VaxPmap
+
+_REGISTRY: dict[str, Type[Pmap]] = {
+    "generic": GenericPmap,
+    "vax": VaxPmap,
+    "rt_pc": RtPcPmap,
+    "sun3": Sun3Pmap,
+    "sun3_vac": Sun3VacPmap,
+    "ns32082": Ns32082Pmap,
+}
+
+
+def register_pmap(name: str, pmap_class: Type[Pmap],
+                  replace: bool = False) -> None:
+    """Register a pmap implementation under *name*."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"pmap {name!r} already registered")
+    if not (isinstance(pmap_class, type) and issubclass(pmap_class, Pmap)):
+        raise TypeError(f"{pmap_class!r} is not a Pmap subclass")
+    _REGISTRY[name] = pmap_class
+
+
+def pmap_class_for(name: str) -> Type[Pmap]:
+    """Resolve a machine spec's ``pmap_name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no pmap registered for {name!r}; known: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def registered_pmaps() -> dict[str, Type[Pmap]]:
+    """A copy of the name -> class registry."""
+    return dict(_REGISTRY)

@@ -1,0 +1,10 @@
+"""Cooperative thread scheduling over the simulated CPUs."""
+
+from repro.sched.scheduler import (
+    SchedThread,
+    Scheduler,
+    ThreadContext,
+    ThreadState,
+)
+
+__all__ = ["SchedThread", "Scheduler", "ThreadContext", "ThreadState"]

@@ -1,0 +1,183 @@
+"""Event tracing for the simulated kernel.
+
+A :class:`KernelTracer` attaches to a running kernel and records the
+interesting events as structured records, with simulated timestamps:
+
+* page faults (address, type, how they resolved — zero fill, pagein,
+  COW copy, shadow creation);
+* pageouts and reactivations from the paging daemon;
+* TLB shootdowns.
+
+The tracer works by *wrapping* the kernel's entry points rather than by
+hooks scattered through the code — the traced kernel is the production
+kernel.  Use it to understand a workload::
+
+    tracer = KernelTracer(kernel)
+    with tracer:
+        run_workload()
+    print(tracer.summary())
+    for event in tracer.events[:10]:
+        print(event)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import repro.core.fault as fault_module
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded kernel event."""
+
+    timestamp_us: float
+    kind: str                 # fault / pageout / reactivate / shootdown
+    task: str = ""
+    address: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        addr = f" @{self.address:#x}" if self.address is not None else ""
+        return (f"[{self.timestamp_us / 1000.0:10.3f}ms] "
+                f"{self.kind:<10} {self.task}{addr} {self.detail}")
+
+
+class KernelTracer:
+    """Records fault / pageout / shootdown events from one kernel."""
+
+    def __init__(self, kernel, capacity: int = 100_000) -> None:
+        self.kernel = kernel
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._installed = False
+        self._saved = {}
+
+    # -- attachment -----------------------------------------------------
+
+    def __enter__(self) -> "KernelTracer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def install(self) -> None:
+        """Attach the tracer's probes to the kernel."""
+        if self._installed:
+            return
+        self._installed = True
+        kernel = self.kernel
+
+        self._saved["vm_fault"] = fault_module.vm_fault
+
+        def traced_vm_fault(k, task, vaddr, fault_type, wiring=False):
+            outcome = self._saved["vm_fault"](k, task, vaddr,
+                                              fault_type, wiring)
+            if k is kernel:
+                detail = []
+                if outcome.zero_filled:
+                    detail.append("zero-fill")
+                if outcome.paged_in:
+                    detail.append("pagein")
+                if outcome.shadow_created:
+                    detail.append("shadow")
+                if outcome.cow_copied:
+                    detail.append("cow-copy")
+                self._record("fault", task=task.name, address=vaddr,
+                             detail=f"{fault_type.name.lower()} "
+                                    f"{'+'.join(detail) or 'soft'}")
+            return outcome
+
+        fault_module.vm_fault = traced_vm_fault
+        # The kernel module imported the symbol directly; patch there
+        # too so both call sites are covered.
+        import repro.core.kernel as kernel_module
+        self._saved["kernel.vm_fault"] = kernel_module.vm_fault
+        kernel_module.vm_fault = traced_vm_fault
+
+        daemon = kernel.pageout_daemon
+        self._saved["launder"] = daemon._launder
+        self._saved["reclaim"] = daemon._try_reclaim
+
+        def traced_launder(page):
+            self._record("pageout", address=page.offset,
+                         detail=f"obj#{page.vm_object.object_id}")
+            return self._saved["launder"](page)
+
+        def traced_reclaim(page):
+            freed = self._saved["reclaim"](page)
+            if not freed:
+                self._record("reactivate", address=page.offset,
+                             detail="second chance")
+            return freed
+
+        daemon._launder = traced_launder
+        daemon._try_reclaim = traced_reclaim
+
+        system = kernel.pmap_system
+        self._saved["shootdown"] = system.shootdown
+
+        def traced_shootdown(pmap, start, end, force=False):
+            self._record("shootdown", task=pmap.name, address=start,
+                         detail=f"{(end - start) // 1024}KB "
+                                f"{system.strategy.value}")
+            return self._saved["shootdown"](pmap, start, end, force)
+
+        system.shootdown = traced_shootdown
+
+    def uninstall(self) -> None:
+        """Detach all probes, restoring original entry points."""
+        if not self._installed:
+            return
+        self._installed = False
+        fault_module.vm_fault = self._saved["vm_fault"]
+        import repro.core.kernel as kernel_module
+        kernel_module.vm_fault = self._saved["kernel.vm_fault"]
+        self.kernel.pageout_daemon._launder = self._saved["launder"]
+        self.kernel.pageout_daemon._try_reclaim = self._saved["reclaim"]
+        self.kernel.pmap_system.shootdown = self._saved["shootdown"]
+        self._saved.clear()
+
+    # -- recording --------------------------------------------------------
+
+    def _record(self, kind: str, task: str = "",
+                address: Optional[int] = None, detail: str = "") -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            timestamp_us=self.kernel.clock.cpu_us, kind=kind,
+            task=task, address=address, detail=detail))
+
+    # -- analysis ----------------------------------------------------------
+
+    def counts(self) -> Counter:
+        """Event counts by kind."""
+        return Counter(event.kind for event in self.events)
+
+    def fault_breakdown(self) -> Counter:
+        """Fault counts by resolution detail."""
+        return Counter(event.detail for event in self.events
+                       if event.kind == "fault")
+
+    def events_for(self, task_name: str) -> list[TraceEvent]:
+        """Events attributed to one task, by name."""
+        return [e for e in self.events if e.task == task_name]
+
+    def summary(self) -> str:
+        """Human-readable rollup of everything recorded."""
+        lines = [f"{len(self.events)} events"
+                 + (f" ({self.dropped} dropped)" if self.dropped
+                    else "")]
+        for kind, count in sorted(self.counts().items()):
+            lines.append(f"  {kind:<12}{count}")
+        breakdown = self.fault_breakdown()
+        if breakdown:
+            lines.append("  fault kinds:")
+            for detail, count in breakdown.most_common():
+                lines.append(f"    {detail:<24}{count}")
+        return "\n".join(lines)

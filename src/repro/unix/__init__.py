@@ -1,0 +1,5 @@
+"""UNIX 4.3bsd emulation on the Mach kernel."""
+
+from repro.unix.process import Program, UnixProcess, UnixSystem
+
+__all__ = ["Program", "UnixProcess", "UnixSystem"]

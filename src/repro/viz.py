@@ -1,0 +1,174 @@
+"""ASCII renderings of the kernel's data structures.
+
+Text diagrams of the paper's four structures (Section 3): a task's
+address map, an object's shadow chain, the resident page queues, and a
+pmap's mappings.  Used by ``python -m repro show`` and handy in tests
+and debugging sessions::
+
+    print(render_address_map(task.vm_map))
+    print(render_shadow_chain(entry.vm_object))
+    print(render_queues(kernel))
+"""
+
+from __future__ import annotations
+
+from repro.core.address_map import AddressMap
+from repro.core.constants import VMProt
+from repro.core.vm_object import VMObject
+
+
+def _prot_str(prot: VMProt) -> str:
+    return "".join(flag if prot & bit else "-"
+                   for flag, bit in (("r", VMProt.READ),
+                                     ("w", VMProt.WRITE),
+                                     ("x", VMProt.EXECUTE)))
+
+
+def render_address_map(vm_map: AddressMap, indent: str = "") -> str:
+    """One line per map entry, sharing maps rendered inline.
+
+    ::
+
+        [0x00000000, 0x00008000)  rw-/rwx  copy   obj#3 +0x0
+        [0x00040000, 0x00042000)  rw-/rwx  share  -> sharing map (2 refs)
+            [0x00000000, 0x00002000)  rwx  obj#5 +0x0
+    """
+    lines = []
+    for entry in vm_map.entries():
+        prots = (f"{_prot_str(entry.protection)}/"
+                 f"{_prot_str(entry.max_protection)}")
+        if entry.is_sub_map:
+            lines.append(
+                f"{indent}[{entry.start:#010x}, {entry.end:#010x})  "
+                f"{prots}  {entry.inheritance.value:<5}  "
+                f"-> sharing map ({entry.submap.ref_count} refs)")
+            lines.append(render_address_map(entry.submap,
+                                            indent + "    "))
+        else:
+            if entry.vm_object is None:
+                target = "zero-fill (lazy)"
+            else:
+                target = (f"obj#{entry.vm_object.object_id} "
+                          f"+{entry.offset:#x}")
+                if entry.needs_copy:
+                    target += "  [needs-copy]"
+            lines.append(
+                f"{indent}[{entry.start:#010x}, {entry.end:#010x})  "
+                f"{prots}  {entry.inheritance.value:<5}  {target}")
+    if not lines:
+        return f"{indent}(empty map)"
+    return "\n".join(lines)
+
+
+def render_shadow_chain(obj: VMObject) -> str:
+    """The shadow chain from *obj* down to its bottom object.
+
+    ::
+
+        obj#9   internal  2 pages resident  (refs 1)
+          | shadows +0x0
+        obj#3   external  5 pages resident  (refs 2)  pager vnode:/bin/cc
+    """
+    lines = []
+    current = obj
+    while current is not None:
+        kind = "internal" if current.internal else "external"
+        pager = ""
+        if current.pager is not None:
+            name = getattr(current.pager, "name", None)
+            pager = f"  pager {name() if callable(name) else name}"
+        lines.append(
+            f"obj#{current.object_id:<4} {kind}  "
+            f"{current.resident_count} pages resident  "
+            f"(refs {current.ref_count}){pager}")
+        if current.shadow is not None:
+            lines.append(f"  | shadows +{current.shadow_offset:#x}")
+        current = current.shadow
+    return "\n".join(lines)
+
+
+def render_queues(kernel) -> str:
+    """The resident page table's allocation queues, summarized.
+
+    ::
+
+        free     122 frames
+        active    10 pages: obj#3[0x0 0x1000] obj#5[0x0]
+        inactive   4 pages: obj#3[0x2000 ...]
+        wired      1 page
+    """
+    resident = kernel.vm.resident
+
+    def describe(pages, limit=8):
+        by_object: dict[int, list[int]] = {}
+        for page in pages:
+            by_object.setdefault(page.vm_object.object_id,
+                                 []).append(page.offset)
+        parts = []
+        for object_id, offsets in sorted(by_object.items()):
+            shown = " ".join(f"{o:#x}" for o in sorted(offsets)[:limit])
+            suffix = " ..." if len(offsets) > limit else ""
+            parts.append(f"obj#{object_id}[{shown}{suffix}]")
+        return " ".join(parts)
+
+    lines = [
+        f"free     {resident.free_count:>4} frames",
+        f"active   {resident.active_count:>4} pages: "
+        f"{describe(resident.iter_active())}",
+        f"inactive {resident.inactive_count:>4} pages: "
+        f"{describe(resident.iter_inactive())}",
+        f"wired    {resident.wired_count:>4} pages",
+    ]
+    return "\n".join(lines)
+
+
+def render_pmap(pmap, start: int = 0, end: int = 1 << 32,
+                limit: int = 32) -> str:
+    """The hardware mappings a pmap currently holds in [start, end).
+
+    Shows what the MD layer *remembers* — compare with the address map
+    to see lazy evaluation and forgetting at work.
+    """
+    lines = []
+    count = 0
+    for va in pmap._hw_iter(start, end):
+        hit = pmap._hw_lookup(va)
+        if hit is None:
+            continue
+        count += 1
+        if count > limit:
+            lines.append("  ...")
+            break
+        frame, prot = hit
+        lines.append(f"  {va:#010x} -> {frame:#010x}  "
+                     f"{_prot_str(prot)}")
+    if not lines:
+        return f"{pmap.name}: (no hardware mappings)"
+    return f"{pmap.name}:\n" + "\n".join(lines)
+
+
+def render_task(task) -> str:
+    """A full snapshot of one task: map, objects, pmap."""
+    sections = [f"=== {task.name} ===",
+                "address map:",
+                render_address_map(task.vm_map, indent="  ")]
+    seen = set()
+    for entry in task.vm_map.entries():
+        roots = []
+        if entry.vm_object is not None:
+            roots.append(entry.vm_object)
+        elif entry.is_sub_map:
+            roots += [leaf.vm_object
+                      for leaf in entry.submap.entries()
+                      if leaf.vm_object is not None]
+        for obj in roots:
+            if obj.object_id in seen:
+                continue
+            seen.add(obj.object_id)
+            sections.append(f"shadow chain for obj#{obj.object_id}:")
+            sections.append("  " + render_shadow_chain(obj)
+                            .replace("\n", "\n  "))
+    sections.append("pmap:")
+    sections.append("  " + render_pmap(task.pmap)
+                    .replace("\n", "\n  "))
+    return "\n".join(sections)

@@ -1,0 +1,62 @@
+"""Shared fixtures: small machines and booted kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import hw
+from repro.core.kernel import MachKernel
+from repro.bench.testing import make_spec
+from repro.hw.costs import CostModel
+from repro.hw.machine import MachineSpec
+from repro.pmap.interface import ShootdownStrategy
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def spec() -> MachineSpec:
+    return make_spec()
+
+
+@pytest.fixture
+def kernel(spec) -> MachKernel:
+    return MachKernel(spec)
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.task_create(name="t0")
+
+
+@pytest.fixture
+def tiny_kernel() -> MachKernel:
+    """A memory-starved kernel (32 frames) for pageout tests."""
+    return MachKernel(make_spec(memory_frames=32))
+
+
+@pytest.fixture
+def smp_kernel() -> MachKernel:
+    """A 4-CPU machine for TLB-consistency tests."""
+    return MachKernel(make_spec(ncpus=4),
+                      shootdown=ShootdownStrategy.IMMEDIATE)
+
+
+@pytest.fixture(params=["generic", "vax", "rt_pc", "sun3", "sun3_vac",
+                        "ns32082"])
+def any_pmap_kernel(request) -> MachKernel:
+    """A kernel booted on each of the six MMU architectures."""
+    name = request.param
+    kwargs = {}
+    if name == "vax":
+        kwargs = dict(hw_page_size=512, page_size=4096)
+    elif name == "rt_pc":
+        kwargs = dict(hw_page_size=2048, page_size=4096)
+    elif name in ("sun3", "sun3_vac"):
+        kwargs = dict(hw_page_size=8192, page_size=8192,
+                      mmu_contexts=8)
+    elif name == "ns32082":
+        kwargs = dict(hw_page_size=512, page_size=4096,
+                      va_limit=16 * MB, buggy_rmw_reports_read=True)
+    return MachKernel(make_spec(name=f"test-{name}", pmap_name=name,
+                                **kwargs))

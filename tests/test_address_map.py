@@ -1,0 +1,314 @@
+"""Unit tests for address maps (Section 3.2)."""
+
+import pytest
+
+from repro.core.address_map import AddressMap
+from repro.core.constants import FaultType, VMInherit, VMProt
+from repro.core.errors import (
+    InvalidAddressError,
+    InvalidArgumentError,
+    NoSpaceError,
+    ProtectionFailureError,
+)
+from repro.core.resident import ResidentPageTable
+from repro.core.vm_object import VMObjectManager
+from repro.hw.clock import SimClock
+from repro.hw.costs import CostModel
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+from repro.pmap.interface import PmapSystem
+
+PAGE = 4096
+
+
+class FakeVM:
+    """Minimal VM context for standalone AddressMap tests."""
+
+    def __init__(self):
+        self.page_size = PAGE
+        self.clock = SimClock()
+        self.costs = CostModel()
+        mem = PhysicalMemory(PAGE, [MemorySegment(0, 64 * PAGE)])
+        self.resident = ResidentPageTable(mem)
+        self.objects = VMObjectManager(self.resident, self.clock,
+                                       self.costs)
+
+        class _NullPmapSystem:
+            def remove_all(self, phys):
+                pass
+
+            def page_protect(self, phys, prot):
+                pass
+
+            def copy_on_write(self, phys):
+                pass
+
+        self.pmap_system = _NullPmapSystem()
+
+
+@pytest.fixture
+def vm():
+    return FakeVM()
+
+
+@pytest.fixture
+def amap(vm):
+    return AddressMap(vm, 0, 256 * PAGE)
+
+
+class TestAllocate:
+    def test_anywhere_first_fit(self, amap):
+        a = amap.allocate(PAGE)
+        b = amap.allocate(PAGE)
+        assert a == 0
+        # Adjacent compatible anonymous entries coalesce into one.
+        assert b == PAGE
+        assert amap.size == 2 * PAGE
+        amap.check_invariants()
+
+    def test_explicit_address(self, amap):
+        addr = amap.allocate(2 * PAGE, address=10 * PAGE, anywhere=False)
+        assert addr == 10 * PAGE
+        found, entry = amap.lookup_entry(11 * PAGE)
+        assert found and entry.start == 10 * PAGE
+
+    def test_size_rounded_to_pages(self, amap):
+        amap.allocate(100, address=0, anywhere=False)
+        found, entry = amap.lookup_entry(0)
+        assert entry.size == PAGE
+
+    def test_overlap_rejected(self, amap):
+        amap.allocate(4 * PAGE, address=0, anywhere=False)
+        with pytest.raises(NoSpaceError):
+            amap.allocate(PAGE, address=2 * PAGE, anywhere=False)
+        with pytest.raises(NoSpaceError):
+            amap.allocate(4 * PAGE, address=3 * PAGE, anywhere=False)
+
+    def test_unaligned_address_truncated(self, amap):
+        # vm_allocate truncates the requested address to a page
+        # boundary ("they must be aligned on system page boundaries").
+        addr = amap.allocate(PAGE, address=PAGE + 100, anywhere=False)
+        assert addr == PAGE
+
+    def test_beyond_bounds_rejected(self, amap):
+        with pytest.raises(InvalidAddressError):
+            amap.allocate(PAGE, address=256 * PAGE, anywhere=False)
+
+    def test_zero_size_rejected(self, amap):
+        with pytest.raises(InvalidArgumentError):
+            amap.allocate(0)
+
+    def test_find_space_skips_holes_too_small(self, amap):
+        amap.allocate(PAGE, address=PAGE, anywhere=False)
+        addr = amap.allocate(4 * PAGE)       # hole at 0 is too small
+        assert addr == 2 * PAGE
+
+    def test_no_space(self, vm):
+        small = AddressMap(vm, 0, 4 * PAGE)
+        small.allocate(4 * PAGE)
+        with pytest.raises(NoSpaceError):
+            small.allocate(PAGE)
+
+    def test_sparse_allocation_cheap(self, amap):
+        """"does not penalize large, sparse address spaces" — entries,
+        not pages, are the cost."""
+        amap.allocate(PAGE, address=0, anywhere=False)
+        amap.allocate(PAGE, address=200 * PAGE, anywhere=False)
+        assert amap.nentries == 2
+
+
+class TestDeallocate:
+    def test_whole_entry(self, amap):
+        amap.allocate(4 * PAGE, address=0, anywhere=False)
+        amap.delete_range(0, 4 * PAGE)
+        assert amap.nentries == 0
+        assert amap.size == 0
+
+    def test_middle_split(self, amap):
+        amap.allocate(6 * PAGE, address=0, anywhere=False)
+        amap.delete_range(2 * PAGE, 2 * PAGE)
+        assert amap.nentries == 2
+        found, _ = amap.lookup_entry(2 * PAGE)
+        assert not found
+        amap.check_invariants()
+
+    def test_deallocate_hole_is_noop(self, amap):
+        amap.delete_range(0, 4 * PAGE)
+        assert amap.nentries == 0
+
+    def test_spanning_multiple_entries(self, amap, vm):
+        amap.allocate(2 * PAGE, address=0, anywhere=False,
+                      protection=VMProt.READ)
+        amap.allocate(2 * PAGE, address=2 * PAGE, anywhere=False)
+        amap.delete_range(PAGE, 2 * PAGE)
+        assert amap.size == 2 * PAGE
+        amap.check_invariants()
+
+    def test_object_reference_dropped(self, amap, vm):
+        obj = vm.objects.create_internal(4 * PAGE)
+        amap.allocate(4 * PAGE, address=0, anywhere=False,
+                      vm_object=obj)
+        amap.delete_range(0, 4 * PAGE)
+        assert obj.terminated
+
+
+class TestLookup:
+    def test_hint_hit_on_repeat(self, amap):
+        amap.allocate(4 * PAGE, address=0, anywhere=False)
+        amap.lookup_entry(0)
+        before = amap.hint_hits
+        amap.lookup_entry(PAGE)
+        assert amap.hint_hits == before + 1
+
+    def test_lookup_unmapped_raises(self, amap):
+        with pytest.raises(InvalidAddressError):
+            amap.lookup(0, FaultType.READ)
+
+    def test_lookup_checks_protection(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False,
+                      protection=VMProt.READ)
+        amap.lookup(0, FaultType.READ)
+        with pytest.raises(ProtectionFailureError):
+            amap.lookup(0, FaultType.WRITE)
+
+    def test_lookup_result_offsets(self, amap, vm):
+        obj = vm.objects.create_internal(8 * PAGE)
+        amap.allocate(4 * PAGE, address=8 * PAGE, anywhere=False,
+                      vm_object=obj, offset=2 * PAGE)
+        result = amap.lookup(9 * PAGE, FaultType.READ)
+        assert result.vm_object is obj
+        assert result.offset == 3 * PAGE
+
+
+class TestProtect:
+    def test_lower_current(self, amap):
+        amap.allocate(2 * PAGE, address=0, anywhere=False)
+        amap.protect(0, 2 * PAGE, VMProt.READ)
+        found, entry = amap.lookup_entry(0)
+        assert entry.protection == VMProt.READ
+
+    def test_cannot_exceed_maximum(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False,
+                      max_protection=VMProt.READ | VMProt.WRITE)
+        with pytest.raises(ProtectionFailureError):
+            amap.protect(0, PAGE, VMProt.ALL)
+
+    def test_lower_maximum_drags_current(self, amap):
+        """"If the maximum protection is lowered to a level below the
+        current protection, the current protection is also lowered."""
+        amap.allocate(PAGE, address=0, anywhere=False)
+        amap.protect(0, PAGE, VMProt.READ, set_maximum=True)
+        found, entry = amap.lookup_entry(0)
+        assert entry.max_protection == VMProt.READ
+        assert entry.protection == VMProt.READ
+
+    def test_maximum_can_never_be_raised(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False)
+        amap.protect(0, PAGE, VMProt.READ, set_maximum=True)
+        with pytest.raises(ProtectionFailureError):
+            amap.protect(0, PAGE, VMProt.ALL, set_maximum=True)
+
+    def test_partial_range_clips(self, amap):
+        amap.allocate(4 * PAGE, address=0, anywhere=False)
+        amap.protect(PAGE, PAGE, VMProt.READ)
+        assert amap.nentries == 3
+        amap.check_invariants()
+
+    def test_protect_hole_raises(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False)
+        with pytest.raises(InvalidAddressError):
+            amap.protect(0, 3 * PAGE, VMProt.READ)
+
+    def test_per_page_attributes_force_splits(self, amap, vm):
+        """The paper: differing properties "can force the system to
+        allocate two address map entries that map adjacent memory
+        regions to the same memory object"."""
+        obj = vm.objects.create_internal(4 * PAGE)
+        amap.allocate(4 * PAGE, address=0, anywhere=False, vm_object=obj)
+        amap.protect(0, PAGE, VMProt.READ)
+        entries = list(amap.entries())
+        assert len(entries) == 2
+        assert all(e.vm_object is obj for e in entries)
+        assert obj.ref_count == 2
+
+
+class TestInherit:
+    def test_set_inheritance(self, amap):
+        amap.allocate(2 * PAGE, address=0, anywhere=False)
+        amap.inherit(0, PAGE, VMInherit.SHARE)
+        entries = list(amap.entries())
+        assert entries[0].inheritance is VMInherit.SHARE
+        assert entries[1].inheritance is VMInherit.COPY
+
+    def test_bad_value_rejected(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False)
+        with pytest.raises(InvalidArgumentError):
+            amap.inherit(0, PAGE, "shared")
+
+
+class TestCoalesce:
+    def test_anonymous_neighbours_merge(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False)
+        amap.allocate(PAGE, address=PAGE, anywhere=False)
+        assert amap.nentries == 1
+        amap.check_invariants()
+
+    def test_different_protection_does_not_merge(self, amap):
+        amap.allocate(PAGE, address=0, anywhere=False,
+                      protection=VMProt.READ)
+        amap.allocate(PAGE, address=PAGE, anywhere=False)
+        assert amap.nentries == 2
+
+    def test_same_object_contiguous_offsets_merge(self, amap, vm):
+        obj = vm.objects.create_internal(4 * PAGE)
+        amap.allocate(PAGE, address=0, anywhere=False,
+                      vm_object=obj)
+        amap.allocate(PAGE, address=PAGE, anywhere=False,
+                      vm_object=obj.reference(), offset=PAGE)
+        assert amap.nentries == 1
+        assert obj.ref_count == 1
+
+    def test_same_object_wrong_offset_does_not_merge(self, amap, vm):
+        obj = vm.objects.create_internal(4 * PAGE)
+        amap.allocate(PAGE, address=0, anywhere=False, vm_object=obj)
+        amap.allocate(PAGE, address=PAGE, anywhere=False,
+                      vm_object=obj.reference(), offset=3 * PAGE)
+        assert amap.nentries == 2
+
+
+class TestRegions:
+    def test_typical_process_shape(self, amap, vm):
+        """Five mapping entries, as in the paper's typical VAX
+        process."""
+        for i, prot in enumerate((VMProt.READ | VMProt.EXECUTE,
+                                  VMProt.DEFAULT, VMProt.DEFAULT,
+                                  VMProt.DEFAULT, VMProt.DEFAULT)):
+            obj = vm.objects.create_internal(PAGE)
+            amap.allocate(PAGE, address=2 * i * PAGE, anywhere=False,
+                          vm_object=obj, protection=prot)
+        regions = amap.regions()
+        assert len(regions) == 5
+        assert regions[0].protection == VMProt.READ | VMProt.EXECUTE
+        assert all(r.size == PAGE for r in regions)
+
+
+class TestCopyRegion:
+    def test_cow_copy_shares_object(self, amap, vm):
+        obj = vm.objects.create_internal(2 * PAGE)
+        amap.allocate(2 * PAGE, address=0, anywhere=False,
+                      vm_object=obj)
+        dst = amap.copy_region(0, 2 * PAGE, amap)
+        src_entry = amap.lookup(0, FaultType.READ)
+        dst_entry = amap.lookup(dst, FaultType.READ)
+        assert src_entry.vm_object is dst_entry.vm_object
+        assert src_entry.needs_copy and dst_entry.needs_copy
+        assert obj.ref_count == 2
+
+    def test_copy_of_lazy_region_stays_lazy(self, amap):
+        amap.allocate(2 * PAGE, address=0, anywhere=False)
+        dst = amap.copy_region(0, 2 * PAGE, amap)
+        result = amap.lookup(dst, FaultType.READ)
+        assert result.vm_object is None
+
+    def test_copy_unmapped_raises(self, amap):
+        with pytest.raises(InvalidAddressError):
+            amap.copy_region(0, PAGE, amap)

@@ -1,0 +1,142 @@
+"""The traditional-UNIX baseline systems behave traditionally."""
+
+import pytest
+
+from repro.baseline.bsd_vm import BsdVmSystem, SunOsVmSystem
+from repro.fs.filesystem import FileSystem
+from repro.hw.machine import Machine
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_spec())
+
+
+@pytest.fixture
+def bsd(machine):
+    return BsdVmSystem(machine, FileSystem(machine, nbufs=16))
+
+
+@pytest.fixture
+def sunos(machine):
+    return SunOsVmSystem(machine, FileSystem(machine, nbufs=16))
+
+
+class TestBsdSemantics:
+    def test_segment_read_write(self, bsd):
+        proc = bsd.create_process()
+        proc.add_segment("data", 4 * PAGE)
+        proc.write("data", 100, b"bytes")
+        assert proc.read("data", 100, 5) == b"bytes"
+
+    def test_demand_zero(self, bsd):
+        proc = bsd.create_process()
+        proc.add_segment("data", 4 * PAGE)
+        assert proc.read("data", 0, 4) == bytes(4)
+        assert bsd.zero_fills >= 1
+
+    def test_fork_copies_eagerly(self, bsd):
+        proc = bsd.create_process()
+        seg = proc.add_segment("data", 8 * PAGE)
+        for off in range(0, 8 * PAGE, PAGE):
+            proc.write("data", off, b"d")
+        snap = bsd.clock.snapshot()
+        child = proc.fork()
+        cpu, _ = snap.interval()
+        # Eight page copies happened right now.
+        assert cpu >= bsd.costs.copy_cost(8 * PAGE)
+        # And the copies are real: diverge immediately.
+        child.write("data", 0, b"c")
+        assert proc.read("data", 0, 1) == b"d"
+
+    def test_text_shared_on_fork(self, bsd):
+        program = None
+        proc = bsd.create_process()
+        seg = proc.add_segment("text", 2 * PAGE)
+        proc.segments["text"].pages[0] = bytearray(b"T" * PAGE)
+        child = proc.fork()
+        assert child.segments["text"] is proc.segments["text"]
+
+    def test_file_read_through_buffer_cache_only(self, bsd):
+        bsd.fs.write("/f", b"Y" * (64 * 1024))
+        bsd.fs.buffer_cache.sync()
+        bsd.fs.buffer_cache.invalidate()
+        proc = bsd.create_process()
+        proc.read_file("/f")
+        reads_first = bsd.fs.disk.reads
+        assert reads_first > 0
+        # 64 KB fits in 16 buffers (128 KB): second read is cached.
+        proc.read_file("/f")
+        assert bsd.fs.disk.reads == reads_first
+
+    def test_big_file_thrashes_small_cache(self, bsd):
+        big = 200 * 1024                      # 25 blocks > 16 buffers
+        bsd.fs.write("/big", b"Q" * big)
+        bsd.fs.buffer_cache.sync()
+        bsd.fs.buffer_cache.invalidate()
+        proc = bsd.create_process()
+        proc.read_file("/big")
+        reads_first = bsd.fs.disk.reads
+        proc.read_file("/big")
+        # LRU + sequential scan: the re-read misses again.
+        assert bsd.fs.disk.reads > reads_first
+
+    def test_exec_loads_image_eagerly(self, bsd):
+        program = _install(bsd, "/bin/x")
+        bsd.fs.buffer_cache.sync()
+        bsd.fs.buffer_cache.invalidate()
+        proc = bsd.create_process()
+        reads_before = bsd.fs.disk.reads
+        proc.exec(program)
+        assert bsd.fs.disk.reads > reads_before
+        assert proc.segments["text"].resident_pages > 0
+
+
+class TestSunOsSemantics:
+    def test_fork_is_cow(self, sunos):
+        proc = sunos.create_process()
+        proc.add_segment("data", 8 * PAGE)
+        for off in range(0, 8 * PAGE, PAGE):
+            proc.write("data", off, b"d")
+        snap = sunos.clock.snapshot()
+        child = proc.fork()
+        cpu, _ = snap.interval()
+        # No byte copies at fork time (just mapping duplication on top
+        # of the fixed fork overhead).
+        overhead = cpu - sunos.costs.proc_fork_unix_us
+        assert overhead < sunos.costs.copy_cost(8 * PAGE)
+        # Copy happens at first write.
+        child.write("data", 0, b"c")
+        assert proc.read("data", 0, 1) == b"d"
+        assert child.read("data", 0, 1) == b"c"
+        assert sunos.cow_copies >= 1
+
+    def test_parent_write_also_copies(self, sunos):
+        proc = sunos.create_process()
+        proc.add_segment("data", PAGE)
+        proc.write("data", 0, b"v1")
+        child = proc.fork()
+        proc.write("data", 0, b"v2")
+        assert child.read("data", 0, 2) == b"v1"
+
+    def test_untouched_pages_never_copied(self, sunos):
+        proc = sunos.create_process()
+        proc.add_segment("data", 8 * PAGE)
+        for off in range(0, 8 * PAGE, PAGE):
+            proc.write("data", off, b"d")
+        child = proc.fork()
+        before = sunos.cow_copies
+        child.read("data", 3 * PAGE, 1)
+        assert sunos.cow_copies == before
+
+
+def _install(system, path):
+    from repro.unix.process import Program
+    program = Program(path, 2 * PAGE, PAGE, PAGE)
+    image = bytes(3 * PAGE)
+    system.fs.write(path, image)
+    return program

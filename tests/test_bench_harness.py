@@ -1,0 +1,110 @@
+"""The benchmark harness itself: SUT adapters, workloads, reporting,
+and determinism of the simulation."""
+
+import pytest
+
+from repro import hw
+from repro.bench import (
+    BsdSUT,
+    FORK_TEST_PROGRAM,
+    MachSUT,
+    Measurement,
+    SunOsSUT,
+    Table,
+    fmt_min,
+    fmt_ms,
+    fmt_sys_elapsed,
+    measure_fork,
+    measure_read_file,
+    measure_zero_fill,
+    run_compile_workload,
+)
+from repro.bench.workloads import KB
+
+
+class TestSUTAdapters:
+    def test_mach_sut_has_unix_personality(self):
+        sut = MachSUT(hw.MICROVAX_II)
+        proc = sut.create_process()
+        assert proc.task is not None
+
+    def test_bsd_sut_generic_buffers_default(self):
+        sut = BsdSUT(hw.MICROVAX_II)
+        assert sut.fs.buffer_cache.nbufs == 128
+
+    def test_mach_buffer_limit_caps_object_cache(self):
+        sut = MachSUT(hw.VAX_8650, buffer_limit=400)
+        assert sut.kernel.vm.objects.cache_page_limit == \
+            400 * 8192 // hw.VAX_8650.default_page_size
+        unlimited = MachSUT(hw.VAX_8650)
+        assert unlimited.kernel.vm.objects.cache_page_limit is None
+
+    def test_all_suts_run_zero_fill(self):
+        for sut_class in (MachSUT, BsdSUT, SunOsSUT):
+            result = measure_zero_fill(sut_class(hw.SUN_3_160),
+                                       iterations=4)
+            assert result.cpu_ms > 0
+
+
+class TestWorkloads:
+    def test_measurements_are_simulated_not_wall(self):
+        import time
+        sut = MachSUT(hw.MICROVAX_II)
+        start = time.monotonic()
+        result = measure_fork(sut)
+        wall_ms = (time.monotonic() - start) * 1000
+        # 59 simulated ms happen in well under 59 wall ms.
+        assert result.cpu_ms > wall_ms / 2 or wall_ms < 100
+
+    def test_read_file_validates_data(self):
+        first, second = measure_read_file(MachSUT(hw.VAX_8200),
+                                          64 * KB)
+        assert second.elapsed_ms < first.elapsed_ms
+
+    def test_compile_workload_smallest_spec(self):
+        result = run_compile_workload(MachSUT(hw.SUN_3_160),
+                                      FORK_TEST_PROGRAM)
+        assert isinstance(result, Measurement)
+        assert result.elapsed_ms > result.cpu_ms / 2
+
+    def test_determinism(self):
+        """The whole simulation is deterministic: identical runs give
+        identical simulated times, to the microsecond."""
+        a = measure_fork(MachSUT(hw.IBM_RT_PC))
+        b = measure_fork(MachSUT(hw.IBM_RT_PC))
+        assert a.cpu_ms == b.cpu_ms
+        assert a.elapsed_ms == b.elapsed_ms
+        c1 = run_compile_workload(MachSUT(hw.SUN_3_160),
+                                  FORK_TEST_PROGRAM)
+        c2 = run_compile_workload(MachSUT(hw.SUN_3_160),
+                                  FORK_TEST_PROGRAM)
+        assert c1.elapsed_ms == c2.elapsed_ms
+
+
+class TestReporting:
+    def test_table_render_alignment(self):
+        table = Table("T", ("Mach", "UNIX"))
+        table.add("op", "1ms", "2ms", "1ms", "2ms")
+        text = table.render()
+        assert "Operation" in text and "paper:Mach" in text
+
+    def test_table_markdown(self):
+        table = Table("T", ("Mach", "UNIX"))
+        table.add("op", "1ms", "2ms")
+        md = table.markdown()
+        assert md.startswith("### T")
+        assert "| op | 1ms | 2ms |" in md
+
+    def test_row_ratio_check(self):
+        table = Table("T", ("Mach", "UNIX"))
+        table.add("op", "10ms", "20ms", "1ms", "3ms")
+        assert table.rows[0].ratio_ok() is True
+        table.add("op2", "30ms", "20ms", "1ms", "3ms")
+        assert table.rows[1].ratio_ok() is False
+
+    def test_formatters(self):
+        assert fmt_ms(0.456) == "0.46ms"
+        assert fmt_ms(456.7) == "457ms"
+        assert fmt_min(90_000) == "1:30min"
+        m = Measurement(cpu_ms=5200, elapsed_ms=11000)
+        assert fmt_sys_elapsed(m) == "5.2/11.0s"

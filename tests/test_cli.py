@@ -1,0 +1,66 @@
+"""CLI smoke tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("machines", "demo", "fault-trace", "show",
+                        "bench"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_machines_lists_all_presets(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MicroVAX II", "IBM RT PC", "SUN 3/160",
+                     "Encore Multimax"):
+            assert name in out
+
+    def test_demo_runs_on_default_machine(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "COPY-ON-WRITE" in out
+        assert "cow_faults" in out
+
+    def test_demo_on_named_machine(self, capsys):
+        assert main(["demo", "--machine", "IBM RT PC"]) == 0
+        assert "rt_pc" in capsys.readouterr().out
+
+    def test_unknown_machine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "--machine", "PDP-11"])
+        assert excinfo.value.code == 2
+
+    def test_fault_trace_narrates(self, capsys):
+        assert main(["fault-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-fill fault" in out
+        assert "shadow created: True" in out
+
+    def test_bench_quick(self, capsys):
+        assert main(["bench", "--table", "7-2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7-2" in out
+
+    def test_show_renders_structures(self, capsys):
+        assert main(["show"]) == 0
+        out = capsys.readouterr().out
+        assert "address map:" in out
+        assert "sharing map" in out
+        assert "resident page queues:" in out
+
+    def test_bench_table_7_1(self, capsys):
+        assert main(["bench", "--table", "7-1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "zero fill 1K" in out
+        assert "fork 256K" in out

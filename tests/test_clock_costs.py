@@ -1,0 +1,74 @@
+"""Unit tests for the simulated clock and cost models."""
+
+import pytest
+
+from repro.hw.clock import SimClock
+from repro.hw.costs import CostModel
+
+
+class TestSimClock:
+    def test_charge_advances_cpu_and_elapsed(self):
+        clock = SimClock()
+        clock.charge(100.0)
+        assert clock.cpu_us == 100.0
+        assert clock.elapsed_us == 100.0
+
+    def test_wait_advances_only_elapsed(self):
+        clock = SimClock()
+        clock.wait(500.0)
+        assert clock.cpu_us == 0.0
+        assert clock.elapsed_us == 500.0
+
+    def test_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.charge(-1.0)
+        with pytest.raises(ValueError):
+            clock.wait(-1.0)
+
+    def test_snapshot_interval(self):
+        clock = SimClock()
+        clock.charge(10.0)
+        snap = clock.snapshot()
+        clock.charge(5.0)
+        clock.wait(7.0)
+        cpu, elapsed = snap.interval()
+        assert cpu == 5.0
+        assert elapsed == 12.0
+
+    def test_ms_properties(self):
+        clock = SimClock()
+        clock.charge(1500.0)
+        assert clock.cpu_ms == 1.5
+        assert clock.elapsed_ms == 1.5
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge(10.0)
+        clock.reset()
+        assert clock.cpu_us == 0.0 and clock.elapsed_us == 0.0
+
+
+class TestCostModel:
+    def test_zero_and_copy_costs_scale_with_size(self):
+        costs = CostModel(zero_us_per_kb=10.0, copy_us_per_kb=20.0)
+        assert costs.zero_cost(4096) == 40.0
+        assert costs.copy_cost(2048) == 40.0
+        assert costs.byte_copy_cost(1024) == costs.byte_copy_us_per_kb
+
+    def test_scaled_multiplies_cpu_costs(self):
+        base = CostModel()
+        fast = base.scaled(0.5)
+        assert fast.fault_trap_us == base.fault_trap_us * 0.5
+        assert fast.syscall_us == base.syscall_us * 0.5
+        assert fast.zero_us_per_kb == base.zero_us_per_kb * 0.5
+
+    def test_scaled_leaves_disk_costs_alone(self):
+        base = CostModel()
+        fast = base.scaled(0.25)
+        assert fast.disk_block_us == base.disk_block_us
+        assert fast.disk_seek_us == base.disk_seek_us
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().syscall_us = 1.0

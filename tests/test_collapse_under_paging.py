@@ -1,0 +1,152 @@
+"""Shadow-chain management under heavy paging (Section 3.5).
+
+"While this code is, in principle, straightforward, it is made complex
+by the fact that unnecessary chains sometimes occur during periods of
+heavy paging and cannot always be detected on the basis of in memory
+data structures alone."
+
+These tests run COW fork chains on memory-starved machines so shadow
+pages get paged out mid-chain, exercising slot migration during
+collapse (``move_slots``), the residency guards, and correctness of
+data that round-trips through swap while its object is being merged.
+"""
+
+import pytest
+
+from repro.core.constants import FaultType, VMInherit
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def starved():
+    return MachKernel(make_spec(memory_frames=20))
+
+
+class TestCollapseWithSwappedPages:
+    def test_chain_data_survives_swap_and_collapse(self, starved):
+        kernel = starved
+        task = kernel.task_create()
+        addr = task.vm_allocate(8 * PAGE)
+        for i in range(8):
+            task.write(addr + i * PAGE, f"base{i}".encode())
+        # Force everything out, so the base object's pages are slots.
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        child = task.fork()
+        # Parent dirties half the pages (shadow + COW copies, under
+        # pressure, so shadow pages also page in and out).
+        for i in range(0, 8, 2):
+            task.write(addr + i * PAGE, f"mod_{i}".encode())
+        child.terminate()          # backing becomes sole-referenced
+        # Another write triggers collapse attempts with swapped slots.
+        task.write(addr, b"final")
+        for i in range(1, 8, 2):
+            assert task.read(addr + i * PAGE, 5) == \
+                f"base{i}".encode()
+        for i in range(2, 8, 2):
+            assert task.read(addr + i * PAGE, 5) == \
+                f"mod_{i}".encode()
+        assert task.read(addr, 5) == b"final"
+
+    def test_slots_migrate_on_collapse(self, starved):
+        kernel = starved
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        task.write(addr, b"A-data")
+        task.write(addr + PAGE, b"B-data")
+        # Page the data out so the object gets default-pager slots.
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        found, entry = task.vm_map.lookup_entry(addr)
+        base_obj = entry.vm_object
+        assert kernel.default_pager.slots_for(base_obj)
+        # COW pair, then free the copy: the backing drops to one ref
+        # and collapse should merge it — including its swap slots.
+        copy = task.vm_map.copy_region(addr, 4 * PAGE, task.vm_map)
+        task.write(addr + 2 * PAGE, b"C-new")        # shadow created
+        task.vm_map.delete_range(copy, 4 * PAGE)
+        kernel.vm.objects.collapse(
+            task.vm_map.lookup(addr, FaultType.READ).vm_object)
+        found, entry = task.vm_map.lookup_entry(addr)
+        merged = entry.vm_object
+        assert merged.chain_length() == 1
+        # The merged object answers for the swapped data.
+        assert task.read(addr, 6) == b"A-data"
+        assert task.read(addr + PAGE, 6) == b"B-data"
+        assert task.read(addr + 2 * PAGE, 5) == b"C-new"
+
+    def test_long_generation_chain_under_pressure(self, starved):
+        kernel = starved
+        task = kernel.task_create()
+        addr = task.vm_allocate(6 * PAGE)
+        expected = {}
+        for i in range(6):
+            data = f"gen0_{i}".encode()
+            task.write(addr + i * PAGE, data)
+            expected[i] = data
+        for generation in range(6):
+            child = task.fork()
+            index = generation % 6
+            data = f"g{generation}_{index}".encode()
+            task.write(addr + index * PAGE, data)
+            expected[index] = data
+            # Children read a consistent snapshot before dying.
+            child.terminate()
+        for i in range(6):
+            assert task.read(addr + i * PAGE, len(expected[i])) == \
+                expected[i]
+        found, entry = task.vm_map.lookup_entry(addr)
+        assert entry.vm_object.chain_length() <= 3
+        kernel.vm.resident.check_consistency()
+
+    def test_children_see_snapshots_despite_paging(self, starved):
+        kernel = starved
+        task = kernel.task_create()
+        addr = task.vm_allocate(6 * PAGE)
+        task.write(addr, b"snapshot-v1")
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        child = task.fork()
+        task.write(addr, b"parent--v2!")
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert child.read(addr, 11) == b"snapshot-v1"
+        assert task.read(addr, 11) == b"parent--v2!"
+
+
+class TestSharedMemoryUnderPaging:
+    def test_shared_pages_swap_and_return(self, starved):
+        kernel = starved
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(4 * PAGE)
+        parent.vm_inherit(addr, 4 * PAGE, VMInherit.SHARE)
+        parent.write(addr, b"shared-v1")
+        children = [parent.fork() for _ in range(2)]
+        # Blow the memory with unrelated work.
+        scratch = parent.vm_allocate(30 * PAGE)
+        for off in range(0, 30 * PAGE, PAGE):
+            parent.write(scratch + off, b"noise")
+        # Sharers still agree after the shared page's round trip.
+        children[0].write(addr, b"shared-v2")
+        assert parent.read(addr, 9) == b"shared-v2"
+        assert children[1].read(addr, 9) == b"shared-v2"
+
+    def test_cow_of_shared_region_under_pressure(self, starved):
+        kernel = starved
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(4 * PAGE)
+        parent.vm_inherit(addr, 4 * PAGE, VMInherit.SHARE)
+        parent.write(addr, b"to-copy")
+        sharer = parent.fork()
+        dst = parent.vm_allocate(4 * PAGE)
+        parent.vm_copy(addr, 4 * PAGE, dst)
+        scratch = parent.vm_allocate(30 * PAGE)
+        for off in range(0, 30 * PAGE, PAGE):
+            parent.write(scratch + off, b"noise")
+        sharer.write(addr, b"mutated")
+        assert parent.read(dst, 7) == b"to-copy"     # snapshot held
+        assert parent.read(addr, 7) == b"mutated"

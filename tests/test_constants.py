@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.constants."""
+
+import pytest
+
+from repro.core.constants import (
+    FaultType,
+    VMInherit,
+    VMProt,
+    is_power_of_two,
+    page_aligned,
+    round_page,
+    trunc_page,
+    validate_page_size,
+)
+
+
+class TestVMProt:
+    def test_allows_subset(self):
+        assert VMProt.ALL.allows(VMProt.READ)
+        assert VMProt.ALL.allows(VMProt.READ | VMProt.WRITE)
+        assert VMProt.DEFAULT.allows(VMProt.WRITE)
+
+    def test_disallows_missing_bit(self):
+        assert not VMProt.READ.allows(VMProt.WRITE)
+        assert not VMProt.DEFAULT.allows(VMProt.EXECUTE)
+        assert not (VMProt.READ | VMProt.EXECUTE).allows(
+            VMProt.READ | VMProt.WRITE)
+
+    def test_none_allows_nothing_but_none(self):
+        assert VMProt.NONE.allows(VMProt.NONE)
+        assert not VMProt.NONE.allows(VMProt.READ)
+
+    def test_default_is_read_write(self):
+        assert VMProt.DEFAULT == VMProt.READ | VMProt.WRITE
+
+    def test_fault_type_bits_match_prot_bits(self):
+        # Fault types check directly against protections.
+        assert int(FaultType.READ) == int(VMProt.READ)
+        assert int(FaultType.WRITE) == int(VMProt.WRITE)
+        assert int(FaultType.EXECUTE) == int(VMProt.EXECUTE)
+
+
+class TestInheritance:
+    def test_three_values(self):
+        assert {v.value for v in VMInherit} == {"share", "copy", "none"}
+
+
+class TestPageMath:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3000)
+        assert not is_power_of_two(-4096)
+
+    @pytest.mark.parametrize("addr,size,expect", [
+        (0, 4096, 0), (1, 4096, 0), (4095, 4096, 0), (4096, 4096, 4096),
+        (8191, 4096, 4096),
+    ])
+    def test_trunc_page(self, addr, size, expect):
+        assert trunc_page(addr, size) == expect
+
+    @pytest.mark.parametrize("addr,size,expect", [
+        (0, 4096, 0), (1, 4096, 4096), (4096, 4096, 4096),
+        (4097, 4096, 8192),
+    ])
+    def test_round_page(self, addr, size, expect):
+        assert round_page(addr, size) == expect
+
+    def test_page_aligned(self):
+        assert page_aligned(8192, 4096)
+        assert not page_aligned(8193, 4096)
+
+
+class TestBootPageSize:
+    """Section 3.1: the Mach page size "must be a power of two multiple
+    of the machine dependent size"."""
+
+    def test_valid_multiples(self):
+        for mult in (1, 2, 4, 8, 16):
+            validate_page_size(512 * mult, 512)
+
+    def test_sun3_cannot_go_below_8k(self):
+        with pytest.raises(ValueError):
+            validate_page_size(4096, 8192)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            validate_page_size(3 * 512, 512)
+        with pytest.raises(ValueError):
+            validate_page_size(4096, 3000)
+
+    def test_vax_page_size_menu(self):
+        # "Mach page sizes for a VAX can be 512 bytes, 1K bytes, 2K
+        # bytes, 4K bytes, etc."
+        for size in (512, 1024, 2048, 4096, 8192):
+            validate_page_size(size, 512)

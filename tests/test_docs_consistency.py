@@ -1,0 +1,75 @@
+"""Documentation consistency: DESIGN.md's experiment index, README's
+commands, and EXPERIMENTS.md's structure must match the repository."""
+
+import os
+import re
+
+ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(ROOT, name)) as f:
+        return f.read()
+
+
+class TestDesignIndex:
+    def test_every_bench_target_exists(self):
+        design = _read("DESIGN.md")
+        targets = re.findall(r"`(benchmarks/test_[a-z0-9_]+\.py)`",
+                             design)
+        assert targets, "DESIGN.md lists no benchmark targets?"
+        for target in targets:
+            assert os.path.exists(os.path.join(ROOT, target)), \
+                f"DESIGN.md references missing {target}"
+
+    def test_every_bench_file_is_indexed(self):
+        design = _read("DESIGN.md")
+        bench_dir = os.path.join(ROOT, "benchmarks")
+        for name in sorted(os.listdir(bench_dir)):
+            if name.startswith("test_") and name.endswith(".py"):
+                assert name in design, \
+                    f"benchmarks/{name} is not in DESIGN.md's index"
+
+    def test_inventory_mentions_every_package(self):
+        design = _read("DESIGN.md")
+        src = os.path.join(ROOT, "src", "repro")
+        for entry in sorted(os.listdir(src)):
+            path = os.path.join(src, entry)
+            if os.path.isdir(path) and entry != "__pycache__":
+                assert f"repro.{entry}" in design, \
+                    f"DESIGN.md inventory misses repro.{entry}"
+
+
+class TestReadme:
+    def test_example_commands_exist(self):
+        readme = _read("README.md")
+        for script in re.findall(r"examples/([a-z_]+\.py)", readme):
+            assert os.path.exists(
+                os.path.join(ROOT, "examples", script)), \
+                f"README references missing examples/{script}"
+
+    def test_linked_docs_exist(self):
+        readme = _read("README.md")
+        for target in re.findall(r"\]\(([A-Z]+\.md)\)", readme):
+            assert os.path.exists(os.path.join(ROOT, target))
+
+
+class TestExperiments:
+    def test_has_all_four_tables(self):
+        experiments = _read("EXPERIMENTS.md")
+        for title in ("zero fill 1K", "fork 256K", "read file",
+                      "compilation"):
+            assert title in experiments
+
+    def test_paper_columns_present(self):
+        experiments = _read("EXPERIMENTS.md")
+        assert "paper: Mach" in experiments
+        assert "paper: UNIX" in experiments
+
+    def test_every_ablation_in_commentary(self):
+        experiments = _read("EXPERIMENTS.md")
+        bench_dir = os.path.join(ROOT, "benchmarks")
+        for name in sorted(os.listdir(bench_dir)):
+            if name.startswith("test_ablation"):
+                assert name in experiments, \
+                    f"{name} missing from EXPERIMENTS.md ablations"

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def test_examples_directory_is_complete():
+    assert {"quickstart.py", "external_pager.py",
+            "shared_memory_multiprocessor.py", "port_to_new_mmu.py",
+            "message_passing.py", "unix_on_mach.py",
+            "process_migration.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}")
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_shows_cow_isolation():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "child  sees" in result.stdout
+    assert "parent sees" in result.stdout

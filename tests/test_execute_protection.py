@@ -1,0 +1,80 @@
+"""Execute-permission enforcement (Section 2.1): "Enforcement of access
+permissions depends on hardware support.  For example, many machines do
+not allow for explicit execute permissions, but those that do will have
+that protection properly enforced."
+"""
+
+import pytest
+
+from repro.core.constants import VMProt
+from repro.core.errors import ProtectionFailureError
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def enforcing():
+    return MachKernel(make_spec(name="x-enforcing"))
+
+
+@pytest.fixture
+def lenient():
+    return MachKernel(make_spec(name="x-lenient",
+                                enforces_execute=False))
+
+
+class TestEnforcingHardware:
+    def test_execute_on_executable_page(self, enforcing):
+        task = enforcing.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"\x90code")
+        task.vm_protect(addr, PAGE, False,
+                        VMProt.READ | VMProt.EXECUTE)
+        enforcing.task_memory_execute(task, addr)      # no error
+
+    def test_execute_on_data_page_rejected(self, enforcing):
+        task = enforcing.task_create()
+        addr = task.vm_allocate(PAGE)          # READ|WRITE, no EXECUTE
+        task.write(addr, b"data")
+        with pytest.raises(ProtectionFailureError):
+            enforcing.task_memory_execute(task, addr)
+
+    def test_execute_revocable(self, enforcing):
+        task = enforcing.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.vm_protect(addr, PAGE, False,
+                        VMProt.READ | VMProt.EXECUTE)
+        enforcing.task_memory_execute(task, addr)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        with pytest.raises(ProtectionFailureError):
+            enforcing.task_memory_execute(task, addr)
+
+
+class TestLenientHardware:
+    def test_execute_works_with_read_only(self, lenient):
+        """Without hardware execute bits, any readable page executes —
+        Mach can't enforce what the MMU can't express."""
+        task = lenient.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"x")
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        lenient.task_memory_execute(task, addr)        # allowed
+
+    def test_unreadable_page_still_faults(self, lenient):
+        task = lenient.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"x")
+        task.vm_protect(addr, PAGE, False, VMProt.NONE)
+        with pytest.raises(ProtectionFailureError):
+            lenient.task_memory_execute(task, addr)
+
+    def test_demand_fill_via_execute(self, lenient):
+        """An instruction fetch from a fresh page demand-zero-fills it,
+        reported to MI code as a read."""
+        task = lenient.task_create()
+        addr = task.vm_allocate(PAGE)
+        lenient.task_memory_execute(task, addr)
+        assert lenient.stats.zero_fill_count == 1

@@ -1,0 +1,199 @@
+"""The external-pager message protocol (Tables 3-1 and 3-2), driven
+through real ports and messages."""
+
+import pytest
+
+from repro.core.constants import VMProt
+from repro.pager.base import (
+    ExternalPager,
+    ExternalPagerAdapter,
+    SimpleReadWritePager,
+)
+
+PAGE = 4096
+
+
+@pytest.fixture
+def setup(kernel):
+    task = kernel.task_create()
+    pager = SimpleReadWritePager(b"0123456789" * 1000)
+    adapter = ExternalPagerAdapter(pager, kernel=kernel)
+    addr = kernel.vm_allocate_with_pager(task, 2 * PAGE, adapter)
+    return kernel, task, pager, adapter, addr
+
+
+class TestSimplePager:
+    def test_fault_round_trip_over_messages(self, setup):
+        kernel, task, pager, adapter, addr = setup
+        assert task.read(addr, 10) == b"0123456789"
+        # The data genuinely crossed the ports.
+        assert adapter.pager_port.messages_sent >= 1
+        assert adapter.request_port.messages_sent >= 1
+
+    def test_beyond_store_zero_fills(self, kernel):
+        # A pager whose store covers only the first page: the second
+        # page answers pager_data_unavailable -> zero fill.
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(SimpleReadWritePager(b"short"),
+                                       kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, 2 * PAGE, adapter)
+        assert task.read(addr, 5) == b"short"
+        assert task.read(addr + PAGE, 4) == bytes(4)
+
+    def test_pageout_writes_back_through_messages(self, setup):
+        kernel, task, pager, adapter, addr = setup
+        task.write(addr, b"WRITTEN-BACK")
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert bytes(pager.store[:12]) == b"WRITTEN-BACK"
+        assert adapter.writes >= 1
+
+    def test_refault_after_flush_rereads_pager(self, setup):
+        kernel, task, pager, adapter, addr = setup
+        task.write(addr, b"ROUND")
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert task.read(addr, 5) == b"ROUND"
+
+
+class TestProtocolCalls:
+    def test_pager_init_called_once(self, kernel):
+        inits = []
+
+        class InitPager(ExternalPager):
+            def pager_init(self, kernel_if, obj, name_port):
+                inits.append((obj, name_port))
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset, b"\x00" * length)
+
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(InitPager(), kernel=kernel)
+        kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        assert len(inits) == 1
+        assert inits[0][1] is adapter.name_port
+
+    def test_pager_cache_sets_persistence(self, kernel):
+        class CachingPager(ExternalPager):
+            def pager_init(self, kernel_if, obj, name_port):
+                kernel_if.pager_cache(True)
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset, b"\x07" * length)
+
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(CachingPager(), kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        task.read(addr, 1)
+        requests_before = adapter.requests
+        task.vm_deallocate(addr, PAGE)
+        # The object persisted in the cache; remapping finds the pages.
+        addr2 = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        assert task.read(addr2, 1) == b"\x07"
+        assert adapter.requests == requests_before
+        assert kernel.vm.objects.cache_hits == 1
+
+    def test_pager_readonly_forces_shadow(self, kernel):
+        class RoPager(ExternalPager):
+            def pager_init(self, kernel_if, obj, name_port):
+                kernel_if.pager_readonly()
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset, b"R" * length)
+
+            def pager_data_write(self, kernel_if, obj, offset, data):
+                raise AssertionError("kernel wrote a readonly object")
+
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(RoPager(), kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        task.write(addr, b"W")
+        assert task.read(addr, 2) == b"WR"
+        found, entry = task.vm_map.lookup_entry(addr)
+        assert entry.vm_object.shadow is not None
+
+    def test_clean_request_pushes_dirty_data(self, kernel):
+        written = []
+
+        class CleaningPager(ExternalPager):
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset, b"\x00" * length)
+
+            def pager_data_write(self, kernel_if, obj, offset, data):
+                written.append((offset, bytes(data[:5])))
+
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(CleaningPager(), kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        task.write(addr, b"DIRTY")
+        # The pager asks the kernel to clean (Table 3-2).
+        adapter.kernel_if.pager_clean_request(0, PAGE)
+        adapter._pump()
+        assert written and written[0] == (0, b"DIRTY")
+
+    def test_flush_request_destroys_cached_pages(self, kernel):
+        class FlushingPager(ExternalPager):
+            def __init__(self):
+                self.version = b"A"
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset,
+                                              self.version * length)
+
+        user = FlushingPager()
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(user, kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        assert task.read(addr, 1) == b"A"
+        user.version = b"B"
+        assert task.read(addr, 1) == b"A"        # cached
+        adapter.kernel_if.pager_flush_request(0, PAGE)
+        adapter._pump()
+        assert task.read(addr, 1) == b"B"        # refetched
+
+    def test_data_lock_blocks_until_unlock(self, kernel):
+        class LockingPager(ExternalPager):
+            def __init__(self):
+                self.unlocks = 0
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                # Provide the data write-locked.
+                kernel_if.pager_data_provided(
+                    offset, b"L" * length, lock_value=VMProt.WRITE)
+
+            def pager_data_unlock(self, kernel_if, obj, offset,
+                                  length, access):
+                self.unlocks += 1
+                kernel_if.pager_data_lock(offset, length, VMProt.NONE)
+
+        user = LockingPager()
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(user, kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, PAGE, adapter)
+        task.read(addr, 1)                       # read is fine
+        task.write(addr, b"W")                   # triggers unlock
+        assert user.unlocks == 1
+        assert task.read(addr, 1) == b"W"
+
+    def test_unsolicited_data_provided_consumed_later(self, kernel):
+        class PrefetchPager(ExternalPager):
+            def pager_init(self, kernel_if, obj, name_port):
+                # Push page 0 before anyone asks.
+                kernel_if.pager_data_provided(0, b"P" * PAGE)
+
+            def pager_data_request(self, kernel_if, obj, offset,
+                                   length, access):
+                kernel_if.pager_data_provided(offset, b"Q" * length)
+
+        task = kernel.task_create()
+        adapter = ExternalPagerAdapter(PrefetchPager(), kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(task, 2 * PAGE, adapter)
+        assert task.read(addr, 1) == b"P"        # prefetch satisfied it
+        assert task.read(addr + PAGE, 1) == b"Q"

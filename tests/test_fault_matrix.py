@@ -1,0 +1,167 @@
+"""Systematic fault matrix: access kind x backing kind x architecture.
+
+Each cell of the matrix is one (access, backing) scenario executed the
+same way; the parametrized architectures come from the shared fixture.
+This is the machine-independence claim tested exhaustively: every cell
+must behave identically everywhere.
+"""
+
+import pytest
+
+from repro.core.constants import FaultType, VMInherit, VMProt
+from repro.pager.protocol import UNAVAILABLE
+
+PAGE_FILL = b"\x6b"
+
+
+def _page(kernel):
+    return kernel.page_size
+
+
+class ConstPager:
+    """Pager serving a constant fill until the kernel writes data back
+    (a real backing store must retain pageouts)."""
+
+    def __init__(self, fill: bytes = PAGE_FILL):
+        self.fill = fill
+        self.stored: dict[int, bytes] = {}
+
+    def data_request(self, obj, offset, length, access):
+        """Serve stored pageout data, else the constant fill."""
+        if offset in self.stored:
+            return self.stored[offset][:length]
+        return self.fill * length
+
+    def data_write(self, obj, offset, data):
+        """Retain pageouts, as a real backing store must."""
+        self.stored[offset] = bytes(data)
+
+
+def _make_backing(kind, kernel, task):
+    """Create one page of memory with the given backing arrangement;
+    returns (address, expected-first-byte-before-writes)."""
+    page = _page(kernel)
+    if kind == "lazy":
+        addr = task.vm_allocate(page)
+        return addr, 0
+    if kind == "materialized":
+        addr = task.vm_allocate(page)
+        task.write(addr, b"\x11")
+        return addr, 0x11
+    if kind == "cow":
+        addr = task.vm_allocate(page)
+        task.write(addr, b"\x22")
+        dst = task.vm_map.copy_region(addr, page, task.vm_map)
+        return dst, 0x22
+    if kind == "shared":
+        addr = task.vm_allocate(page)
+        task.vm_inherit(addr, page, VMInherit.SHARE)
+        task.write(addr, b"\x33")
+        task.fork()
+        return addr, 0x33
+    if kind == "pager":
+        addr = kernel.vm_allocate_with_pager(task, page, ConstPager())
+        return addr, PAGE_FILL[0]
+    raise AssertionError(kind)
+
+
+BACKINGS = ("lazy", "materialized", "cow", "shared", "pager")
+
+
+@pytest.mark.parametrize("backing", BACKINGS)
+class TestFaultMatrix:
+    def test_read(self, any_pmap_kernel, backing):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, first = _make_backing(backing, kernel, task)
+        assert task.read(addr, 1) == bytes([first])
+
+    def test_write_then_read(self, any_pmap_kernel, backing):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, _ = _make_backing(backing, kernel, task)
+        task.write(addr, b"\x99")
+        assert task.read(addr, 1) == b"\x99"
+
+    def test_rmw(self, any_pmap_kernel, backing):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, first = _make_backing(backing, kernel, task)
+        value = kernel.task_memory_rmw(task, addr)
+        assert value == (first + 1) % 256
+
+    def test_write_faults_after_forget(self, any_pmap_kernel, backing):
+        """Whatever the backing, a forgotten mapping reconstructs."""
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, _ = _make_backing(backing, kernel, task)
+        task.write(addr, b"\x77")
+        task.pmap.forget(addr)
+        assert task.read(addr, 1) == b"\x77"
+
+    def test_survives_eviction(self, any_pmap_kernel, backing):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, _ = _make_backing(backing, kernel, task)
+        task.write(addr, b"\x55")
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert task.read(addr, 1) == b"\x55"
+
+    def test_protection_respected(self, any_pmap_kernel, backing):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr, _ = _make_backing(backing, kernel, task)
+        task.read(addr, 1)
+        task.vm_protect(addr, _page(kernel), False, VMProt.READ)
+        with pytest.raises(Exception):
+            task.write(addr, b"\x00")
+        task.read(addr, 1)                      # reads still fine
+
+
+class TestUnavailableAcrossArchitectures:
+    def test_unavailable_zero_fills(self, any_pmap_kernel):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+
+        class HolePager:
+            def data_request(self, obj, offset, length, access):
+                """Always report no data."""
+                return UNAVAILABLE
+
+            def data_write(self, obj, offset, data):
+                """Ignore pageouts."""
+
+        addr = kernel.vm_allocate_with_pager(task, kernel.page_size,
+                                             HolePager())
+        assert task.read(addr, 4) == bytes(4)
+
+
+class TestCrossBackingInteraction:
+    def test_cow_of_pager_backed_memory(self, any_pmap_kernel):
+        """vm_copy of pager-backed memory: the copy COWs over the
+        pager's data."""
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        page = kernel.page_size
+        addr = kernel.vm_allocate_with_pager(task, page, ConstPager())
+        dst = task.vm_allocate(page)
+        task.vm_copy(addr, page, dst)
+        assert task.read(dst, 1) == PAGE_FILL[:1]
+        task.write(dst, b"\xee")
+        assert task.read(addr, 1) == PAGE_FILL[:1]
+        assert task.read(dst, 1) == b"\xee"
+
+    def test_share_then_cow_copy_interleaved(self, any_pmap_kernel):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        page = kernel.page_size
+        addr = task.vm_allocate(page)
+        task.vm_inherit(addr, page, VMInherit.SHARE)
+        task.write(addr, b"\x10")
+        sharer = task.fork()
+        dst = task.vm_allocate(page)
+        task.vm_copy(addr, page, dst)
+        sharer.write(addr, b"\x20")
+        assert task.read(addr, 1) == b"\x20"    # shared write visible
+        assert task.read(dst, 1) == b"\x10"     # snapshot intact

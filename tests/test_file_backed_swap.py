@@ -1,0 +1,98 @@
+"""Swap in a file: no separate paging partition (Section 3.3)."""
+
+import pytest
+
+from repro.core.errors import ResourceShortageError
+from repro.core.kernel import MachKernel
+from repro.fs import FileSystem
+from repro.pager.swap import FileBackedSwap
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def setup():
+    kernel = MachKernel(make_spec(memory_frames=24))
+    fs = FileSystem(kernel.machine)
+    kernel.attach_swap_filesystem(fs, total_slots=64)
+    return kernel, fs
+
+
+class TestFileBackedSwap:
+    def test_slot_roundtrip(self, setup):
+        kernel, fs = setup
+        slot = kernel.swap.write_slot(b"swapped to a file")
+        assert kernel.swap.read_slot(slot)[:17] == b"swapped to a file"
+
+    def test_swapfile_exists_in_namespace(self, setup):
+        kernel, fs = setup
+        assert fs.exists("/private/swapfile")
+        inode = fs.lookup("/private/swapfile")
+        assert inode.size == 64 * PAGE          # preallocated
+
+    def test_paging_through_the_filesystem(self, setup):
+        kernel, fs = setup
+        task = kernel.task_create()
+        addr = task.vm_allocate(60 * PAGE)
+        for i in range(60):
+            task.write(addr + i * PAGE, bytes([i + 1]))
+        assert kernel.stats.pageouts > 0
+        # The paging traffic went to the shared disk...
+        assert fs.disk.writes > 0
+        # ...and everything reads back intact.
+        for i in range(60):
+            assert task.read(addr + i * PAGE, 1) == bytes([i + 1])
+
+    def test_no_buffer_cache_pollution(self, setup):
+        kernel, fs = setup
+        task = kernel.task_create()
+        addr = task.vm_allocate(60 * PAGE)
+        for i in range(60):
+            task.write(addr + i * PAGE, b"p")
+        # Direct I/O: paging never enters the buffer cache.
+        assert fs.buffer_cache.cached_blocks == 0
+
+    def test_swap_file_full(self, setup):
+        kernel, fs = setup
+        swap = kernel.swap
+        for _ in range(64):
+            swap.write_slot(b"x")
+        with pytest.raises(ResourceShortageError):
+            swap.write_slot(b"overflow")
+
+    def test_slot_reuse_in_place(self, setup):
+        kernel, fs = setup
+        slot = kernel.swap.write_slot(b"v1")
+        same = kernel.swap.write_slot(b"v2", slot)
+        assert same == slot
+        assert kernel.swap.read_slot(slot)[:2] == b"v2"
+
+    def test_read_free_slot_rejected(self, setup):
+        kernel, fs = setup
+        with pytest.raises(KeyError):
+            kernel.swap.read_slot(5)
+
+    def test_cannot_switch_with_pages_out(self):
+        kernel = MachKernel(make_spec(memory_frames=16))
+        task = kernel.task_create()
+        addr = task.vm_allocate(30 * PAGE)
+        for i in range(30):
+            task.write(addr + i * PAGE, b"x")
+        assert kernel.swap.slots_used > 0
+        fs = FileSystem(kernel.machine)
+        with pytest.raises(RuntimeError):
+            kernel.attach_swap_filesystem(fs)
+
+    def test_files_and_paging_share_the_disk(self, setup):
+        """One disk serves both the filesystem and the paging traffic —
+        the arrangement that replaced paging partitions."""
+        kernel, fs = setup
+        fs.write("/data", b"ordinary file" * 100)
+        task = kernel.task_create()
+        addr = task.vm_allocate(40 * PAGE)
+        for i in range(40):
+            task.write(addr + i * PAGE, b"q")
+        assert fs.read("/data", 0, 13) == b"ordinary file"
+        assert task.read(addr, 1) == b"q"

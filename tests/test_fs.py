@@ -1,0 +1,155 @@
+"""Filesystem substrate tests: disk, buffer cache, files."""
+
+import pytest
+
+from repro.fs.buffer_cache import BufferCache
+from repro.fs.disk import SimDisk
+from repro.fs.filesystem import FileSystem
+from repro.hw.machine import Machine
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_spec())
+
+
+@pytest.fixture
+def fs(machine):
+    return FileSystem(machine, nbufs=8)
+
+
+class TestDisk:
+    def test_read_write_roundtrip(self, machine):
+        disk = SimDisk(machine, nblocks=16, block_size=512)
+        disk.write_block(3, b"block three")
+        assert disk.read_block(3)[:11] == b"block three"
+
+    def test_unwritten_block_is_zero(self, machine):
+        disk = SimDisk(machine, nblocks=4, block_size=512)
+        assert disk.read_block(0) == bytes(512)
+
+    def test_out_of_range_rejected(self, machine):
+        disk = SimDisk(machine, nblocks=4)
+        with pytest.raises(ValueError):
+            disk.read_block(4)
+
+    def test_transfer_charges_elapsed_not_just_cpu(self, machine):
+        disk = SimDisk(machine, nblocks=4)
+        snap = machine.clock.snapshot()
+        disk.read_block(0)
+        cpu, elapsed = snap.interval()
+        assert elapsed > cpu > 0
+
+    def test_sequential_reads_skip_seek(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        disk.read_block(0)
+        seeks = disk.seeks
+        disk.read_block(1)
+        disk.read_block(2)
+        assert disk.seeks == seeks
+        disk.read_block(9)
+        assert disk.seeks == seeks + 1
+
+
+class TestBufferCache:
+    def test_hit_avoids_disk(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        cache = BufferCache(disk, nbufs=4)
+        cache.read(0)
+        reads = disk.reads
+        cache.read(0)
+        assert disk.reads == reads
+        assert cache.hits == 1
+
+    def test_lru_eviction(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        cache = BufferCache(disk, nbufs=2)
+        cache.read(0)
+        cache.read(1)
+        cache.read(2)          # evicts 0
+        reads = disk.reads
+        cache.read(0)
+        assert disk.reads == reads + 1
+
+    def test_writeback_on_eviction(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        cache = BufferCache(disk, nbufs=1)
+        cache.write(0, b"dirty zero")
+        cache.read(1)          # evicts and writes back block 0
+        assert disk.read_block(0)[:10] == b"dirty zero"
+        assert cache.writebacks == 1
+
+    def test_sync_flushes_dirty(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        cache = BufferCache(disk, nbufs=4)
+        cache.write(2, b"two")
+        assert disk.writes == 0
+        assert cache.sync() == 1
+        assert disk.read_block(2)[:3] == b"two"
+
+    def test_peek_dirty(self, machine):
+        disk = SimDisk(machine, nblocks=16)
+        cache = BufferCache(disk, nbufs=4)
+        assert cache.peek_dirty(0) is None
+        cache.write(0, b"d")
+        assert cache.peek_dirty(0)[:1] == b"d"
+        cache.sync()
+        assert cache.peek_dirty(0) is None
+
+
+class TestFileSystem:
+    def test_create_write_read(self, fs):
+        fs.write("/a", b"hello filesystem")
+        assert fs.read("/a") == b"hello filesystem"
+
+    def test_read_range(self, fs):
+        fs.write("/a", bytes(range(200)))
+        assert fs.read("/a", offset=10, size=5) == bytes(range(10, 15))
+
+    def test_overwrite_in_place(self, fs):
+        fs.write("/a", b"AAAABBBB")
+        fs.write("/a", b"CC", offset=4)
+        assert fs.read("/a") == b"AAAACCBB"
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 100          # 25600 bytes, >3 blocks
+        fs.write("/big", data)
+        assert fs.read("/big") == data
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read("/nope")
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(FileExistsError):
+            fs.create("/a")
+
+    def test_unlink(self, fs):
+        fs.write("/a", b"x")
+        fs.unlink("/a")
+        assert not fs.exists("/a")
+
+    def test_read_direct_sees_dirty_buffers(self, fs):
+        fs.write("/a", b"not yet on disk")
+        inode = fs.lookup("/a")
+        assert fs.read_direct(inode, 0, 15) == b"not yet on disk"
+
+    def test_write_direct_read_direct(self, fs):
+        inode = fs.create("/raw")
+        fs.write_direct(inode, 0, b"direct path")
+        assert fs.read_direct(inode, 0, 11) == b"direct path"
+
+    def test_write_direct_partial_block_merge(self, fs):
+        inode = fs.create("/raw")
+        fs.write_direct(inode, 0, b"AAAA")
+        fs.write_direct(inode, 2, b"BB")
+        assert fs.read_direct(inode, 0, 4) == b"AABB"
+
+    def test_full_disk(self, machine):
+        small = FileSystem(machine, nblocks=2, block_size=512)
+        small.write("/a", bytes(1024))
+        with pytest.raises(OSError):
+            small.write("/b", bytes(512))

@@ -1,0 +1,167 @@
+"""Cross-module integration scenarios: the whole system working at
+once, plus end-to-end checks of the paper's headline mechanisms."""
+
+import pytest
+
+from repro import hw
+from repro.core.constants import VMInherit, VMProt
+from repro.core.kernel import MachKernel
+from repro.fs.filesystem import FileSystem
+from repro.ipc.message import Message
+from repro.ipc.port import Port
+from repro.pager.netmemory import NetMemoryServer, map_remote_region
+from repro.pager.vnode_pager import map_file
+from repro.pmap.interface import ShootdownStrategy
+from repro.unix.process import UnixSystem
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+class TestEverythingAtOnce:
+    def test_unix_workload_under_memory_pressure(self):
+        """Fork/exec/file-IO churn on a machine with only 48 frames:
+        the object cache, COW, paging daemon and swap all interleave,
+        and every byte stays correct."""
+        kernel = MachKernel(make_spec(memory_frames=48))
+        fs = FileSystem(kernel.machine)
+        ux = UnixSystem(kernel, fs)
+        prog = ux.install_program("/bin/worker", text_size=8 * PAGE,
+                                  data_size=8 * PAGE, bss_size=4 * PAGE)
+        shell = ux.create_process()
+        for round_number in range(5):
+            worker = shell.fork()
+            worker.exec(prog)
+            da, _ = worker.regions["data"]
+            stamp = f"round-{round_number}".encode()
+            worker.task.write(da, stamp)
+            worker.write_file(f"/out/{round_number}", stamp * 100)
+            assert worker.task.read(da, len(stamp)) == stamp
+            worker.exit()
+        for round_number in range(5):
+            stamp = f"round-{round_number}".encode()
+            assert shell.read_file(f"/out/{round_number}") \
+                == stamp * 100
+        kernel.vm.resident.check_consistency()
+
+    def test_message_passing_between_unix_processes(self):
+        kernel = MachKernel(make_spec())
+        ux = UnixSystem(kernel, FileSystem(kernel.machine))
+        producer = ux.create_process()
+        consumer = ux.create_process()
+        buf = producer.task.vm_allocate(16 * PAGE)
+        payload = b"produced data " * 1000
+        producer.task.write(buf, payload)
+        port = Port(name="pipe")
+        kernel.msg_send(producer.task, port,
+                        Message().add_ool(buf, 16 * PAGE,
+                                          deallocate=True))
+        msg = kernel.msg_receive(consumer.task, port)
+        dst = msg.ool[0].received_at
+        assert consumer.task.read(dst, len(payload)) == payload
+
+    def test_mapped_file_shared_cow_and_paging(self):
+        kernel = MachKernel(make_spec(memory_frames=40))
+        fs = FileSystem(kernel.machine)
+        fs.write("/db", bytes(range(256)) * 512)      # 128 KB
+        a = kernel.task_create()
+        addr = map_file(kernel, a, fs, "/db")
+        a.read(addr, 128 * 1024)                      # fault it all in
+        b = a.fork()                                  # COW of mapping
+        b.write(addr, b"\xff\xff")
+        # a still sees file bytes; b sees its private modification.
+        assert a.read(addr, 2) == bytes([0, 1])
+        assert b.read(addr, 2) == b"\xff\xff"
+        # Push everything out and verify again (swap + vnode paths).
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert a.read(addr, 2) == bytes([0, 1])
+        assert b.read(addr, 2) == b"\xff\xff"
+        assert fs.read("/db", 0, 2) == bytes([0, 1])
+
+    def test_distributed_shared_region_two_kernels(self):
+        """Section 6: two machines map the same server region — memory
+        travels over the (simulated) network by reference."""
+        server = NetMemoryServer()
+        server.create_region("cluster", 8 * PAGE, b"from-node-0")
+        node0 = MachKernel(make_spec(name="node0"))
+        node1 = MachKernel(make_spec(name="node1"))
+        t0 = node0.task_create()
+        t1 = node1.task_create()
+        a0 = map_remote_region(node0, t0, server, "cluster")
+        a1 = map_remote_region(node1, t1, server, "cluster")
+        assert t0.read(a0, 11) == b"from-node-0"
+        # Node 0 updates and writes back to the master copy.
+        t0.write(a0, b"from-node-X")
+        node0.pageout_daemon.run(
+            target=node0.vm.resident.physmem.total_frames)
+        # Node 1 (no cached copy yet at that offset) reads fresh data.
+        assert t1.read(a1, 11) == b"from-node-X"
+
+
+class TestMultiprocessor:
+    def test_shared_memory_across_cpus(self):
+        kernel = MachKernel(make_spec(ncpus=4),
+                            shootdown=ShootdownStrategy.IMMEDIATE)
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(PAGE)
+        parent.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        workers = [parent.fork() for _ in range(3)]
+        for cpu_id, worker in enumerate(workers, start=1):
+            kernel.set_current_cpu(cpu_id)
+            worker.write(addr + cpu_id * 8, f"cpu{cpu_id}".encode())
+        kernel.set_current_cpu(0)
+        for cpu_id in range(1, 4):
+            assert parent.read(addr + cpu_id * 8, 4) == \
+                f"cpu{cpu_id}".encode()
+
+    def test_kernel_binary_runs_on_up_and_mp(self):
+        """"The kernel binary image for the VAX version runs on both
+        uniprocessor and multiprocessor VAXes" — same code, different
+        cpu counts."""
+        for ncpus in (1, 4):
+            kernel = MachKernel(make_spec(ncpus=ncpus, pmap_name="vax",
+                                          hw_page_size=512))
+            task = kernel.task_create()
+            addr = task.vm_allocate(4 * PAGE)
+            task.write(addr, b"same binary")
+            child = task.fork()
+            assert child.read(addr, 11) == b"same binary"
+
+
+class TestPaperMachines:
+    """Boot every preset machine of the paper and run the same
+    workload — the portability claim, in miniature."""
+
+    @pytest.mark.parametrize("spec", hw.ALL_SPECS,
+                             ids=lambda s: s.name)
+    def test_same_workload_everywhere(self, spec):
+        kernel = MachKernel(spec)
+        task = kernel.task_create()
+        size = 8 * kernel.page_size
+        addr = task.vm_allocate(size)
+        task.write(addr, b"portable")
+        task.vm_inherit(addr, size, VMInherit.SHARE)
+        child = task.fork()
+        child.write(addr, b"PORTABLE")
+        assert task.read(addr, 8) == b"PORTABLE"
+        grandchild = child.fork()
+        assert grandchild.read(addr, 8) == b"PORTABLE"
+        stats = kernel.vm_statistics()
+        assert stats.faults > 0
+        task.vm_map.check_invariants()
+
+    @pytest.mark.parametrize("page_multiple", [1, 2, 4])
+    def test_boot_time_page_size(self, page_multiple):
+        """"The definition of page size is a boot time system
+        parameter" — the same workload with different Mach page
+        sizes."""
+        spec = make_spec(hw_page_size=1024, page_size=1024)
+        kernel = MachKernel(spec, page_size=1024 * page_multiple)
+        assert kernel.page_size == 1024 * page_multiple
+        task = kernel.task_create()
+        addr = task.vm_allocate(kernel.page_size * 4)
+        task.write(addr, b"any page size")
+        child = task.fork()
+        assert child.read(addr, 13) == b"any page size"

@@ -1,0 +1,96 @@
+"""Interface-fidelity checks: the paper's tables name the calls; the
+code must expose exactly those names."""
+
+import inspect
+
+from repro.core import syscalls
+from repro.pager.base import ExternalPager, KernelRequestInterface
+from repro.pager.protocol import KernelToPager, PagerToKernel
+from repro.pmap import interface as pmap_interface
+
+
+class TestTable21:
+    def test_operation_names(self):
+        expected = {"vm_allocate", "vm_copy", "vm_deallocate",
+                    "vm_inherit", "vm_protect", "vm_read", "vm_regions",
+                    "vm_statistics", "vm_write"}
+        assert {fn.__name__ for fn in syscalls.TABLE_2_1} == expected
+
+    def test_signatures_match_paper(self):
+        # vm_allocate(target_task, address, size, anywhere)
+        params = list(inspect.signature(
+            syscalls.vm_allocate).parameters)
+        assert params == ["target_task", "address", "size", "anywhere"]
+        # vm_protect(target_task, address, size, set_maximum,
+        #            new_protection)
+        params = list(inspect.signature(
+            syscalls.vm_protect).parameters)
+        assert params == ["target_task", "address", "size",
+                          "set_maximum", "new_protection"]
+
+
+class TestTable31:
+    """Kernel -> external pager calls."""
+
+    def test_message_ids(self):
+        assert {c.value for c in KernelToPager} == {
+            "pager_init", "pager_create", "pager_data_request",
+            "pager_data_unlock", "pager_data_write",
+        }
+
+    def test_external_pager_handlers_exist(self):
+        for name in ("pager_init", "pager_create",
+                     "pager_data_request", "pager_data_unlock",
+                     "pager_data_write"):
+            assert hasattr(ExternalPager, name)
+
+
+class TestTable32:
+    """External pager -> kernel calls."""
+
+    def test_message_ids(self):
+        assert {c.value for c in PagerToKernel} == {
+            "pager_data_provided", "pager_data_unavailable",
+            "pager_data_lock", "pager_clean_request",
+            "pager_flush_request", "pager_readonly", "pager_cache",
+        }
+
+    def test_kernel_interface_methods_exist(self):
+        for name in ("pager_data_provided", "pager_data_unavailable",
+                     "pager_data_lock", "pager_clean_request",
+                     "pager_flush_request", "pager_readonly",
+                     "pager_cache"):
+            assert callable(getattr(KernelRequestInterface, name))
+
+    def test_vm_allocate_with_pager_exists(self):
+        params = list(inspect.signature(
+            syscalls.vm_allocate_with_pager).parameters)
+        assert params == ["target_task", "address", "size", "anywhere",
+                          "paging_object", "offset"]
+
+
+class TestTables33And34:
+    """The exported pmap routine set."""
+
+    REQUIRED = (
+        "pmap_create", "pmap_reference", "pmap_destroy", "pmap_remove",
+        "pmap_remove_all", "pmap_copy_on_write", "pmap_enter",
+        "pmap_protect", "pmap_extract", "pmap_access", "pmap_update",
+        "pmap_activate", "pmap_deactivate", "pmap_zero_page",
+        "pmap_copy_page",
+    )
+    OPTIONAL = ("pmap_copy", "pmap_pageable")
+
+    def test_required_routines_exported(self):
+        for name in self.REQUIRED:
+            assert callable(getattr(pmap_interface, name)), name
+
+    def test_optional_routines_exported(self):
+        for name in self.OPTIONAL:
+            assert callable(getattr(pmap_interface, name)), name
+
+    def test_pmap_enter_signature(self):
+        # pmap_enter(pmap, v, p, prot, wired)  [page fault]
+        params = list(inspect.signature(
+            pmap_interface.pmap_enter).parameters)
+        assert params == ["pmap", "v", "p", "prot", "wired"]

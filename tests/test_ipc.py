@@ -1,0 +1,149 @@
+"""Ports, messages, and copy-on-write out-of-line data transfer
+(Section 2's integration of memory and communication)."""
+
+import pytest
+
+from repro.ipc.message import Message, MsgType
+from repro.ipc.port import DeadPortError, Port
+
+PAGE = 4096
+
+
+class TestPort:
+    def test_fifo_order(self):
+        port = Port()
+        for i in range(3):
+            port.send(Message(msgh_id=i))
+        assert [port.receive().msgh_id for _ in range(3)] == [0, 1, 2]
+
+    def test_empty_receive_returns_none(self):
+        assert Port().receive() is None
+
+    def test_dead_port_rejects_send(self):
+        port = Port()
+        port.destroy()
+        with pytest.raises(DeadPortError):
+            port.send(Message())
+
+    def test_pump_runs_handler(self):
+        seen = []
+        port = Port(handler=seen.append)
+        port.send(Message(msgh_id=7))
+        port.send(Message(msgh_id=8))
+        assert port.pump() == 2
+        assert [m.msgh_id for m in seen] == [7, 8]
+
+    def test_pump_without_handler_raises(self):
+        port = Port()
+        port.send(Message())
+        with pytest.raises(RuntimeError):
+            port.pump()
+
+
+class TestMessage:
+    def test_typed_inline_items(self):
+        msg = Message()
+        msg.add_inline(MsgType.INTEGER_32, 42)
+        msg.add_inline(MsgType.STRING, "hello")
+        assert msg.inline[0].value == 42
+        assert msg.inline_bytes() == 4 + 5
+
+    def test_sequence_numbers_increase(self):
+        assert Message().sequence < Message().sequence
+
+
+class TestOOLTransfer:
+    """"large amounts of data including whole files and even whole
+    address spaces [can] be sent in a single message with the
+    efficiency of simple memory remapping"."""
+
+    def _send_region(self, kernel, sender, receiver, data,
+                     deallocate=False):
+        addr = sender.vm_allocate(max(len(data), PAGE))
+        sender.write(addr, data)
+        port = Port(name="test")
+        msg = Message(msgh_id=1).add_ool(addr,
+                                         max(len(data), PAGE),
+                                         deallocate=deallocate)
+        kernel.msg_send(sender, port, msg)
+        got = kernel.msg_receive(receiver, port)
+        return addr, got
+
+    def test_data_arrives(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        _, msg = self._send_region(kernel, a, b, b"inter-task payload")
+        dst = msg.ool[0].received_at
+        assert b.read(dst, 18) == b"inter-task payload"
+
+    def test_transfer_is_copy_on_write(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        copies_before = kernel.stats.cow_faults
+        src, msg = self._send_region(kernel, a, b,
+                                     b"X" * (8 * PAGE))
+        assert kernel.stats.cow_faults == copies_before  # no copies yet
+        dst = msg.ool[0].received_at
+        b.write(dst, b"mutated!")
+        assert a.read(src, 8) == b"XXXXXXXX"      # sender unaffected
+        assert b.read(dst, 8) == b"mutated!"
+
+    def test_snapshot_semantics(self, kernel):
+        """The receiver sees the data as of the send, even if the
+        sender scribbles afterwards."""
+        a = kernel.task_create()
+        b = kernel.task_create()
+        src, msg = self._send_region(kernel, a, b, b"as-of-send")
+        a.write(src, b"afterwards")
+        dst = msg.ool[0].received_at
+        assert b.read(dst, 10) == b"as-of-send"
+
+    def test_deallocate_on_send(self, kernel):
+        from repro.core.errors import InvalidAddressError
+        a = kernel.task_create()
+        b = kernel.task_create()
+        src, msg = self._send_region(kernel, a, b, b"moved", True)
+        with pytest.raises(InvalidAddressError):
+            a.read(src, 1)
+        assert b.read(msg.ool[0].received_at, 5) == b"moved"
+
+    def test_whole_address_space_in_one_message(self, kernel):
+        """Map-entry counts, not byte counts, bound the send cost."""
+        a = kernel.task_create()
+        b = kernel.task_create()
+        addr = a.vm_allocate(64 * PAGE)
+        for off in range(0, 64 * PAGE, 16 * PAGE):
+            a.write(addr + off, b"sparse")
+        snap = kernel.clock.snapshot()
+        port = Port()
+        kernel.msg_send(a, port,
+                        Message().add_ool(addr, 64 * PAGE))
+        cpu_send, _ = snap.interval()
+        msg = kernel.msg_receive(b, port)
+        dst = msg.ool[0].received_at
+        assert b.read(dst, 6) == b"sparse"
+        # A byte copy of 256 KB would cost orders of magnitude more
+        # than the remap did.
+        byte_copy_cost = kernel.machine.costs.byte_copy_cost(64 * PAGE)
+        assert cpu_send < byte_copy_cost / 4
+
+    def test_multiple_ool_regions(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        r1 = a.vm_allocate(PAGE)
+        r2 = a.vm_allocate(PAGE)
+        a.write(r1, b"one")
+        a.write(r2, b"two")
+        port = Port()
+        kernel.msg_send(a, port,
+                        Message().add_ool(r1, PAGE).add_ool(r2, PAGE))
+        msg = kernel.msg_receive(b, port)
+        assert b.read(msg.ool[0].received_at, 3) == b"one"
+        assert b.read(msg.ool[1].received_at, 3) == b"two"
+
+    def test_stats_counted(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        self._send_region(kernel, a, b, b"x")
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.messages_received == 1

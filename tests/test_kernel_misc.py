@@ -1,0 +1,209 @@
+"""Kernel odds and ends: wiring, cleaning/flushing, errors, statistics,
+page-size variations, low-memory behaviour."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMProt
+from repro.core.errors import (
+    InvalidArgumentError,
+    KernReturn,
+    NoSpaceError,
+    ResourceShortageError,
+    VMError,
+)
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+class TestWireUnwire:
+    def test_wire_then_unwire_roundtrip(self, kernel, task):
+        addr = task.vm_allocate(3 * PAGE)
+        kernel.wire_range(task, addr, 3 * PAGE)
+        assert kernel.vm_statistics().wire_count == 3
+        kernel.unwire_range(task, addr, 3 * PAGE)
+        assert kernel.vm_statistics().wire_count == 0
+
+    def test_unwired_pages_become_pageable_again(self, tiny_kernel):
+        kernel = tiny_kernel
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        kernel.wire_range(task, addr, 4 * PAGE)
+        task.write(addr, b"was wired")
+        kernel.unwire_range(task, addr, 4 * PAGE)
+        kernel.pageout_daemon.run(
+            target=kernel.vm.resident.physmem.total_frames)
+        assert task.read(addr, 9) == b"was wired"
+        assert kernel.stats.pageins >= 1           # it was paged out
+
+    def test_double_wire_nests(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        kernel.wire_range(task, addr, PAGE)
+        kernel.wire_range(task, addr, PAGE)
+        kernel.unwire_range(task, addr, PAGE)
+        assert kernel.vm_statistics().wire_count == 1
+
+
+class TestErrors:
+    def test_kern_return_mapping(self):
+        assert NoSpaceError().kern_return is KernReturn.NO_SPACE
+        assert InvalidArgumentError().kern_return is \
+            KernReturn.INVALID_ARGUMENT
+        assert issubclass(NoSpaceError, VMError)
+
+    def test_bad_cpu_id_rejected(self, kernel):
+        with pytest.raises(InvalidArgumentError):
+            kernel.set_current_cpu(99)
+
+    def test_negative_allocation_rejected(self, kernel, task):
+        with pytest.raises(InvalidArgumentError):
+            task.vm_allocate(-4096)
+
+    def test_exhausting_everything_raises_cleanly(self):
+        """When memory AND swap are both full, allocation fails with a
+        resource error rather than corrupting state."""
+        kernel = MachKernel(make_spec(memory_frames=16), swap_slots=4)
+        task = kernel.task_create()
+        addr = task.vm_allocate(256 * PAGE)
+        with pytest.raises(ResourceShortageError):
+            for off in range(0, 256 * PAGE, PAGE):
+                task.write(addr + off, b"overcommit")
+        kernel.vm.resident.check_consistency()
+
+
+class TestObjectMaintenance:
+    def test_clean_object_writes_dirty_only(self, kernel, task):
+        written = []
+
+        class RecordingPager:
+            def data_request(self, obj, offset, length, access):
+                return bytes(length)
+
+            def data_write(self, obj, offset, data):
+                written.append(offset)
+
+        addr = kernel.vm_allocate_with_pager(task, 4 * PAGE,
+                                             RecordingPager())
+        task.write(addr, b"dirty0")                  # page 0 dirty
+        task.read(addr + PAGE, 1)                    # page 1 clean
+        obj = task.vm_map.lookup(addr, FaultType.READ).vm_object
+        kernel.clean_object(obj, 0, 4 * PAGE)
+        assert written == [0]
+
+    def test_clean_coalesces_contiguous_runs(self, kernel, task):
+        runs = []
+
+        class RecordingPager:
+            def data_request(self, obj, offset, length, access):
+                return bytes(length)
+
+            def data_write(self, obj, offset, data):
+                runs.append((offset, len(data)))
+
+        addr = kernel.vm_allocate_with_pager(task, 6 * PAGE,
+                                             RecordingPager())
+        for index in (0, 1, 2, 4):                   # 3-page run + 1
+            task.write(addr + index * PAGE, b"d")
+        obj = task.vm_map.lookup(addr, FaultType.READ).vm_object
+        kernel.clean_object(obj, 0, 6 * PAGE)
+        assert runs == [(0, 3 * PAGE), (4 * PAGE, PAGE)]
+
+    def test_flush_object_discards(self, kernel, task):
+        class CountingPager:
+            requests = 0
+
+            def data_request(self, obj, offset, length, access):
+                type(self).requests += 1
+                return b"\x33" * length
+
+            def data_write(self, obj, offset, data):
+                raise AssertionError("flush must not write back")
+
+        addr = kernel.vm_allocate_with_pager(task, PAGE, CountingPager())
+        task.read(addr, 1)
+        obj = task.vm_map.lookup(addr, FaultType.READ).vm_object
+        kernel.flush_object(obj, 0, PAGE)
+        assert obj.resident_count == 0
+        task.read(addr, 1)                           # refetches
+        assert CountingPager.requests == 2
+
+
+class TestStatistics:
+    def test_snapshot_is_frozen(self, kernel, task):
+        stats = kernel.vm_statistics()
+        with pytest.raises(Exception):
+            stats.faults = 99
+
+    def test_describe_contains_all_fields(self, kernel):
+        text = kernel.vm_statistics().describe()
+        for field in ("free_count", "cow_faults", "pageins",
+                      "shadow_collapses", "object_cache_hits"):
+            assert field in text
+
+    def test_counters_move_as_expected(self, kernel, task):
+        addr = task.vm_allocate(2 * PAGE)
+        task.write(addr, b"x")
+        child = task.fork()
+        child.write(addr, b"y")
+        stats = kernel.vm_statistics()
+        assert stats.faults >= 2
+        assert stats.cow_faults >= 1
+        assert stats.zero_fill_count >= 1
+        assert stats.objects_created >= 1
+
+
+class TestPageSizes:
+    @pytest.mark.parametrize("mach_page", [512, 1024, 4096, 8192])
+    def test_any_boot_page_size_works(self, mach_page):
+        kernel = MachKernel(make_spec(hw_page_size=512,
+                                      page_size=512),
+                            page_size=mach_page)
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * mach_page)
+        task.write(addr + mach_page, b"sized")
+        child = task.fork()
+        child.write(addr + mach_page, b"SIZED")
+        assert task.read(addr + mach_page, 5) == b"sized"
+        assert child.read(addr + mach_page, 5) == b"SIZED"
+
+    def test_large_mach_page_fans_out_hw_pages(self):
+        kernel = MachKernel(make_spec(hw_page_size=512, page_size=512),
+                            page_size=4096)
+        task = kernel.task_create()
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")
+        # One Mach-page fault installed eight hardware PTEs.
+        for off in range(0, 4096, 512):
+            assert task.pmap.access(addr + off)
+        assert kernel.stats.faults == 1
+
+
+class TestLowMemory:
+    def test_cache_flushed_as_last_resort(self):
+        """When reclaim cannot free enough (all pages dirty and hot),
+        the kernel drops cached objects before failing."""
+        kernel = MachKernel(make_spec(memory_frames=24))
+        task = kernel.task_create()
+
+        class CachedPager:
+            def data_request(self, obj, offset, length, access):
+                return b"\x01" * length
+
+            def data_write(self, obj, offset, data):
+                pass
+
+            def pager_init(self, obj):
+                obj.can_persist = True
+
+        pager = CachedPager()
+        addr = kernel.vm_allocate_with_pager(task, 8 * PAGE, pager)
+        task.read(addr, 8 * PAGE)
+        task.vm_deallocate(addr, 8 * PAGE)
+        assert kernel.vm.objects.cached_count == 1
+        # Now demand more anonymous memory than remains.
+        big = task.vm_allocate(40 * PAGE)
+        for off in range(0, 40 * PAGE, PAGE):
+            task.write(big + off, b"pressure")
+        assert task.read(big, 8) == b"pressure"

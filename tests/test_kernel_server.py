@@ -1,0 +1,123 @@
+"""The kernel as a message server (Section 2): operations on tasks and
+threads performed by sending messages to their ports."""
+
+import pytest
+
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import KernReturn
+from repro.ipc import kernel_server as ks
+
+PAGE = 4096
+
+
+class TestVmOpsByMessage:
+    def test_vm_allocate_via_task_port(self, kernel, task):
+        reply = kernel.server.call(task.task_port, ks.MSG_VM_ALLOCATE,
+                                   size=4 * PAGE)
+        kr, out = kernel.server.result_of(reply)
+        assert kr is KernReturn.SUCCESS
+        task.write(out["address"], b"allocated by message")
+
+    def test_write_read_roundtrip_via_messages(self, kernel, task):
+        reply = kernel.server.call(task.task_port, ks.MSG_VM_ALLOCATE,
+                                   size=PAGE)
+        _, out = kernel.server.result_of(reply)
+        address = out["address"]
+        reply = kernel.server.call(task.task_port, ks.MSG_VM_WRITE,
+                                   address=address, data=b"via port")
+        kr, _ = kernel.server.result_of(reply)
+        assert kr is KernReturn.SUCCESS
+        reply = kernel.server.call(task.task_port, ks.MSG_VM_READ,
+                                   address=address, size=8)
+        kr, out = kernel.server.result_of(reply)
+        assert out["data"] == b"via port"
+
+    def test_error_travels_back_as_kern_return(self, kernel, task):
+        reply = kernel.server.call(task.task_port, ks.MSG_VM_READ,
+                                   address=0x900000, size=4)
+        kr, _ = kernel.server.result_of(reply)
+        assert kr is KernReturn.INVALID_ADDRESS
+
+    def test_protect_inherit_copy_by_message(self, kernel, task):
+        _, out = kernel.server.result_of(kernel.server.call(
+            task.task_port, ks.MSG_VM_ALLOCATE, size=2 * PAGE))
+        addr = out["address"]
+        kr, _ = kernel.server.result_of(kernel.server.call(
+            task.task_port, ks.MSG_VM_PROTECT, address=addr,
+            size=PAGE, new_protection=VMProt.READ))
+        assert kr is KernReturn.SUCCESS
+        kr, _ = kernel.server.result_of(kernel.server.call(
+            task.task_port, ks.MSG_VM_INHERIT, address=addr,
+            size=PAGE, new_inheritance=VMInherit.NONE))
+        assert kr is KernReturn.SUCCESS
+        with pytest.raises(Exception):
+            task.write(addr, b"x")
+
+    def test_statistics_and_regions_by_message(self, kernel, task):
+        task.vm_allocate(PAGE, address=0, anywhere=False)
+        _, out = kernel.server.result_of(kernel.server.call(
+            task.task_port, ks.MSG_VM_REGIONS))
+        assert out["regions"][0].start == 0
+        _, out = kernel.server.result_of(kernel.server.call(
+            task.task_port, ks.MSG_VM_STATISTICS))
+        assert out["vm_stats"].pagesize == kernel.page_size
+
+    def test_unknown_operation(self, kernel, task):
+        reply = kernel.server.call(task.task_port, "msg_bogus")
+        kr, _ = kernel.server.result_of(reply)
+        assert kr is KernReturn.INVALID_ARGUMENT
+
+
+class TestTaskThreadControl:
+    def test_suspend_resume_by_message(self, kernel, task):
+        kernel.server.call(task.task_port, ks.MSG_TASK_SUSPEND)
+        assert task.suspended
+        kernel.server.call(task.task_port, ks.MSG_TASK_RESUME)
+        assert not task.suspended
+
+    def test_thread_port_created_and_served(self, kernel, task):
+        thread = task.threads[0]
+        assert thread.thread_port is not None
+        kernel.server.call(thread.thread_port, ks.MSG_THREAD_SUSPEND)
+        assert thread.suspended
+        kernel.server.call(thread.thread_port, ks.MSG_THREAD_RESUME)
+        assert not thread.suspended
+
+    def test_terminate_by_message(self, kernel):
+        victim = kernel.task_create()
+        victim.vm_allocate(PAGE)
+        kernel.server.call(victim.task_port, ks.MSG_TASK_TERMINATE)
+        assert victim.terminated
+
+
+class TestLocationTransparency:
+    def test_suspend_from_another_task(self, kernel):
+        """"a thread can suspend another thread by sending a suspend
+        message to that thread's thread port" — the requester holds
+        only the port."""
+        controller = kernel.task_create(name="controller")
+        worker = kernel.task_create(name="worker")
+        # The controller knows nothing but the port.
+        port = worker.threads[0].thread_port
+        kernel.server.call(port, ks.MSG_THREAD_SUSPEND)
+        assert worker.threads[0].suspended
+
+    def test_operations_on_remote_kernels_task(self):
+        """The request is only a message: a task on one (simulated)
+        node can drive a task port belonging to another node."""
+        from repro.core.kernel import MachKernel
+        from tests.conftest import make_spec
+        node_a = MachKernel(make_spec(name="node-a"))
+        node_b = MachKernel(make_spec(name="node-b"))
+        remote = node_b.task_create(name="remote")
+        # node-a side code manipulates node-b's task purely via the
+        # port + server of node-b (the transport is the message).
+        reply = node_b.server.call(remote.task_port,
+                                   ks.MSG_VM_ALLOCATE, size=PAGE)
+        kr, out = node_b.server.result_of(reply)
+        assert kr is KernReturn.SUCCESS
+        node_b.server.call(remote.task_port, ks.MSG_VM_WRITE,
+                           address=out["address"],
+                           data=b"driven from node-a")
+        assert remote.read(out["address"], 18) == \
+            b"driven from node-a"

@@ -1,0 +1,156 @@
+"""Machine specs, boot validation and the simulated MMU front-end."""
+
+import pytest
+
+from repro import hw
+from repro.core.constants import FaultType, VMProt
+from repro.core.errors import PageFault
+from repro.core.kernel import MachKernel
+from repro.hw.machine import Machine, MachineSpec, spec_by_name
+
+from tests.conftest import make_spec
+
+MB = 1 << 20
+
+
+class TestSpecs:
+    def test_all_presets_boot(self):
+        for spec in hw.ALL_SPECS:
+            machine = Machine(spec)
+            assert machine.page_size >= machine.hw_page_size
+            assert len(machine.cpus) == spec.ncpus
+
+    def test_spec_by_name(self):
+        assert spec_by_name("IBM RT PC") is hw.IBM_RT_PC
+        with pytest.raises(KeyError):
+            spec_by_name("PDP-11")
+
+    def test_paper_page_sizes(self):
+        # VAX: 512-byte hardware pages; SUN 3: 8 KB.
+        assert hw.MICROVAX_II.hw_page_size == 512
+        assert hw.SUN_3_160.hw_page_size == 8192
+        assert hw.SUN_3_160.mmu_contexts == 8
+
+    def test_ns32082_limits_encoded(self):
+        assert hw.ENCORE_MULTIMAX.va_limit == 16 * MB
+        assert hw.ENCORE_MULTIMAX.phys_limit == 32 * MB
+        assert hw.ENCORE_MULTIMAX.buggy_rmw_reports_read
+
+    def test_sun3_has_display_hole(self):
+        segments = hw.SUN_3_160.memory_segments
+        assert len(segments) == 2
+        first_end = segments[0][0] + segments[0][1]
+        assert segments[1][0] > first_end          # a hole
+
+    def test_multiprocessors_have_multiple_cpus(self):
+        assert hw.ENCORE_MULTIMAX.ncpus > 1
+        assert hw.SEQUENT_BALANCE.ncpus > 1
+        assert hw.VAX_11_784.ncpus == 4
+
+    def test_phys_limit_validated(self):
+        spec = MachineSpec(name="broken", hw_page_size=4096,
+                           default_page_size=4096, va_limit=1 << 30,
+                           memory_segments=((0, 64 * MB),),
+                           phys_limit=32 * MB)
+        with pytest.raises(ValueError):
+            Machine(spec)
+
+    def test_invalid_boot_page_size(self):
+        with pytest.raises(ValueError):
+            Machine(make_spec(hw_page_size=4096), page_size=2048)
+        with pytest.raises(ValueError):
+            Machine(make_spec(hw_page_size=4096), page_size=12288)
+
+    def test_memory_bytes(self):
+        assert hw.VAX_8650.memory_bytes == 36 * MB
+
+
+class TestMMU:
+    @pytest.fixture
+    def env(self):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        return kernel, task
+
+    def test_translate_without_pmap_rejected(self, env):
+        kernel, task = env
+        cpu = kernel.current_cpu
+        cpu.active_pmap = None
+        with pytest.raises(RuntimeError):
+            kernel.machine.mmu.translate(cpu, 0, FaultType.READ)
+
+    def test_miss_raises_pagefault_with_details(self, env):
+        kernel, task = env
+        cpu = kernel._run_on_cpu(task)
+        with pytest.raises(PageFault) as excinfo:
+            kernel.machine.mmu.translate(cpu, 0x5000, FaultType.WRITE)
+        fault = excinfo.value
+        assert fault.vaddr == 0x5000
+        assert fault.fault_type is FaultType.WRITE
+        assert fault.pmap is task.pmap
+        assert fault.cpu_id == cpu.cpu_id
+
+    def test_hit_returns_exact_byte_address(self, env):
+        kernel, task = env
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")                      # establish mapping
+        cpu = kernel._run_on_cpu(task)
+        paddr1 = kernel.machine.mmu.translate(cpu, addr + 123,
+                                              FaultType.READ)
+        paddr2 = kernel.machine.mmu.translate(cpu, addr + 124,
+                                              FaultType.READ)
+        assert paddr2 == paddr1 + 1
+
+    def test_protection_block_invalidates_tlb_entry(self, env):
+        kernel, task = env
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")
+        cpu = kernel._run_on_cpu(task)
+        task.vm_map.protect(addr, 4096, VMProt.READ)
+        # A write through the (possibly stale) TLB entry must trap.
+        with pytest.raises(PageFault):
+            kernel.machine.mmu.translate(cpu, addr, FaultType.WRITE)
+        assert cpu.tlb.stats.protection_blocks >= 0
+
+    def test_reference_modify_flow(self, env):
+        kernel, task = env
+        addr = task.vm_allocate(4096)
+        task.read(addr, 1)
+        out = kernel.fault(task, addr, FaultType.READ)
+        frame = out.page.phys_addr
+        assert kernel.pmap_system.is_referenced(frame)
+        assert not kernel.pmap_system.is_modified(frame)
+
+    def test_tlb_speeds_up_repeat_access(self, env):
+        kernel, task = env
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")
+        cpu = kernel._run_on_cpu(task)
+        before = cpu.tlb.stats.hits
+        for _ in range(5):
+            task.read(addr, 1)
+        assert cpu.tlb.stats.hits >= before + 5
+
+
+class TestClockIntegration:
+    def test_costs_accumulate_on_machine_clock(self):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        before = kernel.clock.cpu_us
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"payload")
+        assert kernel.clock.cpu_us > before
+
+    def test_faster_machine_is_faster(self):
+        """The cost model's scaled() produces proportionally cheaper
+        operations — the VAX 8650 beats the MicroVAX at everything."""
+        times = {}
+        for spec in (hw.MICROVAX_II, hw.VAX_8650):
+            kernel = MachKernel(spec)
+            task = kernel.task_create()
+            snap = kernel.clock.snapshot()
+            addr = task.vm_allocate(64 * 1024)
+            for off in range(0, 64 * 1024, 4096):
+                task.write(addr + off, b"z")
+            times[spec.name], _ = snap.interval()
+        assert times["VAX 8650"] < times["MicroVAX II"] / 3

@@ -1,0 +1,135 @@
+"""Copy-on-reference task migration between two kernels (Section 6 /
+reference [13])."""
+
+import pytest
+
+from repro.core.kernel import MachKernel
+from repro.dist import (
+    NetworkLink,
+    finalize_migration,
+    migrate_task,
+)
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def two_kernels():
+    return (MachKernel(make_spec(name="source")),
+            MachKernel(make_spec(name="dest")))
+
+
+def _task_with_data(kernel, npages=8):
+    task = kernel.task_create(name="victim")
+    addr = task.vm_allocate(npages * PAGE)
+    for i in range(npages):
+        task.write(addr + i * PAGE, f"src-page-{i}".encode())
+    return task, addr
+
+
+class TestCopyOnReference:
+    def test_no_data_moves_at_migration_time(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src)
+        link = NetworkLink()
+        migration = migrate_task(src, task, dst, link)
+        assert link.bytes_moved == 0
+        assert migration.pages_pulled == 0
+
+    def test_pages_travel_on_first_touch(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src)
+        migration = migrate_task(src, task, dst)
+        ghost = migration.dest_task
+        assert ghost.read(addr, 10) == b"src-page-0"
+        assert migration.pages_pulled == 1
+        assert ghost.read(addr + 3 * PAGE, 10) == b"src-page-3"
+        assert migration.pages_pulled == 2
+
+    def test_untouched_pages_never_travel(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src, npages=16)
+        migration = migrate_task(src, task, dst)
+        migration.dest_task.read(addr, 1)
+        assert migration.pages_pulled == 1
+        assert migration.link.bytes_moved <= 2 * PAGE
+
+    def test_map_shape_and_protection_preserved(self, two_kernels):
+        src, dst = two_kernels
+        from repro.core.constants import VMProt
+        task, addr = _task_with_data(src)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        migration = migrate_task(src, task, dst)
+        ghost = migration.dest_task
+        src_regions = [(r.start, r.size) for r in task.vm_regions()]
+        dst_regions = [(r.start, r.size) for r in ghost.vm_regions()]
+        assert src_regions == dst_regions
+        with pytest.raises(Exception):
+            ghost.write(addr, b"x")        # protection travelled too
+
+    def test_dirty_pages_push_back_to_source(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src)
+        migration = migrate_task(src, task, dst)
+        ghost = migration.dest_task
+        ghost.write(addr + PAGE, b"dst-dirty")
+        dst.pageout_daemon.run(
+            target=dst.vm.resident.physmem.total_frames)
+        # The master copy (source task) saw the write.
+        assert task.read(addr + PAGE, 9) == b"dst-dirty"
+        assert migration.pages_pushed >= 1
+
+    def test_source_paged_out_pages_still_migrate(self):
+        """Pages the source had already swapped out come across via the
+        source's own fault path."""
+        src = MachKernel(make_spec(name="source", memory_frames=24))
+        dst = MachKernel(make_spec(name="dest"))
+        task, addr = _task_with_data(src, npages=40)   # forces pageout
+        assert src.stats.pageouts > 0
+        migration = migrate_task(src, task, dst)
+        ghost = migration.dest_task
+        for i in range(40):
+            assert ghost.read(addr + i * PAGE, 10) == \
+                f"src-page-{i}".encode()[:10]
+
+    def test_network_time_charged_to_destination(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src)
+        migration = migrate_task(src, task, dst,
+                                 NetworkLink(latency_us=9000.0))
+        snap = dst.clock.snapshot()
+        migration.dest_task.read(addr, 1)
+        _, elapsed = snap.interval()
+        assert elapsed >= 9000.0
+
+
+class TestFinalization:
+    def test_finalize_moves_the_remainder(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src, npages=8)
+        migration = migrate_task(src, task, dst)
+        ghost = migration.dest_task
+        ghost.read(addr, 1)                  # 1 page by reference
+        moved = finalize_migration(migration)
+        assert moved == 7                    # the rest, eagerly
+        # The destination no longer needs the source at all.
+        task.terminate()
+        for i in range(8):
+            assert ghost.read(addr + i * PAGE, 10) == \
+                f"src-page-{i}".encode()[:10]
+
+    def test_finalize_is_idempotent(self, two_kernels):
+        src, dst = two_kernels
+        task, addr = _task_with_data(src)
+        migration = migrate_task(src, task, dst)
+        finalize_migration(migration)
+        assert finalize_migration(migration) == 0
+
+    def test_page_size_mismatch_rejected(self):
+        src = MachKernel(make_spec(page_size=4096))
+        dst = MachKernel(make_spec(hw_page_size=8192, page_size=8192))
+        task, _ = _task_with_data(src)
+        with pytest.raises(ValueError):
+            migrate_task(src, task, dst)

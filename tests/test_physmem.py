@@ -1,0 +1,122 @@
+"""Unit tests for simulated physical memory (frames, holes, data)."""
+
+import pytest
+
+from repro.core.errors import ResourceShortageError
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+
+
+def make_mem(frames=8, frame_size=4096, segments=None):
+    if segments is None:
+        segments = [MemorySegment(0, frames * frame_size)]
+    return PhysicalMemory(frame_size, segments)
+
+
+class TestAllocation:
+    def test_counts(self):
+        mem = make_mem(frames=8)
+        assert mem.total_frames == 8
+        assert mem.free_frames == 8
+        addr = mem.allocate_frame()
+        assert mem.free_frames == 7
+        assert mem.allocated_frames == 1
+        mem.free_frame(addr)
+        assert mem.free_frames == 8
+
+    def test_exhaustion(self):
+        mem = make_mem(frames=2)
+        mem.allocate_frame()
+        mem.allocate_frame()
+        with pytest.raises(ResourceShortageError):
+            mem.allocate_frame()
+
+    def test_double_free_rejected(self):
+        mem = make_mem()
+        addr = mem.allocate_frame()
+        mem.free_frame(addr)
+        with pytest.raises(ValueError):
+            mem.free_frame(addr)
+
+    def test_frames_are_frame_aligned(self):
+        mem = make_mem(frame_size=8192)
+        for _ in range(4):
+            assert mem.allocate_frame() % 8192 == 0
+
+
+class TestHoles:
+    """Section 5.1's SUN 3 display-memory holes."""
+
+    def test_hole_is_not_valid(self):
+        mem = make_mem(segments=[MemorySegment(0, 2 * 4096),
+                                 MemorySegment(4 * 4096, 2 * 4096)])
+        assert mem.total_frames == 4
+        assert mem.is_valid(0)
+        assert mem.is_valid(4096)
+        assert not mem.is_valid(2 * 4096)   # in the hole
+        assert not mem.is_valid(3 * 4096)
+        assert mem.is_valid(4 * 4096)
+
+    def test_hole_never_allocated(self):
+        mem = make_mem(segments=[MemorySegment(0, 4096),
+                                 MemorySegment(3 * 4096, 4096)])
+        addrs = {mem.allocate_frame(), mem.allocate_frame()}
+        assert addrs == {0, 3 * 4096}
+
+    def test_access_in_hole_rejected(self):
+        mem = make_mem(segments=[MemorySegment(0, 4096),
+                                 MemorySegment(3 * 4096, 4096)])
+        with pytest.raises(ValueError):
+            mem.read(4096, 4)
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(ValueError):
+            make_mem(segments=[MemorySegment(0, 8192),
+                               MemorySegment(4096, 8192)])
+
+    def test_unaligned_segment_rejected(self):
+        with pytest.raises(ValueError):
+            make_mem(segments=[MemorySegment(100, 4096)])
+
+
+class TestData:
+    def test_read_of_fresh_frame_is_zero(self):
+        mem = make_mem()
+        addr = mem.allocate_frame()
+        assert mem.read(addr, 16) == bytes(16)
+
+    def test_write_read_roundtrip(self):
+        mem = make_mem()
+        addr = mem.allocate_frame()
+        mem.write(addr + 100, b"hello")
+        assert mem.read(addr + 100, 5) == b"hello"
+        assert mem.read(addr + 99, 1) == b"\x00"
+
+    def test_cross_frame_access_rejected(self):
+        mem = make_mem()
+        addr = mem.allocate_frame()
+        with pytest.raises(ValueError):
+            mem.write(addr + 4090, b"0123456789")
+
+    def test_zero_frame(self):
+        mem = make_mem()
+        addr = mem.allocate_frame()
+        mem.write(addr, b"junk")
+        mem.zero_frame(addr)
+        assert mem.read(addr, 4) == bytes(4)
+
+    def test_copy_frame(self):
+        mem = make_mem()
+        src = mem.allocate_frame()
+        dst = mem.allocate_frame()
+        mem.write(src, b"payload")
+        mem.copy_frame(src, dst)
+        assert mem.read(dst, 7) == b"payload"
+
+    def test_free_discards_contents(self):
+        mem = make_mem(frames=1)
+        addr = mem.allocate_frame()
+        mem.write(addr, b"secret")
+        mem.free_frame(addr)
+        addr2 = mem.allocate_frame()
+        assert addr2 == addr
+        assert mem.read(addr2, 6) == bytes(6)

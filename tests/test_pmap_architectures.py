@@ -1,0 +1,225 @@
+"""Per-architecture pmap behaviour (Section 5.1's observations)."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMProt
+from repro.core.kernel import MachKernel
+from repro.pmap.ns32082 import PA_LIMIT, VA_LIMIT
+from repro.pmap.vax import PTES_PER_PT_PAGE, VaxPmap
+
+from tests.conftest import make_spec
+
+MB = 1 << 20
+
+
+class TestVaxPageTables:
+    """"keep page tables in physical memory, but only to construct
+    those parts of the table which were needed"."""
+
+    @pytest.fixture
+    def kernel(self):
+        return MachKernel(make_spec(pmap_name="vax", hw_page_size=512,
+                                    page_size=4096))
+
+    def test_pt_pages_lazy(self, kernel):
+        task = kernel.task_create()
+        assert task.pmap.pt_pages_resident == 0
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")
+        assert task.pmap.pt_pages_resident == 1
+
+    def test_sparse_space_uses_few_pt_pages(self, kernel):
+        task = kernel.task_create()
+        # Touch two pages 256 MB apart: a full linear table would need
+        # half a million PTEs; Mach builds two PT pages.
+        for address in (0, 256 * MB):
+            task.vm_allocate(4096, address=address, anywhere=False)
+            task.write(address, b"x")
+        assert task.pmap.pt_pages_resident == 2
+
+    def test_pt_pages_destroyed_on_remove(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"x")
+        task.vm_deallocate(addr, 4096)
+        assert task.pmap.pt_pages_resident == 0
+
+    def test_space_saving_vs_linear_table(self, kernel):
+        # The paper's 8 MB figure: a full linear table for one 1 GB
+        # VAX region (P0) costs 8 MB of PTEs.
+        assert VaxPmap.full_linear_pt_bytes(1 << 30) == 8 * MB
+        task = kernel.task_create()
+        addr = task.vm_allocate(64 * 4096)
+        for off in range(0, 64 * 4096, 4096):
+            task.write(addr + off, b"x")
+        assert task.pmap.pt_bytes() < 8192
+
+    def test_system_space_rejected(self, kernel):
+        task = kernel.task_create()
+        with pytest.raises(ValueError):
+            task.pmap.enter(0x8000_0000,
+                            kernel.vm.resident.allocate().phys_addr,
+                            VMProt.DEFAULT)
+
+
+class TestRtInvertedPageTable:
+    """"it allows only one valid mapping for each physical page, making
+    it impossible to share pages without triggering faults"."""
+
+    @pytest.fixture
+    def kernel(self):
+        return MachKernel(make_spec(pmap_name="rt_pc",
+                                    hw_page_size=2048, page_size=4096,
+                                    va_limit=4 << 30))
+
+    def test_one_mapping_per_physical_page(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        a.pmap.enter(0x10000, frame, VMProt.DEFAULT)
+        b.pmap.enter(0x20000, frame, VMProt.DEFAULT)
+        # b stole the mapping; a must refault.
+        assert not a.pmap.access(0x10000)
+        assert b.pmap.access(0x20000)
+        assert a.pmap.ipt.alias_steals >= 1
+
+    def test_shared_page_ping_pong(self, kernel):
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(4096)
+        from repro.core.constants import VMInherit
+        parent.vm_inherit(addr, 4096, VMInherit.SHARE)
+        parent.write(addr, b"shared")
+        child = parent.fork()
+        steals_before = parent.pmap.ipt.alias_steals
+        for _ in range(4):
+            assert child.read(addr, 6) == b"shared"
+            assert parent.read(addr, 6) == b"shared"
+        # Each alternation remaps the page: extra faults, but correct
+        # results ("these extra faults are rare enough ... that Mach is
+        # able to outperform" — see the ablation bench for rates).
+        assert parent.pmap.ipt.alias_steals > steals_before
+
+    def test_full_4gb_addressability(self, kernel):
+        task = kernel.task_create()
+        high = (4 << 30) - 4096
+        task.vm_allocate(4096, address=high, anywhere=False)
+        task.write(high, b"top")
+        assert task.read(high, 3) == b"top"
+
+
+class TestSun3Contexts:
+    """"only 8 such contexts may exist at any one time.  If there are
+    more than 8 active tasks, they compete for contexts"."""
+
+    @pytest.fixture
+    def kernel(self):
+        return MachKernel(make_spec(pmap_name="sun3",
+                                    hw_page_size=8192, page_size=8192,
+                                    mmu_contexts=2, memory_frames=128,
+                                    va_limit=256 * MB))
+
+    def test_context_stealing(self, kernel):
+        tasks = [kernel.task_create() for _ in range(3)]
+        addrs = []
+        for task in tasks:
+            addr = task.vm_allocate(8192)
+            task.write(addr, b"ctx")
+            addrs.append(addr)
+        pool = kernel.pmap_system.md_shared["sun3_contexts"]
+        assert pool.context_steals >= 1
+        # The stolen task's hardware mappings are gone...
+        victims = [t for t in tasks if not t.pmap._has_context]
+        assert victims
+        # ...but its data is intact after refaulting.
+        for task, addr in zip(tasks, addrs):
+            assert task.read(addr, 3) == b"ctx"
+
+    def test_within_context_limit_no_steals(self, kernel):
+        tasks = [kernel.task_create() for _ in range(2)]
+        for task in tasks:
+            addr = task.vm_allocate(8192)
+            task.write(addr, b"x")
+        pool = kernel.pmap_system.md_shared["sun3_contexts"]
+        assert pool.context_steals == 0
+
+    def test_physical_hole_machine_boots(self):
+        """The SUN 3 display-memory hole is handled entirely by the
+        physical memory layout (Section 5.1: "it was possible to deal
+        with this problem completely within machine dependent code")."""
+        import dataclasses
+        spec = make_spec(pmap_name="sun3", hw_page_size=8192,
+                         page_size=8192, mmu_contexts=8,
+                         va_limit=256 * MB)
+        spec = dataclasses.replace(
+            spec, memory_segments=((0, 32 * 8192),
+                                   (64 * 8192, 32 * 8192)))
+        kernel = MachKernel(spec)
+        task = kernel.task_create()
+        addr = task.vm_allocate(16 * 8192)
+        for off in range(0, 16 * 8192, 8192):
+            task.write(addr + off, bytes([off // 8192 + 1]))
+        for off in range(0, 16 * 8192, 8192):
+            assert task.read(addr + off, 1) == bytes([off // 8192 + 1])
+
+
+class TestNs32082:
+    """The Multimax/Balance MMU: address limits and the RMW erratum."""
+
+    @pytest.fixture
+    def kernel(self):
+        return MachKernel(make_spec(
+            pmap_name="ns32082", hw_page_size=512, page_size=4096,
+            va_limit=VA_LIMIT, buggy_rmw_reports_read=True,
+            memory_frames=256))
+
+    def test_va_limit_enforced_at_map_level(self, kernel):
+        task = kernel.task_create()
+        from repro.core.errors import InvalidAddressError
+        with pytest.raises(InvalidAddressError):
+            task.vm_allocate(4096, address=VA_LIMIT, anywhere=False)
+
+    def test_va_limit_enforced_in_pmap(self, kernel):
+        task = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        with pytest.raises(ValueError):
+            task.pmap.enter(VA_LIMIT, frame, VMProt.DEFAULT)
+
+    def test_pa_limit_enforced_in_pmap(self, kernel):
+        task = kernel.task_create()
+        with pytest.raises(ValueError):
+            task.pmap.enter(0, PA_LIMIT + 4096, VMProt.DEFAULT)
+
+    def test_rmw_fault_reported_as_read(self, kernel):
+        """The chip bug itself: a RMW access to an unmapped page traps
+        as a READ fault."""
+        from repro.core.errors import PageFault
+        task = kernel.task_create()
+        addr = task.vm_allocate(4096)
+        cpu = kernel._run_on_cpu(task)
+        with pytest.raises(PageFault) as excinfo:
+            kernel.machine.mmu.translate(cpu, addr, FaultType.WRITE,
+                                         rmw=True)
+        assert excinfo.value.fault_type is FaultType.READ
+
+    def test_workaround_makes_cow_correct(self, kernel):
+        """Despite the misreported fault, copy-on-write works: the pmap
+        upgrades a read fault on an already-readable page to a write."""
+        task = kernel.task_create()
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"\x01")
+        child = task.fork()
+        child.read(addr, 1)                    # map it readable
+        # Now the child increments the shared COW page via RMW: the
+        # hardware reports READ, the workaround upgrades to WRITE, the
+        # COW copy happens.
+        kernel.task_memory_rmw(child, addr)
+        assert child.read(addr, 1) == b"\x02"
+        assert task.read(addr, 1) == b"\x01"   # parent unchanged
+        assert child.pmap.rmw_upgrades >= 1
+
+    def test_rmw_on_writable_page_needs_no_upgrade(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(4096)
+        task.write(addr, b"\x05")
+        kernel.task_memory_rmw(task, addr)
+        assert task.read(addr, 1) == b"\x06"

@@ -1,0 +1,84 @@
+"""Table 3-4's optional ``pmap_copy`` optimization (implemented by the
+generic pmap; a no-op everywhere else)."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMInherit
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+@pytest.fixture
+def kernel():
+    return MachKernel(make_spec(pmap_name="generic"))
+
+
+class TestPmapCopyOptimization:
+    def test_child_reads_without_faulting(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        for off in range(0, 4 * PAGE, PAGE):
+            task.write(addr + off, b"warm")
+        # Re-establish read-only mappings in the parent (fork will
+        # write-protect; make sure the parent pmap has them).
+        for off in range(0, 4 * PAGE, PAGE):
+            task.read(addr + off, 1)
+        child = task.fork()
+        faults_before = kernel.stats.faults
+        for off in range(0, 4 * PAGE, PAGE):
+            assert child.read(addr + off, 4) == b"warm"
+        # The mappings were pre-copied: reads needed no faults at all.
+        assert kernel.stats.faults == faults_before
+
+    def test_first_write_still_faults(self, kernel):
+        """pmap_copy must never break COW: only read-only mappings are
+        duplicated, so the first write faults and copies."""
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"original")
+        child = task.fork()
+        child.write(addr, b"CHILD-OK")
+        assert task.read(addr, 8) == b"original"
+        assert child.read(addr, 8) == b"CHILD-OK"
+        assert kernel.stats.cow_faults >= 1
+
+    def test_none_inheritance_not_leaked(self, kernel):
+        """The child pmap must not receive translations for
+        NONE-inherited regions — otherwise the hardware would let the
+        child read memory its address map does not grant."""
+        from repro.core.errors import InvalidAddressError
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"secret")
+        task.read(addr, 1)
+        task.vm_inherit(addr, PAGE, VMInherit.NONE)
+        child = task.fork()
+        assert not child.pmap.access(addr)
+        with pytest.raises(InvalidAddressError):
+            child.read(addr, 6)
+
+    def test_shared_regions_not_precopied(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        task.write(addr, b"shared")
+        child = task.fork()
+        # No pre-copied translation; the child faults it in and then
+        # shares read/write.
+        assert not child.pmap.access(addr)
+        child.write(addr, b"SHARED")
+        assert task.read(addr, 6) == b"SHARED"
+
+    def test_other_architectures_default_noop(self):
+        kernel = MachKernel(make_spec(pmap_name="vax",
+                                      hw_page_size=512))
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"x")
+        task.read(addr, 1)
+        child = task.fork()
+        assert not child.pmap.access(addr)   # lazy: faults rebuild it
+        assert child.read(addr, 1) == b"x"

@@ -1,0 +1,195 @@
+"""The pmap contract (Table 3-3), tested identically against every MMU
+architecture — the machine-independent layer must not care which one is
+underneath."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMProt
+
+PAGE_OF = {"generic": 4096, "vax": 4096, "rt_pc": 4096, "sun3": 8192,
+           "ns32082": 4096}
+
+
+@pytest.fixture
+def env(any_pmap_kernel):
+    kernel = any_pmap_kernel
+    task = kernel.task_create()
+    return kernel, task, kernel.page_size
+
+
+class TestEnterExtract:
+    def test_enter_then_extract(self, env):
+        kernel, task, page = env
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0x10000, frame, VMProt.DEFAULT)
+        assert task.pmap.extract(0x10000) == frame
+        assert task.pmap.extract(0x10000 + 123) == frame + 123
+        assert task.pmap.access(0x10000)
+
+    def test_extract_of_unmapped_is_none(self, env):
+        kernel, task, page = env
+        assert task.pmap.extract(0x10000) is None
+        assert not task.pmap.access(0x10000)
+
+    def test_enter_replaces_previous_mapping(self, env):
+        kernel, task, page = env
+        f1 = kernel.vm.resident.allocate().phys_addr
+        f2 = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0x10000, f1, VMProt.DEFAULT)
+        task.pmap.enter(0x10000, f2, VMProt.DEFAULT)
+        assert task.pmap.extract(0x10000) == f2
+
+    def test_mach_page_fans_out_to_hw_pages(self, env):
+        kernel, task, page = env
+        hw_page = kernel.machine.hw_page_size
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0x10000, frame, VMProt.DEFAULT)
+        for off in range(0, page, hw_page):
+            hit = task.pmap.hw_lookup(0x10000 + off)
+            assert hit is not None
+            assert hit[0] == frame + off
+
+
+class TestRemoveProtect:
+    def test_remove_range(self, env):
+        kernel, task, page = env
+        frames = [kernel.vm.resident.allocate().phys_addr
+                  for _ in range(3)]
+        for i, frame in enumerate(frames):
+            task.pmap.enter(i * page, frame, VMProt.DEFAULT)
+        task.pmap.remove(page, 2 * page)
+        assert task.pmap.access(0)
+        assert not task.pmap.access(page)
+        assert task.pmap.access(2 * page)
+
+    def test_protect_lowers_permissions(self, env):
+        kernel, task, page = env
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0, frame, VMProt.DEFAULT)
+        task.pmap.protect(0, page, VMProt.READ)
+        _, prot = task.pmap.hw_lookup(0)
+        assert prot == VMProt.READ
+
+    def test_protect_none_removes(self, env):
+        kernel, task, page = env
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0, frame, VMProt.DEFAULT)
+        task.pmap.protect(0, page, VMProt.NONE)
+        assert not task.pmap.access(0)
+
+
+class TestPhysToVirtual:
+    def test_remove_all_clears_every_pmap(self, env):
+        kernel, task, page = env
+        other = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0x4000 if page <= 0x4000 else page, frame,
+                        VMProt.DEFAULT)
+        other.pmap.enter(page * 5, frame, VMProt.DEFAULT)
+        kernel.pmap_system.remove_all(frame)
+        assert not task.pmap.access(0x4000 if page <= 0x4000 else page)
+        assert not other.pmap.access(page * 5)
+
+    def test_copy_on_write_strips_write_everywhere(self, env):
+        kernel, task, page = env
+        other = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0, frame, VMProt.DEFAULT)
+        other.pmap.enter(page, frame, VMProt.DEFAULT)
+        kernel.pmap_system.copy_on_write(frame)
+        for pmap, va in ((task.pmap, 0), (other.pmap, page)):
+            hit = pmap.hw_lookup(va)
+            if hit is not None:       # RT may hold only one mapping
+                assert not hit[1].allows(VMProt.WRITE)
+
+    def test_mappings_of_tracks_enter_remove(self, env):
+        kernel, task, page = env
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0, frame, VMProt.DEFAULT)
+        mappings = kernel.pmap_system.mappings_of(frame)
+        assert (task.pmap, 0) in mappings
+        task.pmap.remove(0, page)
+        assert kernel.pmap_system.mappings_of(frame) == []
+
+
+class TestForgetting:
+    """"Virtual-to-physical mappings may be thrown away at almost any
+    time" — the MI layer reconstructs them at fault time."""
+
+    def test_forget_then_refault(self, env):
+        kernel, task, page = env
+        addr = task.vm_allocate(page)
+        task.write(addr, b"precious")
+        task.pmap.forget(addr)
+        assert not task.pmap.access(addr)
+        # The data comes back purely from MI structures.
+        assert task.read(addr, 8) == b"precious"
+        assert task.pmap.stats.forgets == 1
+
+    def test_destroy_clears_mappings(self, env):
+        kernel, task, page = env
+        addr = task.vm_allocate(4 * page)
+        task.write(addr, b"x")
+        task.terminate()
+        # No pv entries may survive the pmap.
+        for frame_addr in list(kernel.pmap_system._pv):
+            for pmap, _ in kernel.pmap_system._pv[frame_addr]:
+                assert pmap is not task.pmap
+
+
+class TestReferenceModify:
+    def test_mmu_sets_reference_and_modify(self, env):
+        kernel, task, page = env
+        addr = task.vm_allocate(page)
+        task.read(addr, 1)
+        out = kernel.fault(task, addr, FaultType.READ)
+        frame = out.page.phys_addr
+        assert kernel.pmap_system.is_referenced(frame)
+        assert not kernel.pmap_system.is_modified(frame)
+        task.write(addr, b"w")
+        assert kernel.pmap_system.is_modified(frame)
+
+    def test_clear_bits(self, env):
+        kernel, task, page = env
+        addr = task.vm_allocate(page)
+        task.write(addr, b"w")
+        frame = task.pmap.extract(addr)
+        frame -= frame % page
+        kernel.pmap_system.clear_modify(frame)
+        kernel.pmap_system.clear_reference(frame)
+        assert not kernel.pmap_system.is_modified(frame)
+        assert not kernel.pmap_system.is_referenced(frame)
+
+
+class TestActivation:
+    def test_activate_sets_cpu_state(self, env):
+        kernel, task, page = env
+        cpu = kernel.current_cpu
+        task.pmap.activate(task.threads[0], cpu)
+        assert cpu.active_pmap is task.pmap
+        assert cpu.cpu_id in task.pmap.cpus_using
+
+    def test_deactivate_keeps_taint(self, env):
+        kernel, task, page = env
+        cpu = kernel.current_cpu
+        task.pmap.activate(task.threads[0], cpu)
+        task.pmap.deactivate(task.threads[0], cpu)
+        assert cpu.active_pmap is None
+        assert cpu.cpu_id not in task.pmap.cpus_using
+        assert cpu.cpu_id in task.pmap.cpus_tainted
+
+
+class TestEndToEnd:
+    """Every architecture must run the same end-to-end COW fork."""
+
+    def test_cow_fork_on_every_mmu(self, env):
+        kernel, task, page = env
+        addr = task.vm_allocate(4 * page)
+        task.write(addr, b"machine independent")
+        child = task.fork()
+        child.write(addr, b"CHILD")
+        assert task.read(addr, 7) == b"machine"
+        assert child.read(addr, 5) == b"CHILD"
+        task.vm_map.check_invariants()
+        child.vm_map.check_invariants()
+        kernel.vm.resident.check_consistency()

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Three models are checked against randomized operation sequences:
+
+* the address map's structural invariants (sorted, non-overlapping,
+  size-consistent) under random allocate/deallocate/protect/inherit;
+* memory semantics: a task's memory must behave exactly like a flat
+  byte array, under random writes interleaved with forks, COW copies
+  and paging pressure — children snapshot, sharers alias;
+* the resident page table's cross-structure consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import VMError
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+NPAGES = 16
+REGION = NPAGES * PAGE
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Address map structural invariants
+# ---------------------------------------------------------------------------
+
+map_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(0, NPAGES - 1),
+                  st.integers(1, 4)),
+        st.tuples(st.just("dealloc"), st.integers(0, NPAGES - 1),
+                  st.integers(1, 4)),
+        st.tuples(st.just("protect"), st.integers(0, NPAGES - 1),
+                  st.sampled_from([VMProt.READ, VMProt.DEFAULT,
+                                   VMProt.NONE])),
+        st.tuples(st.just("inherit"), st.integers(0, NPAGES - 1),
+                  st.sampled_from(list(VMInherit))),
+    ),
+    min_size=1, max_size=30)
+
+
+class TestAddressMapInvariants:
+    @common_settings
+    @given(ops=map_ops)
+    def test_random_ops_preserve_invariants(self, ops):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        for op in ops:
+            try:
+                if op[0] == "alloc":
+                    _, page, length = op
+                    task.vm_allocate(length * PAGE, address=page * PAGE,
+                                     anywhere=False)
+                elif op[0] == "dealloc":
+                    _, page, length = op
+                    task.vm_deallocate(page * PAGE, length * PAGE)
+                elif op[0] == "protect":
+                    _, page, prot = op
+                    task.vm_protect(page * PAGE, PAGE, False, prot)
+                else:
+                    _, page, inherit = op
+                    task.vm_inherit(page * PAGE, PAGE, inherit)
+            except VMError:
+                pass          # rejected operations must not corrupt
+            task.vm_map.check_invariants()
+
+    @common_settings
+    @given(ops=map_ops)
+    def test_regions_reports_exactly_whats_mapped(self, ops):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        mapped = set()
+        for op in ops:
+            if op[0] == "alloc":
+                _, page, length = op
+                pages = set(range(page, page + length))
+                if not (pages & mapped):
+                    task.vm_allocate(length * PAGE, address=page * PAGE,
+                                     anywhere=False)
+                    mapped |= pages
+            elif op[0] == "dealloc":
+                _, page, length = op
+                task.vm_deallocate(page * PAGE, length * PAGE)
+                mapped -= set(range(page, page + length))
+        reported = set()
+        for region in task.vm_regions():
+            reported |= set(range(region.start // PAGE,
+                                  (region.start + region.size)
+                                  // PAGE))
+        assert reported == mapped
+
+
+# ---------------------------------------------------------------------------
+# Memory semantics vs a flat reference model
+# ---------------------------------------------------------------------------
+
+write_ops = st.lists(
+    st.tuples(st.integers(0, REGION - 16),       # offset
+              st.binary(min_size=1, max_size=16),
+              st.integers(0, 3)),                # which task writes
+    min_size=1, max_size=25)
+
+
+class TestCowSemanticsModel:
+    @common_settings
+    @given(ops=write_ops, fork_points=st.sets(st.integers(0, 24),
+                                              max_size=3))
+    def test_fork_snapshots_match_reference(self, ops, fork_points):
+        """Children created mid-stream see exactly the bytes present at
+        fork time plus their own writes — verified against plain
+        bytearray models."""
+        kernel = MachKernel(make_spec(memory_frames=256))
+        root = kernel.task_create()
+        addr = root.vm_allocate(REGION)
+        tasks = [root]
+        models = [bytearray(REGION)]
+        for i, (offset, data, writer) in enumerate(ops):
+            if i in fork_points:
+                parent_index = writer % len(tasks)
+                child = tasks[parent_index].fork()
+                tasks.append(child)
+                models.append(bytearray(models[parent_index]))
+            index = writer % len(tasks)
+            tasks[index].write(addr + offset, data)
+            models[index][offset:offset + len(data)] = data
+        for task, model in zip(tasks, models):
+            for offset, data, _ in ops:
+                got = task.read(addr + offset, len(data))
+                assert got == bytes(model[offset:offset + len(data)])
+
+    @common_settings
+    @given(ops=write_ops)
+    def test_shared_inheritance_aliases(self, ops):
+        """With SHARE inheritance every task is a window onto one
+        byte array."""
+        kernel = MachKernel(make_spec(memory_frames=256))
+        root = kernel.task_create()
+        addr = root.vm_allocate(REGION)
+        root.vm_inherit(addr, REGION, VMInherit.SHARE)
+        tasks = [root, root.fork(), root.fork()]
+        model = bytearray(REGION)
+        for offset, data, writer in ops:
+            tasks[writer % 3].write(addr + offset, data)
+            model[offset:offset + len(data)] = data
+        for task in tasks:
+            assert task.read(addr, REGION) == bytes(model)
+
+    @common_settings
+    @given(ops=write_ops)
+    def test_memory_pressure_is_transparent(self, ops):
+        """The same reference-model equality must hold on a machine so
+        small that the working set pages in and out constantly."""
+        kernel = MachKernel(make_spec(memory_frames=12))
+        task = kernel.task_create()
+        addr = task.vm_allocate(REGION)
+        model = bytearray(REGION)
+        for offset, data, _ in ops:
+            task.write(addr + offset, data)
+            model[offset:offset + len(data)] = data
+        assert task.read(addr, REGION) == bytes(model)
+        kernel.vm.resident.check_consistency()
+
+    @common_settings
+    @given(ops=write_ops, copy_at=st.integers(0, 20))
+    def test_vm_copy_snapshot(self, ops, copy_at):
+        """vm_copy takes a value snapshot: later writes to either side
+        never leak across."""
+        kernel = MachKernel(make_spec(memory_frames=256))
+        task = kernel.task_create()
+        src = task.vm_allocate(REGION)
+        dst = task.vm_allocate(REGION)
+        src_model = bytearray(REGION)
+        dst_model = bytearray(REGION)
+        copied = False
+        for i, (offset, data, which) in enumerate(ops):
+            if i >= copy_at and not copied:
+                task.vm_copy(src, REGION, dst)
+                dst_model = bytearray(src_model)
+                copied = True
+            if which % 2 == 0:
+                task.write(src + offset, data)
+                src_model[offset:offset + len(data)] = data
+            else:
+                task.write(dst + offset, data)
+                dst_model[offset:offset + len(data)] = data
+        assert task.read(src, REGION) == bytes(src_model)
+        assert task.read(dst, REGION) == bytes(dst_model)
+
+
+# ---------------------------------------------------------------------------
+# Resident table consistency under churn
+# ---------------------------------------------------------------------------
+
+class TestResidentConsistency:
+    @common_settings
+    @given(seed=st.integers(0, 2 ** 16))
+    def test_fork_exit_churn(self, seed):
+        import random
+        rng = random.Random(seed)
+        kernel = MachKernel(make_spec(memory_frames=64))
+        root = kernel.task_create()
+        addr = root.vm_allocate(8 * PAGE)
+        live = [root]
+        for step in range(12):
+            action = rng.choice(["fork", "write", "exit", "read"])
+            task = rng.choice(live)
+            if action == "fork" and len(live) < 6:
+                live.append(task.fork())
+            elif action == "write":
+                task.write(addr + rng.randrange(8) * PAGE,
+                           bytes([step + 1]))
+            elif action == "read":
+                task.read(addr + rng.randrange(8) * PAGE, 1)
+            elif action == "exit" and task is not root:
+                live.remove(task)
+                task.terminate()
+        kernel.vm.resident.check_consistency()
+        for task in live:
+            task.vm_map.check_invariants()

@@ -1,0 +1,175 @@
+"""Global reference-count audit.
+
+Every :class:`VMObject`'s ``ref_count`` must equal the number of actual
+referents in the system: map entries (in task maps and sharing maps)
+and shadow pointers from other objects; cached objects sit at zero.
+Sharing maps' own ``ref_count`` must equal the number of entries that
+point at them.  The audit runs after a set of gnarly workloads — if a
+reference leak or over-release exists anywhere in the fork/COW/collapse
+machinery, this is the net that catches it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import VMInherit
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+def audit(kernel: MachKernel) -> None:
+    """Assert every live object's ref_count matches reality."""
+    object_refs: Counter = Counter()
+    submap_refs: Counter = Counter()
+    submaps = {}
+
+    def scan_map(vm_map):
+        for entry in vm_map.entries():
+            if entry.is_sub_map:
+                submap_refs[id(entry.submap)] += 1
+                submaps[id(entry.submap)] = entry.submap
+            elif entry.vm_object is not None:
+                object_refs[id(entry.vm_object)] += 1
+
+    for task in kernel.tasks:
+        scan_map(task.vm_map)
+    for submap in list(submaps.values()):
+        scan_map(submap)
+
+    # Chase shadow chains from every rooted object.
+    seen: dict[int, object] = {}
+    stack = []
+    for task in kernel.tasks:
+        for entry in task.vm_map.entries():
+            if entry.vm_object is not None:
+                stack.append(entry.vm_object)
+    for submap in submaps.values():
+        for entry in submap.entries():
+            if entry.vm_object is not None:
+                stack.append(entry.vm_object)
+    for obj in list(kernel.vm.objects._cache.values()):
+        stack.append(obj)
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen[id(obj)] = obj
+        if obj.shadow is not None:
+            object_refs[id(obj.shadow)] += 1
+            stack.append(obj.shadow)
+
+    for obj_id, obj in seen.items():
+        expected = object_refs[obj_id]
+        assert not obj.terminated, f"terminated {obj!r} still reachable"
+        assert obj.ref_count == expected, (
+            f"{obj!r}: ref_count={obj.ref_count} but "
+            f"{expected} referents found")
+    for submap_id, submap in submaps.items():
+        assert submap.ref_count == submap_refs[submap_id], (
+            f"{submap!r}: ref_count={submap.ref_count} but "
+            f"{submap_refs[submap_id]} entries point at it")
+
+
+class TestAuditAfterWorkloads:
+    def test_fresh_kernel(self):
+        kernel = MachKernel(make_spec())
+        kernel.task_create()
+        audit(kernel)
+
+    def test_after_fork_tree(self):
+        kernel = MachKernel(make_spec())
+        root = kernel.task_create()
+        addr = root.vm_allocate(8 * PAGE)
+        root.write(addr, b"root")
+        kids = [root.fork() for _ in range(3)]
+        for kid in kids:
+            kid.write(addr, b"kid!")
+            kid.fork()
+        audit(kernel)
+
+    def test_after_terminations(self):
+        kernel = MachKernel(make_spec())
+        root = kernel.task_create()
+        addr = root.vm_allocate(4 * PAGE)
+        root.write(addr, b"data")
+        for _ in range(4):
+            child = root.fork()
+            child.write(addr, b"temp")
+            child.terminate()
+        audit(kernel)
+
+    def test_after_sharing_and_copies(self):
+        kernel = MachKernel(make_spec())
+        root = kernel.task_create()
+        addr = root.vm_allocate(8 * PAGE)
+        root.vm_inherit(addr, 4 * PAGE, VMInherit.SHARE)
+        a = root.fork()
+        b = root.fork()
+        a.write(addr, b"sharer-a")
+        dst = root.vm_allocate(8 * PAGE)
+        root.vm_copy(addr, 8 * PAGE, dst)
+        b.terminate()
+        audit(kernel)
+
+    def test_after_paging_pressure(self):
+        kernel = MachKernel(make_spec(memory_frames=24))
+        root = kernel.task_create()
+        addr = root.vm_allocate(40 * PAGE)
+        for off in range(0, 40 * PAGE, PAGE):
+            root.write(addr + off, b"p")
+        child = root.fork()
+        child.write(addr, b"c")
+        audit(kernel)
+
+    def test_after_partial_deallocations(self):
+        kernel = MachKernel(make_spec())
+        root = kernel.task_create()
+        addr = root.vm_allocate(8 * PAGE)
+        root.write(addr, b"x")
+        child = root.fork()
+        root.vm_deallocate(addr + 2 * PAGE, 2 * PAGE)
+        child.vm_deallocate(addr, 4 * PAGE)
+        audit(kernel)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2 ** 20))
+    def test_random_lifecycle_churn(self, seed):
+        import random
+        rng = random.Random(seed)
+        kernel = MachKernel(make_spec(memory_frames=128))
+        root = kernel.task_create()
+        addr = root.vm_allocate(8 * PAGE)
+        root.vm_inherit(addr + 4 * PAGE, 2 * PAGE, VMInherit.SHARE)
+        live = [root]
+        for step in range(15):
+            action = rng.choice(
+                ["fork", "write", "copy", "dealloc", "exit"])
+            task = rng.choice(live)
+            try:
+                if action == "fork" and len(live) < 6:
+                    live.append(task.fork())
+                elif action == "write":
+                    task.write(addr + rng.randrange(8) * PAGE,
+                               bytes([step + 1]))
+                elif action == "copy":
+                    dst = task.vm_map.find_space(8 * PAGE)
+                    task.vm_map.copy_region(addr, 8 * PAGE,
+                                            task.vm_map, dst)
+                elif action == "dealloc":
+                    task.vm_deallocate(addr + rng.randrange(8) * PAGE,
+                                       PAGE)
+                elif action == "exit" and task is not root:
+                    live.remove(task)
+                    task.terminate()
+            except Exception:
+                pass
+        audit(kernel)

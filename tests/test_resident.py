@@ -1,0 +1,163 @@
+"""Unit tests for the resident page table (Section 3.1)."""
+
+import pytest
+
+from repro.core.page import PageQueue
+from repro.core.resident import ResidentPageTable
+from repro.core.vm_object import VMObject
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+
+
+@pytest.fixture
+def resident():
+    mem = PhysicalMemory(4096, [MemorySegment(0, 16 * 4096)])
+    return ResidentPageTable(mem)
+
+
+@pytest.fixture
+def obj():
+    return VMObject(64 * 4096)
+
+
+class TestAllocation:
+    def test_allocate_starts_busy_unqueued(self, resident):
+        page = resident.allocate()
+        assert page.busy
+        assert page.queue is PageQueue.NONE
+        assert resident.resident_count == 1
+
+    def test_allocate_into_object(self, resident, obj):
+        page = resident.allocate(obj, 0x2000)
+        assert page.vm_object is obj
+        assert page.offset == 0x2000
+        assert obj.resident_page(0x2000) is page
+
+    def test_free_returns_frame(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        free_before = resident.free_count
+        resident.free(page)
+        assert resident.free_count == free_before + 1
+        assert obj.resident_page(0) is None
+
+    def test_page_for(self, resident):
+        page = resident.allocate()
+        assert resident.page_for(page.phys_addr) is page
+
+
+class TestHash:
+    """Paper: "Fast lookup of a physical page associated with an
+    object/offset ... is performed using a bucket hash table keyed by
+    memory object and byte offset."
+    """
+
+    def test_lookup_hit(self, resident, obj):
+        page = resident.allocate(obj, 0x1000)
+        assert resident.lookup(obj, 0x1000) is page
+        assert resident.lookup_hits == 1
+
+    def test_lookup_miss(self, resident, obj):
+        assert resident.lookup(obj, 0) is None
+
+    def test_one_object_per_page(self, resident, obj):
+        # "Memory object semantics permit each page to belong to at
+        # most one memory object."
+        page = resident.allocate(obj, 0)
+        other = VMObject(4096)
+        with pytest.raises(ValueError):
+            resident.insert(page, other, 0)
+
+    def test_duplicate_offset_rejected(self, resident, obj):
+        resident.allocate(obj, 0)
+        page2 = resident.allocate()
+        with pytest.raises(ValueError):
+            resident.insert(page2, obj, 0)
+
+    def test_rename_moves_identity(self, resident, obj):
+        # Object collapse migrates pages between objects.
+        page = resident.allocate(obj, 0x3000)
+        target = VMObject(4096 * 8)
+        resident.rename(page, target, 0x1000)
+        assert resident.lookup(obj, 0x3000) is None
+        assert resident.lookup(target, 0x1000) is page
+        assert target.resident_page(0x1000) is page
+
+
+class TestQueues:
+    def test_activate_deactivate(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        resident.activate(page)
+        assert page.queue is PageQueue.ACTIVE
+        assert resident.active_count == 1
+        resident.deactivate(page)
+        assert page.queue is PageQueue.INACTIVE
+        assert resident.inactive_count == 1
+        assert resident.active_count == 0
+
+    def test_deactivate_clears_reference(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        page.referenced = True
+        resident.deactivate(page)
+        assert not page.referenced
+
+    def test_lru_order(self, resident, obj):
+        pages = [resident.allocate(obj, i * 4096) for i in range(3)]
+        for page in pages:
+            resident.activate(page)
+        assert resident.oldest_active() is pages[0]
+        # Re-activating moves to the tail.
+        resident.activate(pages[0])
+        assert resident.oldest_active() is pages[1]
+
+    def test_wired_pages_leave_queues(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        resident.activate(page)
+        resident.wire(page)
+        assert page.queue is PageQueue.NONE
+        assert resident.wired_count == 1
+        resident.unwire(page)
+        assert page.queue is PageQueue.ACTIVE
+
+    def test_wire_counts_nest(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        resident.wire(page)
+        resident.wire(page)
+        resident.unwire(page)
+        assert page.wired
+        resident.unwire(page)
+        assert not page.wired
+
+    def test_cannot_free_wired(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        resident.wire(page)
+        with pytest.raises(ValueError):
+            resident.free(page)
+
+    def test_unwire_unwired_rejected(self, resident, obj):
+        page = resident.allocate(obj, 0)
+        with pytest.raises(ValueError):
+            resident.unwire(page)
+
+
+class TestReclaimThresholds:
+    def test_needs_reclaim(self, resident):
+        assert not resident.needs_reclaim
+        pages = []
+        while resident.free_count > resident.free_target - 1:
+            pages.append(resident.allocate())
+        assert resident.needs_reclaim
+
+    def test_reclaim_hook_runs_when_critical(self):
+        mem = PhysicalMemory(4096, [MemorySegment(0, 8 * 4096)])
+        resident = ResidentPageTable(mem, free_target=4, free_min=6)
+        calls = []
+        resident.reclaim_hook = lambda: calls.append(1)
+        for _ in range(4):
+            resident.allocate()
+        assert calls  # hook fired once free dropped below free_min
+
+    def test_consistency_checker(self, resident, obj):
+        for i in range(4):
+            page = resident.allocate(obj, i * 4096)
+            resident.activate(page)
+        resident.deactivate(resident.lookup(obj, 0))
+        resident.check_consistency()

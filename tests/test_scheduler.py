@@ -1,0 +1,224 @@
+"""The cooperative thread scheduler: correctness under
+multiprogramming, context-switch accounting, and interaction with the
+MMU machinery."""
+
+import pytest
+
+from repro.core.constants import VMInherit
+from repro.core.kernel import MachKernel
+from repro.sched import Scheduler, ThreadState
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+class TestBasics:
+    def test_single_thread_runs_to_completion(self, kernel, task):
+        sched = Scheduler(kernel)
+        log = []
+
+        def body(ctx):
+            addr = ctx.task.vm_allocate(PAGE)
+            ctx.write(addr, b"step1")
+            yield
+            log.append(ctx.read(addr, 5))
+
+        thread = sched.spawn(task, body)
+        sched.run()
+        assert thread.state is ThreadState.DONE
+        assert log == [b"step1"]
+
+    def test_threads_share_task_memory(self, kernel, task):
+        """"All threads within a task share access to all task
+        resources."""
+        sched = Scheduler(kernel)
+        addr = task.vm_allocate(PAGE)
+
+        def writer(ctx):
+            ctx.write(addr, b"from-writer")
+            yield
+
+        results = []
+
+        def reader(ctx):
+            yield                      # let the writer go first
+            yield
+            results.append(ctx.read(addr, 11))
+
+        sched.spawn(task, writer)
+        sched.spawn(task, reader)
+        sched.run()
+        assert results == [b"from-writer"]
+
+    def test_failure_propagates(self, kernel, task):
+        sched = Scheduler(kernel)
+
+        def bad(ctx):
+            yield
+            raise ValueError("thread body exploded")
+
+        thread = sched.spawn(task, bad)
+        with pytest.raises(ValueError):
+            sched.run()
+        assert thread.state is ThreadState.FAILED
+
+    def test_runaway_budget(self, kernel, task):
+        sched = Scheduler(kernel)
+
+        def forever(ctx):
+            while True:
+                yield
+
+        sched.spawn(task, forever)
+        with pytest.raises(RuntimeError):
+            sched.run(max_slices=50)
+
+    def test_suspended_thread_does_not_run(self, kernel, task):
+        sched = Scheduler(kernel, timer_tick_every=0)
+        progress = []
+
+        def body(ctx):
+            progress.append(1)
+            yield
+            progress.append(2)
+
+        thread = sched.spawn(task, body)
+        thread.thread.suspend()
+        sched.step()
+        assert progress == []
+        thread.thread.resume()
+        sched.run()
+        assert progress == [1, 2]
+
+
+class TestMultiprogramming:
+    def test_many_tasks_interleave_correctly(self, kernel):
+        """Twelve tasks incrementing private counters under round-robin
+        scheduling: no cross-task interference."""
+        sched = Scheduler(kernel)
+        tasks = [kernel.task_create() for _ in range(12)]
+        addrs = {}
+
+        def make_body(index):
+            def body(ctx):
+                addr = addrs[index]
+                for _ in range(5):
+                    ctx.rmw(addr)
+                    yield
+            return body
+
+        for index, task in enumerate(tasks):
+            addrs[index] = task.vm_allocate(PAGE)
+            task.write(addrs[index], bytes([0]))
+            sched.spawn(task, make_body(index))
+        sched.run()
+        for index, task in enumerate(tasks):
+            assert task.read(addrs[index], 1) == bytes([5])
+
+    def test_context_switches_counted(self, kernel):
+        sched = Scheduler(kernel)
+        a = kernel.task_create()
+        b = kernel.task_create()
+
+        def body(ctx):
+            addr = ctx.task.vm_allocate(PAGE)
+            for _ in range(3):
+                ctx.write(addr, b"x")
+                yield
+
+        sched.spawn(a, body)
+        sched.spawn(b, body)
+        sched.run()
+        # One CPU alternating between two tasks: a switch per slice.
+        assert sched.context_switches >= 4
+
+    def test_threads_spread_across_cpus(self):
+        kernel = MachKernel(make_spec(ncpus=4))
+        sched = Scheduler(kernel)
+        tasks = [kernel.task_create() for _ in range(4)]
+        cpus_seen = set()
+
+        def make_body(task):
+            def body(ctx):
+                addr = ctx.task.vm_allocate(PAGE)
+                ctx.write(addr, b"x")
+                cpus_seen.add(ctx.cpu_id)
+                yield
+            return body
+
+        for task in tasks:
+            sched.spawn(task, make_body(task))
+        sched.step()
+        assert len(cpus_seen) == 4
+
+    def test_shared_memory_counter_across_tasks(self):
+        """Tasks sharing a page via SHARE inheritance increment one
+        counter from different CPUs; the total must be exact (each rmw
+        is one whole slice, so increments never interleave)."""
+        kernel = MachKernel(make_spec(ncpus=2))
+        sched = Scheduler(kernel)
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(PAGE)
+        parent.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        parent.write(addr, bytes([0]))
+        family = [parent, parent.fork(), parent.fork()]
+
+        def body(ctx):
+            for _ in range(4):
+                ctx.rmw(addr)
+                yield
+
+        for member in family:
+            sched.spawn(member, body)
+        sched.run()
+        assert parent.read(addr, 1) == bytes([12])
+
+
+class TestMmuInteraction:
+    def test_sun3_context_competition_via_scheduling(self):
+        """More active tasks than MMU contexts: the scheduler's
+        round-robin drives genuine context steals."""
+        kernel = MachKernel(make_spec(pmap_name="sun3",
+                                      hw_page_size=8192,
+                                      page_size=8192, mmu_contexts=2,
+                                      memory_frames=128,
+                                      va_limit=256 * (1 << 20)))
+        sched = Scheduler(kernel)
+        tasks = [kernel.task_create() for _ in range(4)]
+
+        def make_body(task):
+            addr = task.vm_allocate(8192)
+
+            def body(ctx):
+                for i in range(3):
+                    ctx.write(addr, bytes([i + 1]))
+                    yield
+                    assert ctx.read(addr, 1) == bytes([i + 1])
+            return body
+
+        for task in tasks:
+            sched.spawn(task, make_body(task))
+        sched.run()
+        pool = kernel.pmap_system.md_shared["sun3_contexts"]
+        assert pool.context_steals > 0
+
+    def test_deferred_flushes_drain_at_scheduler_ticks(self):
+        from repro.pmap.interface import ShootdownStrategy
+        kernel = MachKernel(make_spec(ncpus=2),
+                            shootdown=ShootdownStrategy.DEFERRED)
+        sched = Scheduler(kernel, timer_tick_every=1)
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+
+        def body(ctx):
+            for off in range(0, 4 * PAGE, PAGE):
+                ctx.write(addr + off, b"d")
+                yield
+            ctx.task.vm_deallocate(addr, 4 * PAGE)
+            yield
+
+        sched.spawn(task, body)
+        sched.run()
+        for cpu in kernel.machine.cpus:
+            assert not cpu.has_deferred_flushes

@@ -1,0 +1,153 @@
+"""Sharing maps in depth (Section 3.4): operations applied through the
+sharing map, partial shares, reference counting, COW of shared
+regions."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMInherit, VMProt
+from repro.core.errors import InvalidAddressError
+
+PAGE = 4096
+
+
+@pytest.fixture
+def shared_family(kernel):
+    """Parent + two children sharing an 8-page region."""
+    parent = kernel.task_create(name="parent")
+    addr = parent.vm_allocate(8 * PAGE)
+    parent.write(addr, b"shared-region")
+    parent.vm_inherit(addr, 8 * PAGE, VMInherit.SHARE)
+    c1 = parent.fork()
+    c2 = parent.fork()
+    return kernel, parent, c1, c2, addr
+
+
+class TestSharingMapStructure:
+    def test_all_maps_reference_one_sharing_map(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        submaps = set()
+        for task in (parent, c1, c2):
+            found, entry = task.vm_map.lookup_entry(addr)
+            assert entry.is_sub_map
+            submaps.add(id(entry.submap))
+        assert len(submaps) == 1
+
+    def test_refcount_tracks_maps(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        found, entry = parent.vm_map.lookup_entry(addr)
+        submap = entry.submap
+        assert submap.ref_count == 3
+        c2.terminate()
+        assert submap.ref_count == 2
+
+    def test_sharing_map_dies_with_last_reference(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        found, entry = parent.vm_map.lookup_entry(addr)
+        submap = entry.submap
+        leaf_obj = None
+        for leaf in submap.entries():
+            leaf_obj = leaf.vm_object
+        assert leaf_obj is not None
+        for task in (c1, c2, parent):
+            task.terminate()
+        assert submap.ref_count == 0
+        assert leaf_obj.terminated
+
+    def test_partial_share_splits_entry(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        task.vm_inherit(addr + PAGE, 2 * PAGE, VMInherit.SHARE)
+        child = task.fork()
+        # Shared middle, COW edges.
+        child.write(addr + PAGE, b"mid")
+        assert task.read(addr + PAGE, 3) == b"mid"
+        child.write(addr, b"edge")
+        assert task.read(addr, 4) == bytes(4)     # COW isolated
+        task.vm_map.check_invariants()
+        child.vm_map.check_invariants()
+
+
+class TestOperationsThroughSharing:
+    def test_writes_visible_in_all_directions(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        c1.write(addr + PAGE, b"from-c1")
+        assert parent.read(addr + PAGE, 7) == b"from-c1"
+        assert c2.read(addr + PAGE, 7) == b"from-c1"
+        parent.write(addr + 2 * PAGE, b"from-parent")
+        assert c1.read(addr + 2 * PAGE, 11) == b"from-parent"
+
+    def test_protect_is_per_task(self, shared_family):
+        """vm_protect on one sharer's mapping affects only that task —
+        "it is acceptable for a page to have its protection changed
+        first for one task and then for another"."""
+        kernel, parent, c1, c2, addr = shared_family
+        c1.vm_protect(addr, 8 * PAGE, False, VMProt.READ)
+        with pytest.raises(Exception):
+            c1.write(addr, b"x")
+        c2.write(addr, b"c2-still-writes")
+        assert parent.read(addr, 15) == b"c2-still-writes"
+
+    def test_deallocate_by_one_sharer_leaves_others(self,
+                                                    shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        c1.vm_deallocate(addr, 8 * PAGE)
+        with pytest.raises(InvalidAddressError):
+            c1.read(addr, 1)
+        c2.write(addr, b"survivors")
+        assert parent.read(addr, 9) == b"survivors"
+
+    def test_sharing_map_protect_applies_to_everyone(self,
+                                                     shared_family):
+        """"Map operations that should apply to all maps sharing the
+        data are simply applied to the sharing map."""
+        kernel, parent, c1, c2, addr = shared_family
+        found, entry = parent.vm_map.lookup_entry(addr)
+        submap = entry.submap
+        submap.protect(0, 8 * PAGE, VMProt.READ)
+        for task in (parent, c1, c2):
+            with pytest.raises(Exception):
+                task.write(addr, b"x")
+            task.read(addr, 1)                    # reads still fine
+
+
+class TestCowOfSharedRegion:
+    def test_vm_copy_from_shared_region_snapshots(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        parent.write(addr, b"snapshot-me")
+        dst = parent.vm_allocate(8 * PAGE)
+        parent.vm_copy(addr, 8 * PAGE, dst)
+        # Sharers keep writing; the copy is frozen.
+        c1.write(addr, b"post-copy!!")
+        assert parent.read(dst, 11) == b"snapshot-me"
+        assert parent.read(addr, 11) == b"post-copy!!"
+
+    def test_copy_then_fork_nests_correctly(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        parent.write(addr, b"base")
+        dst = parent.vm_allocate(8 * PAGE)
+        parent.vm_copy(addr, 8 * PAGE, dst)
+        grandchild = c1.fork()                    # shares the region
+        grandchild.write(addr, b"gc!!")
+        assert parent.read(addr, 4) == b"gc!!"
+        assert parent.read(dst, 4) == b"base"
+
+
+class TestFaultPathThroughSharing:
+    def test_fault_descends_exactly_one_level(self, shared_family):
+        kernel, parent, c1, c2, addr = shared_family
+        result = parent.vm_map.lookup(addr, FaultType.READ)
+        assert result.leaf_map.is_sharing_map
+        assert not result.leaf_entry.is_sub_map
+
+    def test_lazy_shared_region_materializes_once(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(2 * PAGE)         # never touched
+        task.vm_inherit(addr, 2 * PAGE, VMInherit.SHARE)
+        child = task.fork()
+        child.write(addr, b"first-touch")         # materialize in leaf
+        assert task.read(addr, 11) == b"first-touch"
+        objects = set()
+        for t in (task, child):
+            result = t.vm_map.lookup(addr, FaultType.READ)
+            objects.add(result.vm_object)
+        assert len(objects) == 1

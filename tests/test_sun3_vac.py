@@ -1,0 +1,125 @@
+"""The virtually-addressed-cache SUN pmap (SUN 3/260): alias
+discipline, write-back points, and end-to-end correctness."""
+
+import pytest
+
+from repro import hw
+from repro.core.constants import VMInherit, VMProt
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 8192
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    return MachKernel(make_spec(pmap_name="sun3_vac",
+                                hw_page_size=PAGE, page_size=PAGE,
+                                mmu_contexts=8, va_limit=256 * MB,
+                                memory_frames=128))
+
+
+class TestAliasDiscipline:
+    def test_single_mapping_no_flushes(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        for off in range(0, 4 * PAGE, PAGE):
+            task.write(addr + off, b"solo")
+        assert task.pmap.vac_flushes == 0
+
+    def test_alias_creation_flushes_previous(self, kernel):
+        a = kernel.task_create()
+        b = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        a.pmap.enter(0x10000, frame, VMProt.DEFAULT)
+        assert a.pmap.vac_flushes == 0
+        b.pmap.enter(0x40000, frame, VMProt.DEFAULT)
+        # The second (differently-addressed) mapping flushed the first
+        # alias's lines.
+        assert b.pmap.vac_flushes == 1
+
+    def test_same_window_reenter_no_flush(self, kernel):
+        task = kernel.task_create()
+        frame = kernel.vm.resident.allocate().phys_addr
+        task.pmap.enter(0x10000, frame, VMProt.DEFAULT)
+        task.pmap.enter(0x10000, frame, VMProt.READ)
+        assert task.pmap.vac_flushes == 0
+
+    def test_live_alias_invariant(self, kernel):
+        tasks = [kernel.task_create() for _ in range(3)]
+        frame = kernel.vm.resident.allocate().phys_addr
+        for i, task in enumerate(tasks):
+            task.pmap.enter((i + 1) * 0x20000, frame, VMProt.DEFAULT)
+        kernel.pmap_system.md_shared["sun3_vac"].check_invariant()
+
+    def test_remove_flushes_dirty_window(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"dirty lines")
+        flushes = task.pmap.vac_flushes
+        task.vm_deallocate(addr, PAGE)
+        assert task.pmap.vac_flushes == flushes + 1
+
+    def test_cow_protect_writes_back(self, kernel):
+        """Write-protecting for COW must push dirty lines to memory —
+        otherwise the copy would miss them."""
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"must reach memory")
+        flushes = task.pmap.vac_flushes
+        child = task.fork()                  # COW-protects the page
+        assert task.pmap.vac_flushes > flushes
+        # And the data really is there for the child.
+        assert child.read(addr, 17) == b"must reach memory"
+
+
+class TestEndToEnd:
+    def test_shared_page_ping_pong_correct(self, kernel):
+        parent = kernel.task_create()
+        addr = parent.vm_allocate(PAGE)
+        parent.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        parent.write(addr, b"v0")
+        child = parent.fork()
+        for i in range(4):
+            child.write(addr, f"c{i}".encode())
+            assert parent.read(addr, 2) == f"c{i}".encode()
+            parent.write(addr, f"p{i}".encode())
+            assert child.read(addr, 2) == f"p{i}".encode()
+        # Aliased use flushed the cache along the way.
+        assert parent.pmap.vac_flushes + child.pmap.vac_flushes > 0
+
+    def test_paging_pressure_with_vac(self, kernel):
+        task = kernel.task_create()
+        n = 200
+        addr = task.vm_allocate(n * PAGE)
+        for i in range(n):
+            task.write(addr + i * PAGE, bytes([i % 251 + 1]))
+        for i in range(n):
+            assert task.read(addr + i * PAGE, 1) == \
+                bytes([i % 251 + 1])
+
+    def test_sun3_260_preset_boots(self):
+        kernel = MachKernel(hw.SUN_3_260)
+        task = kernel.task_create()
+        addr = task.vm_allocate(4 * PAGE)
+        task.write(addr, b"vac machine")
+        child = task.fork()
+        assert child.read(addr, 11) == b"vac machine"
+        assert type(task.pmap).__name__ == "Sun3VacPmap"
+
+    def test_context_steal_still_works_with_vac(self):
+        kernel = MachKernel(make_spec(pmap_name="sun3_vac",
+                                      hw_page_size=PAGE,
+                                      page_size=PAGE, mmu_contexts=2,
+                                      va_limit=256 * MB,
+                                      memory_frames=128))
+        tasks = [kernel.task_create() for _ in range(3)]
+        addrs = []
+        for task in tasks:
+            addr = task.vm_allocate(PAGE)
+            task.write(addr, b"ctx+vac")
+            addrs.append(addr)
+        for task, addr in zip(tasks, addrs):
+            assert task.read(addr, 7) == b"ctx+vac"

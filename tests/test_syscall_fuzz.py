@@ -1,0 +1,119 @@
+"""Syscall fuzzing: the C-style surface must never raise, whatever the
+arguments — only return kern_return codes — and must never corrupt the
+map."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import syscalls
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import KernReturn
+from repro.core.kernel import MachKernel
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+addresses = st.one_of(
+    st.integers(-(1 << 40), 1 << 40),
+    st.none(),
+)
+sizes = st.integers(-(1 << 32), 1 << 32)
+prots = st.sampled_from([VMProt.NONE, VMProt.READ, VMProt.DEFAULT,
+                         VMProt.ALL, VMProt.EXECUTE])
+inherits = st.sampled_from(list(VMInherit) + ["bogus", None, 3])
+
+fuzz_settings = settings(max_examples=60, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestFuzz:
+    @fuzz_settings
+    @given(address=addresses, size=sizes,
+           anywhere=st.booleans())
+    def test_vm_allocate_never_raises(self, address, size, anywhere):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        kr, out = syscalls.vm_allocate(task, address, size, anywhere)
+        assert isinstance(kr, KernReturn)
+        task.vm_map.check_invariants()
+
+    @fuzz_settings
+    @given(address=st.integers(-(1 << 40), 1 << 40), size=sizes,
+           set_maximum=st.booleans(), prot=prots)
+    def test_vm_protect_never_raises(self, address, size, set_maximum,
+                                     prot):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        task.vm_allocate(4 * PAGE, address=0, anywhere=False)
+        kr = syscalls.vm_protect(task, address, size, set_maximum, prot)
+        assert isinstance(kr, KernReturn)
+        task.vm_map.check_invariants()
+
+    @fuzz_settings
+    @given(address=st.integers(-(1 << 40), 1 << 40), size=sizes,
+           inherit=inherits)
+    def test_vm_inherit_never_raises(self, address, size, inherit):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        task.vm_allocate(4 * PAGE, address=0, anywhere=False)
+        kr = syscalls.vm_inherit(task, address, size, inherit)
+        assert isinstance(kr, KernReturn)
+        task.vm_map.check_invariants()
+
+    @fuzz_settings
+    @given(address=st.integers(-(1 << 40), 1 << 40),
+           size=st.integers(-1024, 1 << 20))
+    def test_vm_read_never_raises(self, address, size):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        task.vm_allocate(4 * PAGE, address=0, anywhere=False)
+        kr, data = syscalls.vm_read(task, address, size)
+        assert isinstance(kr, KernReturn)
+        if kr is KernReturn.SUCCESS:
+            assert isinstance(data, bytes)
+
+    @fuzz_settings
+    @given(src=st.integers(-(1 << 30), 1 << 30),
+           dst=st.integers(-(1 << 30), 1 << 30),
+           count=st.integers(-PAGE, 1 << 20))
+    def test_vm_copy_never_raises(self, src, dst, count):
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        task.vm_allocate(8 * PAGE, address=0, anywhere=False)
+        kr = syscalls.vm_copy(task, src, count, dst)
+        assert isinstance(kr, KernReturn)
+        task.vm_map.check_invariants()
+
+    @fuzz_settings
+    @given(ops=st.lists(st.tuples(
+        st.sampled_from(["alloc", "dealloc", "protect", "read",
+                         "write"]),
+        st.integers(-(1 << 20), 1 << 22),
+        st.integers(-PAGE, 4 * PAGE)), max_size=15))
+    def test_random_syscall_storm(self, ops):
+        """Any sequence of malformed calls leaves a usable kernel."""
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        for op, address, size in ops:
+            if op == "alloc":
+                syscalls.vm_allocate(task, address, size, False)
+            elif op == "dealloc":
+                syscalls.vm_deallocate(task, address, size)
+            elif op == "protect":
+                syscalls.vm_protect(task, address, size, False,
+                                    VMProt.READ)
+            elif op == "read":
+                syscalls.vm_read(task, address, max(size, 0))
+            elif op == "write":
+                syscalls.vm_write(task, address, max(size, 0),
+                                  b"x" * max(size, 0))
+        task.vm_map.check_invariants()
+        # The kernel still works afterwards.
+        kr, addr = syscalls.vm_allocate(task, None, PAGE, True)
+        assert kr is KernReturn.SUCCESS
+        syscalls.vm_write(task, addr, 5, b"alive")
+        assert syscalls.vm_read(task, addr, 5)[1] == b"alive"

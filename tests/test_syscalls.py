@@ -1,0 +1,145 @@
+"""The Table 2-1 syscall surface: kern_return codes, out-parameters,
+and the paper's exact operation set."""
+
+import pytest
+
+from repro.core import syscalls
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import KernReturn
+
+PAGE = 4096
+
+
+class TestAllocateDeallocate:
+    def test_allocate_anywhere(self, kernel, task):
+        kr, address = syscalls.vm_allocate(task, None, 4 * PAGE, True)
+        assert kr is KernReturn.SUCCESS
+        assert address is not None
+
+    def test_allocate_at_address(self, kernel, task):
+        kr, address = syscalls.vm_allocate(task, 8 * PAGE, PAGE, False)
+        assert kr is KernReturn.SUCCESS
+        assert address == 8 * PAGE
+
+    def test_allocate_overlap_returns_no_space(self, kernel, task):
+        syscalls.vm_allocate(task, 0, PAGE, False)
+        kr, _ = syscalls.vm_allocate(task, 0, PAGE, False)
+        assert kr is KernReturn.NO_SPACE
+
+    def test_allocate_bad_size(self, kernel, task):
+        kr, _ = syscalls.vm_allocate(task, None, -1, True)
+        assert kr is KernReturn.INVALID_ARGUMENT
+
+    def test_deallocate_success(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        assert syscalls.vm_deallocate(task, address, PAGE) is \
+            KernReturn.SUCCESS
+
+    def test_zero_filled(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        kr, data = syscalls.vm_read(task, address, 16)
+        assert kr is KernReturn.SUCCESS
+        assert data == bytes(16)
+
+
+class TestReadWrite:
+    def test_write_then_read(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        payload = b"through the syscall layer"
+        kr = syscalls.vm_write(task, address, len(payload), payload)
+        assert kr is KernReturn.SUCCESS
+        kr, data = syscalls.vm_read(task, address, len(payload))
+        assert data == payload
+
+    def test_write_count_mismatch(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        kr = syscalls.vm_write(task, address, 10, b"short")
+        assert kr is KernReturn.INVALID_ARGUMENT
+
+    def test_read_unmapped(self, kernel, task):
+        kr, data = syscalls.vm_read(task, 0x700000, 16)
+        assert kr is KernReturn.INVALID_ADDRESS
+        assert data is None
+
+
+class TestProtectInherit:
+    def test_protect_then_write_fails(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        kr = syscalls.vm_protect(task, address, PAGE, False,
+                                 VMProt.READ)
+        assert kr is KernReturn.SUCCESS
+        kr = syscalls.vm_write(task, address, 1, b"x")
+        assert kr is KernReturn.PROTECTION_FAILURE
+
+    def test_protect_above_maximum(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        syscalls.vm_protect(task, address, PAGE, True, VMProt.READ)
+        kr = syscalls.vm_protect(task, address, PAGE, False,
+                                 VMProt.DEFAULT)
+        assert kr is KernReturn.PROTECTION_FAILURE
+
+    def test_inherit(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        kr = syscalls.vm_inherit(task, address, PAGE, VMInherit.NONE)
+        assert kr is KernReturn.SUCCESS
+        child = task.fork()
+        kr, _ = syscalls.vm_read(child, address, 1)
+        assert kr is KernReturn.INVALID_ADDRESS
+
+    def test_inherit_bad_value(self, kernel, task):
+        _, address = syscalls.vm_allocate(task, None, PAGE, True)
+        kr = syscalls.vm_inherit(task, address, PAGE, "copy")
+        assert kr is KernReturn.INVALID_ARGUMENT
+
+
+class TestCopyRegionsStatistics:
+    def test_vm_copy(self, kernel, task):
+        _, src = syscalls.vm_allocate(task, None, PAGE, True)
+        _, dst = syscalls.vm_allocate(task, None, PAGE, True)
+        syscalls.vm_write(task, src, 4, b"data")
+        assert syscalls.vm_copy(task, src, PAGE, dst) is \
+            KernReturn.SUCCESS
+        _, data = syscalls.vm_read(task, dst, 4)
+        assert data == b"data"
+
+    def test_vm_copy_unmapped_source(self, kernel, task):
+        _, dst = syscalls.vm_allocate(task, None, PAGE, True)
+        kr = syscalls.vm_copy(task, 0x500000, PAGE, dst)
+        assert kr is KernReturn.INVALID_ADDRESS
+
+    def test_vm_regions(self, kernel, task):
+        syscalls.vm_allocate(task, 0, PAGE, False)
+        kr, regions = syscalls.vm_regions(task)
+        assert kr is KernReturn.SUCCESS
+        assert regions[0].start == 0
+
+    def test_vm_statistics(self, kernel, task):
+        kr, stats = syscalls.vm_statistics(task)
+        assert kr is KernReturn.SUCCESS
+        assert stats.pagesize == kernel.page_size
+
+    def test_table_2_1_is_complete(self):
+        """All nine operations of Table 2-1 exist with the paper's
+        names."""
+        names = {fn.__name__ for fn in syscalls.TABLE_2_1}
+        assert names == {
+            "vm_allocate", "vm_copy", "vm_deallocate", "vm_inherit",
+            "vm_protect", "vm_read", "vm_regions", "vm_statistics",
+            "vm_write",
+        }
+
+
+class TestWithPager:
+    def test_allocate_with_pager(self, kernel, task):
+        class Pager:
+            def data_request(self, obj, offset, length, access):
+                return b"\x2a" * length
+
+            def data_write(self, obj, offset, data):
+                pass
+
+        kr, address = syscalls.vm_allocate_with_pager(
+            task, None, PAGE, True, Pager(), 0)
+        assert kr is KernReturn.SUCCESS
+        kr, data = syscalls.vm_read(task, address, 2)
+        assert data == b"\x2a\x2a"

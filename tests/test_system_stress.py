@@ -1,0 +1,107 @@
+"""Whole-system stress: every subsystem at once, on a starved machine,
+finishing with the global audits."""
+
+import pytest
+
+from repro.core.constants import VMInherit
+from repro.core.kernel import MachKernel
+from repro.dist import finalize_migration, migrate_task
+from repro.fs import FileSystem
+from repro.ipc import Message, Port
+from repro.sched import Scheduler
+from repro.unix import UnixSystem
+
+from tests.conftest import make_spec
+from tests.test_refcount_audit import audit
+
+PAGE = 4096
+
+
+def test_everything_everywhere(tmp_path=None):
+    """UNIX processes, scheduled threads, shared memory, messages,
+    mapped files and migration against 64 frames of RAM — then the
+    reference-count audit and structural consistency checks."""
+    kernel = MachKernel(make_spec(name="stress", ncpus=2,
+                                  memory_frames=64))
+    fs = FileSystem(kernel.machine)
+    kernel.attach_swap_filesystem(fs, total_slots=512)
+    ux = UnixSystem(kernel, fs)
+    sched = Scheduler(kernel)
+
+    # 1. A UNIX process tree doing file work.
+    prog = ux.install_program("/bin/tool", text_size=8 * PAGE,
+                              data_size=4 * PAGE)
+    shell = ux.create_process()
+    for round_number in range(3):
+        worker = shell.fork()
+        worker.exec(prog)
+        worker.write_file(f"/out/{round_number}",
+                          f"round-{round_number}".encode() * 50)
+        worker.exit()
+
+    # 2. Scheduled threads hammering a shared region.
+    owner = kernel.task_create(name="shared-owner")
+    shared = owner.vm_allocate(2 * PAGE)
+    owner.vm_inherit(shared, 2 * PAGE, VMInherit.SHARE)
+    owner.write(shared, bytes([0]))
+    members = [owner.fork() for _ in range(3)]
+
+    def body(ctx):
+        for _ in range(5):
+            ctx.rmw(shared)
+            yield
+
+    for member in members:
+        sched.spawn(member, body)
+    sched.run()
+    assert owner.read(shared, 1) == bytes([15])
+
+    # 3. Bulk message passing between tasks under pressure.
+    producer = kernel.task_create(name="producer")
+    consumer = kernel.task_create(name="consumer")
+    buf = producer.vm_allocate(16 * PAGE)
+    for off in range(0, 16 * PAGE, PAGE):
+        producer.write(buf + off, b"bulk")
+    pipe = Port()
+    kernel.msg_send(producer, pipe,
+                    Message().add_ool(buf, 16 * PAGE, deallocate=True))
+    received = kernel.msg_receive(consumer, pipe)
+    assert consumer.read(received.ool[0].received_at, 4) == b"bulk"
+
+    # 4. Migrate the consumer's data to another node and back-check.
+    node2 = MachKernel(make_spec(name="node2", memory_frames=64))
+    migration = migrate_task(kernel, consumer, node2)
+    ghost = migration.dest_task
+    assert ghost.read(received.ool[0].received_at, 4) == b"bulk"
+    finalize_migration(migration)
+
+    # 5. Verify the UNIX outputs survived all of the above.
+    for round_number in range(3):
+        data = shell.read_file(f"/out/{round_number}")
+        assert data == f"round-{round_number}".encode() * 50
+
+    # 6. Global audits.
+    for task in kernel.tasks:
+        task.vm_map.check_invariants()
+    kernel.vm.resident.check_consistency()
+    node2.vm.resident.check_consistency()
+    audit(node2)
+    # (The main kernel still holds the migrated task's master copy and
+    # UNIX processes; audit it too.)
+    audit(kernel)
+
+
+def test_msg_destroy_releases_holdings(tmp_path=None):
+    kernel = MachKernel(make_spec())
+    sender = kernel.task_create()
+    buf = sender.vm_allocate(4 * PAGE)
+    sender.write(buf, b"never received")
+    port = Port()
+    message = Message().add_ool(buf, 4 * PAGE)
+    kernel.msg_send(sender, port, message)
+    found, entry = sender.vm_map.lookup_entry(buf)
+    obj = entry.vm_object
+    assert obj.ref_count == 2          # sender entry + holding map
+    kernel.msg_destroy(message)
+    assert obj.ref_count == 1
+    audit(kernel)

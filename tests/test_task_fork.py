@@ -1,0 +1,187 @@
+"""Tests for tasks, threads and fork inheritance semantics
+(Sections 2 and 2.1)."""
+
+import pytest
+
+from repro.core.constants import VMInherit, VMProt
+from repro.core.errors import InvalidAddressError
+
+PAGE = 4096
+
+
+class TestTaskBasics:
+    def test_task_has_thread_and_port(self, kernel):
+        task = kernel.task_create()
+        assert len(task.threads) == 1
+        assert task.task_port is not None
+
+    def test_terminate_releases_memory(self, kernel):
+        task = kernel.task_create()
+        addr = task.vm_allocate(8 * PAGE)
+        task.write(addr, b"data")
+        resident_before = kernel.vm.resident.resident_count
+        assert resident_before > 0
+        task.terminate()
+        assert kernel.vm.resident.resident_count == 0
+        assert task.terminated
+
+    def test_vm_read_write(self, kernel, task):
+        addr = task.vm_allocate(2 * PAGE)
+        kernel.vm_write(task, addr + 100, b"syscall path")
+        assert kernel.vm_read(task, addr + 100, 12) == b"syscall path"
+
+    def test_vm_copy_within_task(self, kernel, task):
+        src = task.vm_allocate(2 * PAGE)
+        dst = task.vm_allocate(2 * PAGE)
+        task.write(src, b"to-be-copied")
+        task.vm_copy(src, 2 * PAGE, dst)
+        assert task.read(dst, 12) == b"to-be-copied"
+        task.write(dst, b"XX")
+        assert task.read(src, 2) == b"to"   # COW isolation
+
+    def test_vm_regions(self, kernel, task):
+        task.vm_allocate(PAGE, address=0, anywhere=False)
+        task.vm_allocate(PAGE, address=8 * PAGE, anywhere=False)
+        regions = task.vm_regions()
+        assert [r.start for r in regions] == [0, 8 * PAGE]
+
+    def test_vm_statistics_snapshot(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"x")
+        stats = task.vm_statistics()
+        assert stats.pagesize == kernel.page_size
+        assert stats.faults >= 1
+
+
+class TestForkCopy:
+    """Default inheritance is COPY: "the child's address space is, by
+    default, a copy-on-write copy of the parent's"."""
+
+    def test_child_sees_parent_data(self, kernel, task):
+        addr = task.vm_allocate(4 * PAGE)
+        task.write(addr, b"parent data")
+        child = task.fork()
+        assert child.read(addr, 11) == b"parent data"
+
+    def test_no_copy_until_write(self, kernel, task):
+        addr = task.vm_allocate(16 * PAGE)
+        for off in range(0, 16 * PAGE, PAGE):
+            task.write(addr + off, b"d")
+        resident_before = kernel.vm.resident.resident_count
+        child = task.fork()
+        child.read(addr, 1)
+        assert kernel.vm.resident.resident_count == resident_before
+
+    def test_writes_isolated_both_directions(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"AAAA")
+        child = task.fork()
+        child.write(addr, b"BBBB")
+        task.write(addr + 4, b"CCCC")
+        assert task.read(addr, 8) == b"AAAACCCC"
+        assert child.read(addr, 8) == b"BBBB\x00\x00\x00\x00"
+
+    def test_grandchildren(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"gen0")
+        child = task.fork()
+        grandchild = child.fork()
+        child.write(addr, b"gen1")
+        assert grandchild.read(addr, 4) == b"gen0"
+        assert task.read(addr, 4) == b"gen0"
+
+    def test_fork_copies_map_shape(self, kernel, task):
+        task.vm_allocate(PAGE, address=0, anywhere=False)
+        task.vm_allocate(PAGE, address=10 * PAGE, anywhere=False)
+        child = task.fork()
+        assert [r.start for r in child.vm_regions()] == [0, 10 * PAGE]
+
+
+class TestForkShare:
+    def test_share_is_read_write_shared(self, kernel, task):
+        addr = task.vm_allocate(2 * PAGE)
+        task.vm_inherit(addr, 2 * PAGE, VMInherit.SHARE)
+        task.write(addr, b"first")
+        child = task.fork()
+        child.write(addr, b"child")
+        assert task.read(addr, 5) == b"child"
+        task.write(addr, b"again")
+        assert child.read(addr, 5) == b"again"
+
+    def test_share_survives_grandchild(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        child = task.fork()
+        grandchild = child.fork()
+        grandchild.write(addr, b"deep")
+        assert task.read(addr, 4) == b"deep"
+
+    def test_sharing_map_created_once(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        c1 = task.fork()
+        c2 = task.fork()
+        found, entry = task.vm_map.lookup_entry(addr)
+        assert entry.is_sub_map
+        assert entry.submap.ref_count == 3
+
+    def test_sharing_maps_do_not_nest(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        child = task.fork()
+        grandchild = child.fork()
+        found, entry = grandchild.vm_map.lookup_entry(addr)
+        assert entry.is_sub_map
+        for leaf in entry.submap.entries():
+            assert not leaf.is_sub_map
+
+
+class TestForkNone:
+    def test_none_leaves_child_unallocated(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.NONE)
+        child = task.fork()
+        with pytest.raises(InvalidAddressError):
+            child.read(addr, 1)
+
+    def test_mixed_inheritance(self, kernel, task):
+        a = task.vm_allocate(PAGE, address=0, anywhere=False)
+        b = task.vm_allocate(PAGE, address=4 * PAGE, anywhere=False)
+        c = task.vm_allocate(PAGE, address=8 * PAGE, anywhere=False)
+        task.write(a, b"copy")
+        task.write(b, b"share")
+        task.write(c, b"none")
+        task.vm_inherit(b, PAGE, VMInherit.SHARE)
+        task.vm_inherit(c, PAGE, VMInherit.NONE)
+        child = task.fork()
+        assert child.read(a, 4) == b"copy"
+        child.write(b, b"SHARE")
+        assert task.read(b, 5) == b"SHARE"
+        with pytest.raises(InvalidAddressError):
+            child.read(c, 1)
+
+    def test_inheritance_is_per_page(self, kernel, task):
+        """"may be specified on a per-page basis" — inherit on part of
+        a region splits the entry."""
+        addr = task.vm_allocate(4 * PAGE)
+        task.vm_inherit(addr + PAGE, PAGE, VMInherit.NONE)
+        child = task.fork()
+        child.read(addr, 1)
+        with pytest.raises(InvalidAddressError):
+            child.read(addr + PAGE, 1)
+        child.read(addr + 2 * PAGE, 1)
+
+
+class TestMapInvariantsAfterForks:
+    def test_invariants_hold_through_fork_storm(self, kernel, task):
+        addr = task.vm_allocate(8 * PAGE)
+        task.vm_inherit(addr + 2 * PAGE, 2 * PAGE, VMInherit.SHARE)
+        task.vm_inherit(addr + 6 * PAGE, PAGE, VMInherit.NONE)
+        tasks = [task]
+        for i in range(6):
+            child = tasks[i % len(tasks)].fork()
+            child.write(addr, bytes([i + 1]) * 16)
+            tasks.append(child)
+        for t in tasks:
+            t.vm_map.check_invariants()
+        kernel.vm.resident.check_consistency()

@@ -1,0 +1,95 @@
+"""Unit tests for the per-CPU TLB model."""
+
+from repro.core.constants import VMProt
+from repro.hw.tlb import TLB
+
+
+class FakePmap:
+    pass
+
+
+class TestTLB:
+    def test_miss_then_fill_then_hit(self):
+        tlb = TLB(page_size=4096, capacity=4)
+        pmap = FakePmap()
+        assert tlb.probe(pmap, 0x1000) is None
+        tlb.fill(pmap, 0x1000, 0x8000, VMProt.READ)
+        entry = tlb.probe(pmap, 0x1000)
+        assert entry is not None
+        assert entry.paddr == 0x8000
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_same_page_different_offsets_hit(self):
+        tlb = TLB(page_size=4096, capacity=4)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0x1000, 0x8000, VMProt.READ)
+        assert tlb.probe(pmap, 0x1fff) is not None
+
+    def test_pmap_tagging(self):
+        tlb = TLB(page_size=4096, capacity=4)
+        a, b = FakePmap(), FakePmap()
+        tlb.fill(a, 0x1000, 0x8000, VMProt.READ)
+        assert tlb.probe(b, 0x1000) is None
+
+    def test_fifo_eviction_at_capacity(self):
+        tlb = TLB(page_size=4096, capacity=2)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0x1000, 0x8000, VMProt.READ)
+        tlb.fill(pmap, 0x2000, 0x9000, VMProt.READ)
+        tlb.fill(pmap, 0x3000, 0xa000, VMProt.READ)
+        assert len(tlb) == 2
+        assert tlb.probe(pmap, 0x1000) is None       # evicted (oldest)
+        assert tlb.probe(pmap, 0x3000) is not None
+
+    def test_zero_capacity_caches_nothing(self):
+        # SUN 3: the MMU mapping RAM is the store; no separate TLB.
+        tlb = TLB(page_size=8192, capacity=0)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0, 0x8000, VMProt.READ)
+        assert tlb.probe(pmap, 0) is None
+
+    def test_invalidate_single(self):
+        tlb = TLB(page_size=4096, capacity=4)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0x1000, 0x8000, VMProt.READ)
+        assert tlb.invalidate(pmap, 0x1000)
+        assert not tlb.invalidate(pmap, 0x1000)
+        assert tlb.probe(pmap, 0x1000) is None
+
+    def test_invalidate_range(self):
+        tlb = TLB(page_size=4096, capacity=8)
+        pmap = FakePmap()
+        for i in range(4):
+            tlb.fill(pmap, i * 4096, 0x8000 + i * 4096, VMProt.READ)
+        dropped = tlb.invalidate_range(pmap, 4096, 3 * 4096)
+        assert dropped == 2
+        assert tlb.probe(pmap, 0) is not None
+        assert tlb.probe(pmap, 4096) is None
+        assert tlb.probe(pmap, 3 * 4096) is not None
+
+    def test_invalidate_pmap(self):
+        tlb = TLB(page_size=4096, capacity=8)
+        a, b = FakePmap(), FakePmap()
+        tlb.fill(a, 0, 0x8000, VMProt.READ)
+        tlb.fill(a, 4096, 0x9000, VMProt.READ)
+        tlb.fill(b, 0, 0xa000, VMProt.READ)
+        assert tlb.invalidate_pmap(a) == 2
+        assert tlb.entries_for(a) == 0
+        assert tlb.entries_for(b) == 1
+
+    def test_flush_all(self):
+        tlb = TLB(page_size=4096, capacity=8)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0, 0x8000, VMProt.READ)
+        assert tlb.flush_all() == 1
+        assert len(tlb) == 0
+        assert tlb.stats.full_flushes == 1
+
+    def test_refill_updates_protection(self):
+        tlb = TLB(page_size=4096, capacity=4)
+        pmap = FakePmap()
+        tlb.fill(pmap, 0, 0x8000, VMProt.READ)
+        tlb.fill(pmap, 0, 0x8000, VMProt.READ | VMProt.WRITE)
+        assert len(tlb) == 1
+        assert tlb.probe(pmap, 0).prot.allows(VMProt.WRITE)

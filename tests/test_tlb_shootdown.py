@@ -1,0 +1,198 @@
+"""Multiprocessor TLB consistency (Section 5.2).
+
+"None of the multiprocessors running Mach support TLB consistency" —
+the simulated TLBs are deliberately incoherent, and these tests exercise
+both the hazard and each of the paper's three remedies."""
+
+import pytest
+
+from repro.core.constants import FaultType, VMProt
+from repro.core.kernel import MachKernel
+from repro.pmap.interface import ShootdownStrategy
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+def smp(strategy):
+    return MachKernel(make_spec(ncpus=4), shootdown=strategy)
+
+
+def map_on_all_cpus(kernel, task, addr):
+    """Touch *addr* from every CPU so every TLB caches it."""
+    for cpu_id in range(len(kernel.machine.cpus)):
+        kernel.set_current_cpu(cpu_id)
+        task.read(addr, 1)
+    kernel.set_current_cpu(0)
+
+
+class TestHazard:
+    def test_stale_entries_exist_without_flush(self):
+        """The raw hazard: after a mapping change, remote TLBs still
+        hold the old translation."""
+        kernel = smp(ShootdownStrategy.LAZY)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        for cpu in kernel.machine.cpus[1:]:
+            assert cpu.tlb.entries_for(task.pmap) >= 1
+
+
+class TestImmediate:
+    """Case 1: "forcibly interrupt all CPUs ... so that their address
+    translation buffers may be flushed"."""
+
+    def test_remove_ipis_remote_cpus(self):
+        kernel = smp(ShootdownStrategy.IMMEDIATE)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        ipis_before = sum(c.ipi_count for c in kernel.machine.cpus)
+        task.vm_deallocate(addr, PAGE)
+        assert sum(c.ipi_count for c in kernel.machine.cpus) > ipis_before
+        for cpu in kernel.machine.cpus:
+            assert cpu.tlb.entries_for(task.pmap) == 0
+
+    def test_no_stale_translation_after_protect(self):
+        kernel = smp(ShootdownStrategy.IMMEDIATE)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        # Every CPU now faults on write instead of using a stale RW
+        # entry.
+        from repro.core.errors import ProtectionFailureError
+        for cpu_id in range(4):
+            kernel.set_current_cpu(cpu_id)
+            with pytest.raises(ProtectionFailureError):
+                task.write(addr, b"B")
+        kernel.set_current_cpu(0)
+
+    def test_ipis_only_to_tainted_cpus(self):
+        kernel = smp(ShootdownStrategy.IMMEDIATE)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")          # only CPU 0 ever ran this task
+        task.vm_deallocate(addr, PAGE)
+        for cpu in kernel.machine.cpus[1:]:
+            assert cpu.ipi_count == 0
+
+
+class TestDeferred:
+    """Case 2: "postpone use of a changed mapping until all CPUs have
+    taken a timer interrupt"."""
+
+    def test_flush_waits_for_timer_tick(self):
+        kernel = smp(ShootdownStrategy.DEFERRED)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        task.pmap.remove(addr, addr + PAGE)
+        # Remote TLBs still stale until the tick...
+        stale = sum(c.tlb.entries_for(task.pmap)
+                    for c in kernel.machine.cpus[1:])
+        assert stale > 0
+        kernel.machine.tick_all_timers()
+        for cpu in kernel.machine.cpus:
+            assert cpu.tlb.entries_for(task.pmap) == 0
+
+    def test_pmap_update_drains_now(self):
+        kernel = smp(ShootdownStrategy.DEFERRED)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        task.pmap.remove(addr, addr + PAGE)
+        kernel.pmap_system.update()     # pmap_update: "one pmap system"
+        for cpu in kernel.machine.cpus:
+            assert cpu.tlb.entries_for(task.pmap) == 0
+
+    def test_pageout_never_frees_reachable_frame(self):
+        """The pageout protocol: mappings removed, TLBs quiesced, only
+        then is the frame reused."""
+        kernel = MachKernel(make_spec(ncpus=2, memory_frames=24),
+                            shootdown=ShootdownStrategy.DEFERRED)
+        task = kernel.task_create()
+        addr = task.vm_allocate(40 * PAGE)
+        for off in range(0, 40 * PAGE, PAGE):
+            task.write(addr + off, bytes([off // PAGE + 1]))
+        # Paging pressure forced pageouts; all data still correct.
+        for off in range(0, 40 * PAGE, PAGE):
+            assert task.read(addr + off, 1) == bytes([off // PAGE + 1])
+
+
+class TestLazy:
+    """Case 3: "allow temporary inconsistency"."""
+
+    def test_protection_change_propagates_lazily(self):
+        kernel = smp(ShootdownStrategy.LAZY)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        # CPU 0 (the initiator) sees the change immediately; remote
+        # CPUs may still have the stale RW entry — "it is acceptable
+        # for a page to have its protection changed first for one task
+        # and then for another."
+        cpu1 = kernel.machine.cpus[1]
+        stale = cpu1.tlb.probe(task.pmap, addr)
+        assert stale is not None and stale.prot.allows(VMProt.WRITE)
+
+    def test_activate_flushes_stale_entries(self):
+        kernel = smp(ShootdownStrategy.LAZY)
+        task = kernel.task_create()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"A")
+        map_on_all_cpus(kernel, task, addr)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        # A context switch away and back on the remote CPU bounds the
+        # inconsistency window: pmap_activate flushes the pmap's stale
+        # entries under the lazy strategy.
+        other = kernel.task_create()
+        kernel.set_current_cpu(1)
+        other.read(other.vm_allocate(PAGE), 1)     # switch to other pmap
+        from repro.core.errors import ProtectionFailureError
+        with pytest.raises(ProtectionFailureError):
+            task.write(addr, b"B")                 # switch back + flush
+        kernel.set_current_cpu(0)
+
+    def test_pageout_forces_full_flush_even_when_lazy(self):
+        kernel = MachKernel(make_spec(ncpus=2, memory_frames=24),
+                            shootdown=ShootdownStrategy.LAZY)
+        task = kernel.task_create()
+        addr = task.vm_allocate(40 * PAGE)
+        for off in range(0, 40 * PAGE, PAGE):
+            task.write(addr + off, bytes([(off // PAGE) % 200 + 1]))
+        for off in range(0, 40 * PAGE, PAGE):
+            expected = bytes([(off // PAGE) % 200 + 1])
+            assert task.read(addr + off, 1) == expected
+
+
+class TestStrategyCosts:
+    def test_immediate_costs_ipis_deferred_costs_latency(self):
+        """The tradeoff the paper describes: interrupts cost CPU now;
+        deferral costs elapsed time."""
+        results = {}
+        for strategy in (ShootdownStrategy.IMMEDIATE,
+                         ShootdownStrategy.DEFERRED):
+            kernel = smp(strategy)
+            task = kernel.task_create()
+            addr = task.vm_allocate(8 * PAGE)
+            for off in range(0, 8 * PAGE, PAGE):
+                task.write(addr + off, b"A")
+            map_on_all_cpus(kernel, task, addr)
+            snap = kernel.clock.snapshot()
+            task.pmap.remove(addr, addr + 8 * PAGE)
+            if strategy is ShootdownStrategy.DEFERRED:
+                kernel.machine.tick_all_timers()
+            results[strategy] = snap.interval()
+        imm_cpu, _ = results[ShootdownStrategy.IMMEDIATE]
+        def_cpu, def_elapsed = results[ShootdownStrategy.DEFERRED]
+        assert imm_cpu > def_cpu          # IPIs burn CPU
+        assert def_elapsed > def_cpu      # deferral waits for the tick

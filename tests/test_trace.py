@@ -1,0 +1,115 @@
+"""The kernel tracer: event capture, analysis, clean detach."""
+
+import pytest
+
+from repro.core.kernel import MachKernel
+from repro.trace import KernelTracer
+
+from tests.conftest import make_spec
+
+PAGE = 4096
+
+
+class TestCapture:
+    def test_faults_recorded_with_kinds(self, kernel, task):
+        with KernelTracer(kernel) as tracer:
+            addr = task.vm_allocate(2 * PAGE)
+            task.write(addr, b"one")
+            child = task.fork()
+            child.write(addr, b"two")
+        kinds = tracer.fault_breakdown()
+        assert any("zero-fill" in k for k in kinds)
+        assert any("cow-copy" in k for k in kinds)
+        assert tracer.counts()["fault"] >= 2
+
+    def test_pageout_events(self, tiny_kernel):
+        kernel = tiny_kernel
+        task = kernel.task_create()
+        with KernelTracer(kernel) as tracer:
+            addr = task.vm_allocate(60 * PAGE)
+            for off in range(0, 60 * PAGE, PAGE):
+                task.write(addr + off, b"p")
+        assert tracer.counts()["pageout"] > 0
+
+    def test_shootdown_events(self, smp_kernel):
+        kernel = smp_kernel
+        task = kernel.task_create()
+        with KernelTracer(kernel) as tracer:
+            addr = task.vm_allocate(PAGE)
+            task.write(addr, b"x")
+            task.vm_deallocate(addr, PAGE)
+        assert tracer.counts()["shootdown"] >= 1
+
+    def test_timestamps_are_simulated_and_ordered(self, kernel, task):
+        with KernelTracer(kernel) as tracer:
+            addr = task.vm_allocate(4 * PAGE)
+            for off in range(0, 4 * PAGE, PAGE):
+                task.write(addr + off, b"t")
+        stamps = [e.timestamp_us for e in tracer.events]
+        assert stamps == sorted(stamps)
+        assert stamps[0] > 0
+
+    def test_events_for_task(self, kernel):
+        a = kernel.task_create(name="alpha")
+        b = kernel.task_create(name="beta")
+        with KernelTracer(kernel) as tracer:
+            a.write(a.vm_allocate(PAGE), b"x")
+            b.write(b.vm_allocate(PAGE), b"x")
+        assert len(tracer.events_for("alpha")) == 1
+        assert len(tracer.events_for("beta")) == 1
+
+    def test_capacity_drops_excess(self, kernel, task):
+        tracer = KernelTracer(kernel, capacity=2)
+        with tracer:
+            addr = task.vm_allocate(8 * PAGE)
+            for off in range(0, 8 * PAGE, PAGE):
+                task.write(addr + off, b"x")
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 6
+
+
+class TestDetach:
+    def test_uninstall_restores_behaviour(self, kernel, task):
+        tracer = KernelTracer(kernel)
+        tracer.install()
+        tracer.uninstall()
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"untraced")
+        assert tracer.events == []
+
+    def test_only_target_kernel_recorded(self):
+        k1 = MachKernel(make_spec(name="traced"))
+        k2 = MachKernel(make_spec(name="other"))
+        t1 = k1.task_create()
+        t2 = k2.task_create()
+        with KernelTracer(k1) as tracer:
+            t1.write(t1.vm_allocate(PAGE), b"x")
+            t2.write(t2.vm_allocate(PAGE), b"x")
+        assert all(e.task == t1.name for e in tracer.events
+                   if e.kind == "fault")
+        assert len([e for e in tracer.events
+                    if e.kind == "fault"]) == 1
+
+    def test_double_install_is_safe(self, kernel, task):
+        tracer = KernelTracer(kernel)
+        tracer.install()
+        tracer.install()
+        task.write(task.vm_allocate(PAGE), b"x")
+        tracer.uninstall()
+        tracer.uninstall()
+        assert tracer.counts()["fault"] == 1
+
+
+class TestAnalysis:
+    def test_summary_renders(self, kernel, task):
+        with KernelTracer(kernel) as tracer:
+            task.write(task.vm_allocate(PAGE), b"x")
+        text = tracer.summary()
+        assert "events" in text
+        assert "fault" in text
+
+    def test_event_str(self, kernel, task):
+        with KernelTracer(kernel) as tracer:
+            task.write(task.vm_allocate(PAGE), b"x")
+        line = str(tracer.events[0])
+        assert "fault" in line and "ms]" in line

@@ -1,0 +1,169 @@
+"""UNIX emulation on Mach: processes, fork/exec, object-backed file
+I/O."""
+
+import pytest
+
+from repro.core.constants import VMProt
+from repro.fs.filesystem import FileSystem
+from repro.unix.process import UnixSystem
+
+PAGE = 4096
+
+
+@pytest.fixture
+def ux(kernel):
+    return UnixSystem(kernel, FileSystem(kernel.machine))
+
+
+@pytest.fixture
+def cc(ux):
+    return ux.install_program("/bin/cc", text_size=8 * PAGE,
+                              data_size=4 * PAGE, bss_size=2 * PAGE)
+
+
+class TestProcessLayout:
+    def test_five_region_layout(self, ux, cc):
+        proc = ux.create_process(cc)
+        assert set(proc.regions) == {"text", "data", "bss", "stack",
+                                     "u_area"}
+
+    def test_text_is_read_execute(self, ux, cc):
+        proc = ux.create_process(cc)
+        base, size = proc.regions["text"]
+        found, entry = proc.task.vm_map.lookup_entry(base)
+        assert entry.protection == VMProt.READ | VMProt.EXECUTE
+        with pytest.raises(Exception):
+            proc.task.write(base, b"patch")
+
+    def test_text_comes_from_the_image(self, ux, cc):
+        proc = ux.create_process(cc)
+        base, _ = proc.regions["text"]
+        image = ux.fs.read(cc.path, 0, 16)
+        assert proc.task.read(base, 16) == image
+
+    def test_data_is_cow_of_image(self, ux, cc):
+        a = ux.create_process(cc)
+        b = ux.create_process(cc)
+        da, _ = a.regions["data"]
+        image_byte = ux.fs.read(cc.path, cc.text_size, 1)
+        assert a.task.read(da, 1) == image_byte
+        a.task.write(da, b"\xfe")
+        # b's data (same file image) is unaffected.
+        assert b.task.read(da, 1) == image_byte
+
+    def test_bss_zero_filled(self, ux, cc):
+        proc = ux.create_process(cc)
+        base, _ = proc.regions["bss"]
+        assert proc.task.read(base, 8) == bytes(8)
+
+    def test_u_area_wired(self, ux, cc):
+        proc = ux.create_process(cc)
+        assert ux.kernel.vm_statistics().wire_count >= 1
+
+    def test_text_shared_between_processes(self, ux, cc):
+        a = ux.create_process(cc)
+        b = ux.create_process(cc)
+        base, _ = a.regions["text"]
+        out_a = ux.kernel.fault(a.task, base, VMProt.READ)
+        out_b = ux.kernel.fault(b.task, base, VMProt.READ)
+        assert out_a.page is out_b.page
+
+
+class TestForkExec:
+    def test_fork_preserves_data_cow(self, ux, cc):
+        parent = ux.create_process(cc)
+        da, _ = parent.regions["data"]
+        parent.task.write(da, b"parent!")
+        child = parent.fork()
+        child.task.write(da, b"child!!")
+        assert parent.task.read(da, 7) == b"parent!"
+        assert child.task.read(da, 7) == b"child!!"
+
+    def test_fork_then_exec(self, ux, cc):
+        shell = ux.create_process()
+        worker = shell.fork()
+        worker.exec(cc)
+        base, _ = worker.regions["text"]
+        assert worker.task.read(base, 4) == ux.fs.read(cc.path, 0, 4)
+        worker.exit()
+        assert shell.wait() == [worker]
+
+    def test_exec_replaces_address_space(self, ux, cc):
+        proc = ux.create_process(cc)
+        da, _ = proc.regions["data"]
+        proc.task.write(da, b"before-exec")
+        proc.exec(cc)
+        image_byte = ux.fs.read(cc.path, cc.text_size, 1)
+        assert proc.task.read(proc.regions["data"][0], 1) == image_byte
+
+    def test_reexec_hits_text_object_cache(self, ux, cc):
+        proc = ux.create_process(cc)
+        base, size = proc.regions["text"]
+        proc.task.read(base, size)              # fault the text in
+        reads_before = ux.fs.disk.reads
+        proc.exec(cc)                           # re-exec same program
+        proc.task.read(proc.regions["text"][0], size)
+        assert ux.fs.disk.reads == reads_before  # all from the cache
+
+    def test_exit_frees_everything(self, ux, cc):
+        proc = ux.create_process(cc)
+        da, _ = proc.regions["data"]
+        proc.task.write(da, b"x")
+        proc.exit()
+        assert proc not in ux.processes
+        assert proc.task.terminated
+
+
+class TestFileIO:
+    def test_roundtrip(self, ux):
+        proc = ux.create_process()
+        proc.write_file("/tmp/t", b"file contents here")
+        assert proc.read_file("/tmp/t") == b"file contents here"
+
+    def test_read_consistent_with_fs_write(self, ux):
+        ux.fs.write("/etc/hosts", b"localhost")
+        proc = ux.create_process()
+        assert proc.read_file("/etc/hosts") == b"localhost"
+
+    def test_write_visible_before_sync(self, ux):
+        """Coherence through the object: a written file reads back even
+        though nothing reached the disk yet."""
+        proc = ux.create_process()
+        writes_before = ux.fs.disk.writes
+        proc.write_file("/tmp/lazy", b"in object cache")
+        assert ux.fs.disk.writes == writes_before
+        assert proc.read_file("/tmp/lazy") == b"in object cache"
+
+    def test_fsync_pushes_to_disk(self, ux):
+        proc = ux.create_process()
+        proc.write_file("/tmp/s", b"durable")
+        ux.fsync("/tmp/s")
+        inode = ux.fs.lookup("/tmp/s")
+        assert ux.fs.read_direct(inode, 0, 7) == b"durable"
+
+    def test_second_read_avoids_disk(self, ux):
+        ux.fs.write("/data", b"Z" * (64 * 1024))
+        ux.fs.buffer_cache.sync()
+        ux.fs.buffer_cache.invalidate()
+        proc = ux.create_process()
+        proc.read_file("/data")
+        reads = ux.fs.disk.reads
+        assert proc.read_file("/data") == b"Z" * (64 * 1024)
+        assert ux.fs.disk.reads == reads
+
+    def test_partial_overwrite(self, ux):
+        proc = ux.create_process()
+        proc.write_file("/tmp/p", b"AAAAAAAA")
+        proc.write_file("/tmp/p", b"BB", offset=3)
+        assert proc.read_file("/tmp/p") == b"AAABBAAA"
+
+    def test_mapped_and_read_paths_coherent(self, ux):
+        """A write through read/write syscalls is seen by a mapping of
+        the same file and vice versa — both go through one object."""
+        from repro.pager.vnode_pager import map_file
+        ux.fs.write("/shared", b"INITIAL!")
+        proc = ux.create_process()
+        addr = map_file(ux.kernel, proc.task, ux.fs, "/shared")
+        assert proc.task.read(addr, 8) == b"INITIAL!"
+        proc.task.write(addr, b"MAPPED")
+        assert proc.read_file("/shared")[:6] == b"MAPPED"

@@ -1,0 +1,111 @@
+"""ASCII visualizations: correct content, never crashing on any
+structure shape."""
+
+import pytest
+
+from repro.core.constants import VMInherit, VMProt
+from repro.viz import (
+    render_address_map,
+    render_pmap,
+    render_queues,
+    render_shadow_chain,
+    render_task,
+)
+
+PAGE = 4096
+
+
+class TestAddressMapRendering:
+    def test_empty_map(self, kernel, task):
+        assert "(empty map)" in render_address_map(task.vm_map)
+
+    def test_entries_rendered_with_protections(self, kernel, task):
+        addr = task.vm_allocate(2 * PAGE)
+        task.vm_protect(addr, PAGE, False, VMProt.READ)
+        text = render_address_map(task.vm_map)
+        assert "r--" in text and "rw-" in text
+        assert f"[{addr:#010x}" in text
+
+    def test_lazy_vs_materialized(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        text = render_address_map(task.vm_map)
+        assert "zero-fill (lazy)" in text
+        task.write(addr, b"x")
+        text = render_address_map(task.vm_map)
+        assert "obj#" in text
+
+    def test_sharing_map_inline(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.vm_inherit(addr, PAGE, VMInherit.SHARE)
+        task.fork()
+        text = render_address_map(task.vm_map)
+        assert "sharing map (2 refs)" in text
+
+    def test_needs_copy_flagged(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"x")
+        task.fork()
+        assert "[needs-copy]" in render_address_map(task.vm_map)
+
+
+class TestShadowChainRendering:
+    def test_chain_levels(self, kernel, task):
+        # Two pages, only one modified: the shadow cannot fully
+        # obscure its backing object, so the chain survives GC.
+        addr = task.vm_allocate(2 * PAGE)
+        task.write(addr, b"x")
+        task.write(addr + PAGE, b"x2")
+        child = task.fork()
+        grand = child.fork()
+        child.write(addr, b"y")
+        found, entry = child.vm_map.lookup_entry(addr)
+        text = render_shadow_chain(entry.vm_object)
+        assert "shadows" in text
+        assert text.count("obj#") >= 2
+
+    def test_pager_named(self, kernel, task):
+        from repro.fs import FileSystem
+        from repro.pager.vnode_pager import map_file
+        fs = FileSystem(kernel.machine)
+        fs.write("/f", b"data")
+        addr = map_file(kernel, task, fs, "/f")
+        found, entry = task.vm_map.lookup_entry(addr)
+        assert "vnode:/f" in render_shadow_chain(entry.vm_object)
+
+
+class TestQueueAndPmapRendering:
+    def test_queues(self, kernel, task):
+        addr = task.vm_allocate(3 * PAGE)
+        for off in range(0, 3 * PAGE, PAGE):
+            task.write(addr + off, b"q")
+        kernel.wire_range(task, addr, PAGE)
+        text = render_queues(kernel)
+        assert "free" in text and "active" in text
+        assert "wired       1" in text.replace("  ", " ") or \
+            "wired" in text
+
+    def test_pmap_rendering(self, kernel, task):
+        addr = task.vm_allocate(PAGE)
+        task.write(addr, b"m")
+        text = render_pmap(task.pmap)
+        assert "->" in text
+        task.pmap.forget(addr)
+        assert "(no hardware mappings)" in render_pmap(task.pmap)
+
+    def test_full_task_snapshot(self, kernel, task):
+        addr = task.vm_allocate(2 * PAGE)
+        task.write(addr, b"snapshot")
+        shared = task.vm_allocate(PAGE)
+        task.vm_inherit(shared, PAGE, VMInherit.SHARE)
+        task.fork()
+        text = render_task(task)
+        assert "address map:" in text
+        assert "shadow chain" in text
+        assert "pmap:" in text
+
+    def test_renders_on_every_architecture(self, any_pmap_kernel):
+        kernel = any_pmap_kernel
+        task = kernel.task_create()
+        addr = task.vm_allocate(kernel.page_size)
+        task.write(addr, b"arch")
+        assert render_task(task)

@@ -1,0 +1,248 @@
+"""Unit tests for memory objects, shadows, collapse and the object
+cache (Sections 3.3-3.5)."""
+
+import pytest
+
+from repro.core.resident import ResidentPageTable
+from repro.core.vm_object import VMObject, VMObjectManager
+from repro.hw.clock import SimClock
+from repro.hw.costs import CostModel
+from repro.hw.physmem import MemorySegment, PhysicalMemory
+
+PAGE = 4096
+
+
+@pytest.fixture
+def resident():
+    mem = PhysicalMemory(PAGE, [MemorySegment(0, 64 * PAGE)])
+    return ResidentPageTable(mem)
+
+
+@pytest.fixture
+def manager(resident):
+    return VMObjectManager(resident, SimClock(), CostModel(),
+                           cache_limit=2)
+
+
+class FakePager:
+    """Registry-keyable pager with no behaviour."""
+
+    def __init__(self):
+        self.released = []
+
+    def data_request(self, obj, offset, length, access):
+        return bytes(length)
+
+    def data_write(self, obj, offset, data):
+        pass
+
+    def release_object(self, obj):
+        self.released.append(obj)
+
+
+class TestRefCounting:
+    def test_create_has_one_ref(self, manager):
+        obj = manager.create_internal(8 * PAGE)
+        assert obj.ref_count == 1
+
+    def test_deallocate_terminates_at_zero(self, manager, resident):
+        obj = manager.create_internal(8 * PAGE)
+        resident.allocate(obj, 0)
+        manager.deallocate(obj)
+        assert obj.terminated
+        assert resident.resident_count == 0
+
+    def test_reference_keeps_alive(self, manager):
+        obj = manager.create_internal(PAGE)
+        obj.reference()
+        manager.deallocate(obj)
+        assert not obj.terminated
+        manager.deallocate(obj)
+        assert obj.terminated
+
+    def test_over_release_rejected(self, manager):
+        obj = manager.create_internal(PAGE)
+        manager.deallocate(obj)
+        with pytest.raises(ValueError):
+            manager.deallocate(obj)
+
+    def test_terminate_notifies_pager(self, manager):
+        pager = FakePager()
+        obj = manager.create_for_pager(pager, 4 * PAGE)
+        manager.deallocate(obj)
+        assert pager.released == [obj]
+
+
+class TestShadows:
+    def test_shadow_points_at_original(self, manager):
+        original = manager.create_internal(8 * PAGE)
+        shadow = manager.shadow(original, 2 * PAGE, 4 * PAGE)
+        assert shadow.shadow is original
+        assert shadow.shadow_offset == 2 * PAGE
+        assert shadow.size == 4 * PAGE
+        assert shadow.internal and shadow.temporary
+
+    def test_chain_length(self, manager):
+        obj = manager.create_internal(PAGE)
+        s1 = manager.shadow(obj, 0, PAGE)
+        s2 = manager.shadow(s1, 0, PAGE)
+        assert s2.chain_length() == 3
+        assert list(s2.chain()) == [s2, s1, obj]
+
+
+class TestCollapse:
+    """Section 3.5: "Mach automatically garbage collects shadow
+    objects when it recognizes that an intermediate shadow is no longer
+    needed."
+    """
+
+    def test_collapse_merges_sole_backing(self, manager, resident):
+        bottom = manager.create_internal(4 * PAGE)
+        resident.allocate(bottom, 0)
+        resident.allocate(bottom, PAGE)
+        top = manager.shadow(bottom, 0, 4 * PAGE)
+        resident.allocate(top, 0)        # top's own (modified) page
+        top_page0 = top.resident_page(0)
+        manager.collapse(top)
+        assert top.shadow is None
+        assert top.chain_length() == 1
+        # top keeps its own page 0; bottom's page at PAGE migrated up.
+        assert top.resident_page(0) is top_page0
+        assert top.resident_page(PAGE) is not None
+        assert manager.collapses == 1
+
+    def test_collapse_respects_window(self, manager, resident):
+        bottom = manager.create_internal(8 * PAGE)
+        resident.allocate(bottom, 0)             # outside window
+        resident.allocate(bottom, 3 * PAGE)      # inside window
+        top = manager.shadow(bottom, 2 * PAGE, 4 * PAGE)
+        manager.collapse(top)
+        # The page at 3*PAGE lands at offset PAGE of top; the page at 0
+        # was invisible and is freed.
+        assert top.resident_page(PAGE) is not None
+        assert resident.resident_count == 1
+
+    def test_no_collapse_when_backing_shared(self, manager, resident):
+        bottom = manager.create_internal(4 * PAGE)
+        resident.allocate(bottom, 0)
+        bottom.reference()                       # someone else maps it
+        top = manager.shadow(bottom, 0, 4 * PAGE)
+        manager.collapse(top)
+        assert top.shadow is bottom              # cannot merge
+
+    def test_bypass_when_fully_obscured(self, manager, resident):
+        bottom = manager.create_internal(2 * PAGE)
+        middle = manager.create_internal(2 * PAGE)
+        middle.reference()                       # shared: no collapse
+        resident.allocate(middle, 0)
+        resident.allocate(middle, PAGE)
+        top = manager.shadow(middle, 0, 2 * PAGE)
+        resident.allocate(top, 0)
+        resident.allocate(top, PAGE)             # top obscures middle
+        resident.allocate(bottom, 0)             # visible through middle?
+        middle.shadow = bottom                   # chain: top->middle->bottom
+        manager.collapse(top)
+        # middle is bypassed; bottom still holds a page top does not
+        # obscure at offset PAGE?  No: top has pages at 0 and PAGE, so
+        # bottom is fully obscured too and is bypassed as well.
+        assert top.shadow is None
+        assert manager.bypasses == 2
+        assert bottom.ref_count == 1             # middle's pointer only
+
+    def test_no_bypass_with_visible_backing_page(self, manager,
+                                                 resident):
+        middle = manager.create_internal(2 * PAGE)
+        middle.reference()
+        resident.allocate(middle, 0)
+        top = manager.shadow(middle, 0, 2 * PAGE)
+        # top has no page at 0; middle's page is visible through it.
+        manager.collapse(top)
+        assert top.shadow is middle
+
+    def test_collapse_blocked_by_paging_in_progress(self, manager,
+                                                    resident):
+        bottom = manager.create_internal(PAGE)
+        bottom.paging_in_progress = 1
+        top = manager.shadow(bottom, 0, PAGE)
+        manager.collapse(top)
+        assert top.shadow is bottom
+
+    def test_fork_chain_stays_bounded(self, manager, resident):
+        """Repeated shadow + full obscuring must not grow the chain —
+        the paper's repeated-fork scenario."""
+        obj = manager.create_internal(PAGE)
+        resident.allocate(obj, 0)
+        for _ in range(25):
+            obj = manager.shadow(obj, 0, PAGE)
+            if obj.resident_page(0) is None:
+                resident.allocate(obj, 0)
+            manager.collapse(obj)
+        assert obj.chain_length() <= 2
+
+
+class TestObjectCache:
+    def test_persistent_object_cached_not_destroyed(self, manager,
+                                                    resident):
+        pager = FakePager()
+        obj = manager.create_for_pager(pager, 4 * PAGE)
+        obj.can_persist = True
+        resident.allocate(obj, 0)
+        manager.deallocate(obj)
+        assert obj.cached and not obj.terminated
+        assert resident.resident_count == 1      # pages retained!
+
+    def test_cache_revival_keeps_pages(self, manager, resident):
+        pager = FakePager()
+        obj = manager.create_for_pager(pager, 4 * PAGE)
+        obj.can_persist = True
+        resident.allocate(obj, 0)
+        manager.deallocate(obj)
+        revived = manager.create_for_pager(pager, 4 * PAGE)
+        assert revived is obj
+        assert not revived.cached
+        assert revived.ref_count == 1
+        assert manager.cache_hits == 1
+        assert revived.resident_page(0) is not None
+
+    def test_cache_lru_eviction(self, manager):
+        pagers = [FakePager() for _ in range(3)]
+        objs = []
+        for pager in pagers:
+            obj = manager.create_for_pager(pager, PAGE)
+            obj.can_persist = True
+            objs.append(obj)
+            manager.deallocate(obj)
+        # cache_limit=2: the first object was evicted and terminated.
+        assert objs[0].terminated
+        assert not objs[1].terminated and objs[1].cached
+        assert manager.cache_evictions == 1
+
+    def test_non_persistent_not_cached(self, manager):
+        pager = FakePager()
+        obj = manager.create_for_pager(pager, PAGE)
+        manager.deallocate(obj)
+        assert obj.terminated
+
+    def test_flush_cache(self, manager):
+        pager = FakePager()
+        obj = manager.create_for_pager(pager, PAGE)
+        obj.can_persist = True
+        manager.deallocate(obj)
+        assert manager.flush_cache() == 1
+        assert obj.terminated
+
+    def test_page_limit_evicts(self, resident):
+        manager = VMObjectManager(resident, SimClock(), CostModel(),
+                                  cache_limit=10, cache_page_limit=3)
+        pagers = [FakePager() for _ in range(3)]
+        objs = []
+        for pager in pagers:
+            obj = manager.create_for_pager(pager, 4 * PAGE)
+            obj.can_persist = True
+            resident.allocate(obj, 0)
+            resident.allocate(obj, PAGE)
+            objs.append(obj)
+            manager.deallocate(obj)
+        # 3 objects x 2 pages > 3-page cap: older ones evicted.
+        assert objs[0].terminated
+        assert not objs[-1].terminated
