@@ -1,0 +1,40 @@
+"""Static and dynamic enforcement of the MD/MI contract.
+
+* :mod:`repro.analysis.layering` — AST import lint for the paper's
+  module boundary (machine-independent code vs. the pmap layer vs. the
+  hardware substrate);
+* :mod:`repro.analysis.invariants` — runtime sanitizer proving every
+  pmap/TLB translation is a subset of machine-independent truth;
+* :mod:`repro.analysis.sweeps` — workload sweeps that drive the
+  sanitizer across all five pmap architectures.
+
+Run both via ``python -m repro check`` (or the ``repro-check`` console
+script).
+"""
+
+from repro.analysis.invariants import (
+    SanitizerError,
+    Violation,
+    assert_all,
+    check_all,
+    check_tlbs,
+    install_sanitizer,
+    uninstall_sanitizer,
+)
+from repro.analysis.layering import LintViolation, lint_package, lint_source_tree
+from repro.analysis.sweeps import SweepResult, run_sweeps
+
+__all__ = [
+    "LintViolation",
+    "SanitizerError",
+    "SweepResult",
+    "Violation",
+    "assert_all",
+    "check_all",
+    "check_tlbs",
+    "install_sanitizer",
+    "lint_package",
+    "lint_source_tree",
+    "run_sweeps",
+    "uninstall_sanitizer",
+]

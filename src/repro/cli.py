@@ -9,7 +9,10 @@ Commands:
 * ``bench [--table {7-1,7-2}] [--quick]`` — regenerate the paper's
   evaluation tables;
 * ``fault-trace [--machine NAME]`` — narrate every step of a single
-  copy-on-write fault, for teaching.
+  copy-on-write fault, for teaching;
+* ``check [--lint-only]`` — run the MD/MI layering lint over the
+  source tree, then the runtime invariant sweeps on all five pmap
+  architectures (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -210,6 +213,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: layering lint, then invariant sweeps."""
+    from repro.analysis import lint_source_tree, run_sweeps
+    from repro.analysis.sweeps import SWEEP_ARCHS
+
+    print("layering lint: checking the MD/MI import contract ...")
+    violations = lint_source_tree()
+    if violations:
+        for violation in violations:
+            print(f"  {violation}")
+        print(f"lint: {len(violations)} violation(s)")
+        return 1
+    print("lint: clean")
+    if args.lint_only:
+        return 0
+
+    archs = [args.arch] if args.arch else None
+    names = ", ".join(archs or SWEEP_ARCHS)
+    print(f"\ninvariant sweeps: fork+COW, pageout-pressure, shootdown "
+          f"on {names} ...")
+    results = run_sweeps(archs=archs, verbose=True)
+    failed = [r for r in results if not r.ok]
+    print(f"\nsweeps: {len(results) - len(failed)}/{len(results)} "
+          f"cells passed")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -235,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table", choices=["7-1", "7-2"])
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads")
+
+    check = sub.add_parser(
+        "check", help="layering lint + runtime invariant sweeps")
+    check.add_argument("--lint-only", action="store_true",
+                       help="run only the static import lint")
+    check.add_argument("--arch", choices=["generic", "vax", "rt_pc",
+                                          "sun3", "ns32082"],
+                       help="sweep a single pmap architecture")
     return parser
 
 
@@ -247,8 +285,14 @@ def main(argv=None) -> int:
         "fault-trace": cmd_fault_trace,
         "show": cmd_show,
         "bench": cmd_bench,
+        "check": cmd_check,
     }[args.command]
     return handler(args)
+
+
+def check_entry() -> int:
+    """Console entry point: ``repro-check`` == ``repro check``."""
+    return main(["check"] + sys.argv[1:])
 
 
 if __name__ == "__main__":

@@ -88,6 +88,15 @@ class MachKernel:
         resident.reclaim_hook = self._low_memory
         self.tasks: list[Task] = []
         self.max_fault_retries = 8
+        #: Debug hook (``repro.analysis.invariants``): called with the
+        #: kernel after faults, task lifecycle events and pageout
+        #: passes.  None (the default) costs nothing.
+        self.sanitize_hook = None
+        #: Out-of-line message holding maps currently in flight
+        #: (id -> AddressMap).  These maps hold object references but
+        #: are reachable only through queued messages, so the
+        #: reference-count audit needs them as explicit roots.
+        self._ool_in_flight: dict[int, AddressMap] = {}
         #: "The kernel task acts as a server": task/thread ports are
         #: serviced here (Section 2).
         self.server = KernelServer(self)
@@ -171,6 +180,8 @@ class MachKernel:
                               entry.start)
         self.tasks.append(task)
         self.stats.tasks_created += 1
+        if self.sanitize_hook is not None:
+            self.sanitize_hook(self)
         return task
 
     def task_terminate(self, task: Task) -> None:
@@ -187,6 +198,8 @@ class MachKernel:
         if task in self.tasks:
             self.tasks.remove(task)
         self.stats.tasks_terminated += 1
+        if self.sanitize_hook is not None:
+            self.sanitize_hook(self)
 
     # ------------------------------------------------------------------
     # Table 2-1 operations
@@ -305,6 +318,8 @@ class MachKernel:
                                                   rmw=rmw)
             except PageFault as hw_fault:
                 resolve_task_fault(self, task, hw_fault)
+                if self.sanitize_hook is not None:
+                    self.sanitize_hook(self)
         raise RuntimeError(
             f"access at {vaddr:#x} did not converge after "
             f"{self.max_fault_retries} faults")
@@ -367,7 +382,10 @@ class MachKernel:
     def fault(self, task: Task, vaddr: int, fault_type: FaultType):
         """Resolve one fault directly (without an MMU access) — used by
         tests and by wiring."""
-        return vm_fault(self, task, vaddr, fault_type)
+        result = vm_fault(self, task, vaddr, fault_type)
+        if self.sanitize_hook is not None:
+            self.sanitize_hook(self)
+        return result
 
     def wire_range(self, task: Task, address: int, size: int) -> None:
         """Fault in and wire every page of a range (kernel-style wired
@@ -537,6 +555,7 @@ class MachKernel:
             holder = AddressMap(self.vm, 0, size, pmap=None)
             task.vm_map.copy_region(region.address, size, holder, 0)
             region.holding = holder
+            self._ool_in_flight[id(holder)] = holder
             if region.deallocate:
                 task.vm_map.delete_range(region.address, size)
         message.sender = task
@@ -557,6 +576,7 @@ class MachKernel:
             holder = region.holding
             dst = holder.copy_region(0, size, task.vm_map, None)
             holder.destroy()
+            self._ool_in_flight.pop(id(holder), None)
             region.holding = None
             region.received_at = dst
         self.stats.messages_received += 1
@@ -568,6 +588,7 @@ class MachKernel:
         for region in message.ool:
             if region.holding is not None:
                 region.holding.destroy()
+                self._ool_in_flight.pop(id(region.holding), None)
                 region.holding = None
 
     def __repr__(self) -> str:

@@ -56,6 +56,12 @@ class PageoutDaemon:
             if self._try_reclaim(page):
                 freed += 1
         self.pages_freed += freed
+        hook = getattr(self.kernel, "sanitize_hook", None)
+        if hook is not None and not resident._reclaiming:
+            # Skip the sweep when running synchronously inside a frame
+            # allocation (mid-fault): the caller's fault-path hook
+            # audits once the fault completes.
+            hook(self.kernel)
         return freed
 
     def _balance_queues(self) -> None:

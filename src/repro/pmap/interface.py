@@ -97,6 +97,10 @@ class PmapSystem:
         self.shootdowns = 0
         self.ipis_sent = 0
         self.deferred_flushes = 0
+        #: Debug hook (``repro.analysis.invariants``): called with no
+        #: arguments after every shootdown and ``pmap_update``.  None
+        #: (the default) costs nothing.
+        self.debug_hook = None
 
     # ------------------------------------------------------------------
     # Reference / modify bits (maintained by the simulated MMU)
@@ -228,6 +232,8 @@ class PmapSystem:
                 cpu.defer_flush(flush)
             # LAZY: temporary inconsistency is allowed; the entry dies
             # whenever that CPU next switches pmaps or takes a flush.
+        if self.debug_hook is not None:
+            self.debug_hook()
 
     def update(self) -> None:
         """``pmap_update``: bring the whole pmap system up to date —
@@ -235,6 +241,8 @@ class PmapSystem:
         for cpu in self.machine.cpus:
             if cpu.has_deferred_flushes:
                 cpu.timer_tick()
+        if self.debug_hook is not None:
+            self.debug_hook()
 
 
 class Pmap(abc.ABC):
@@ -345,9 +353,15 @@ class Pmap(abc.ABC):
             self.system.shootdown(self, start, end)
 
     def protect(self, start: int, end: int, prot: VMProt) -> None:
-        """``pmap_protect``: set protection on [start, end).
+        """``pmap_protect``: restrict protection on [start, end).
 
-        A protection of NONE removes the mappings entirely.
+        A protection of NONE removes the mappings entirely.  Each
+        existing mapping's protection is *intersected* with *prot*,
+        never raised: permission increases are always granted lazily at
+        fault time, and raising here could silently make a mapping more
+        permissive than the machine-independent layer sanctions (e.g.
+        re-arming write access on a copy-on-write-shared page, or
+        granting execute where the map entry allows none).
         """
         if prot is VMProt.NONE:
             self.remove(start, end)
@@ -356,7 +370,13 @@ class Pmap(abc.ABC):
         changed = False
         for va in list(self._hw_iter(trunc_page(start, self.hw_page_size),
                                      end)):
-            if self._hw_protect(va, prot):
+            hit = self._hw_lookup(va)
+            if hit is None:
+                continue
+            lowered = hit[1] & prot
+            if lowered == hit[1]:
+                continue
+            if self._hw_protect(va, lowered):
                 changed = True
                 self.machine.clock.charge(self.machine.costs.pte_write_us)
         if changed:

@@ -19,9 +19,26 @@ def spec() -> MachineSpec:
     return make_spec()
 
 
+def _teardown_sweep(k: MachKernel) -> None:
+    """Run the VM sanitizer over a fixture kernel after its test.
+
+    Any test that drove the kernel through faults, forks, pageout or
+    shootdowns and left the MD layer lying about a mapping fails here
+    even if its own assertions passed.  Tests that call Table 3-3
+    routines directly (below machine-independent sanction) opt out by
+    setting ``kernel.sanitize_on_teardown = False``.
+    """
+    if not getattr(k, "sanitize_on_teardown", True):
+        return
+    from repro.analysis.invariants import assert_all
+    assert_all(k)
+
+
 @pytest.fixture
 def kernel(spec) -> MachKernel:
-    return MachKernel(spec)
+    k = MachKernel(spec)
+    yield k
+    _teardown_sweep(k)
 
 
 @pytest.fixture
@@ -32,14 +49,18 @@ def task(kernel):
 @pytest.fixture
 def tiny_kernel() -> MachKernel:
     """A memory-starved kernel (32 frames) for pageout tests."""
-    return MachKernel(make_spec(memory_frames=32))
+    k = MachKernel(make_spec(memory_frames=32))
+    yield k
+    _teardown_sweep(k)
 
 
 @pytest.fixture
 def smp_kernel() -> MachKernel:
     """A 4-CPU machine for TLB-consistency tests."""
-    return MachKernel(make_spec(ncpus=4),
-                      shootdown=ShootdownStrategy.IMMEDIATE)
+    k = MachKernel(make_spec(ncpus=4),
+                   shootdown=ShootdownStrategy.IMMEDIATE)
+    yield k
+    _teardown_sweep(k)
 
 
 @pytest.fixture(params=["generic", "vax", "rt_pc", "sun3", "sun3_vac",
@@ -58,5 +79,7 @@ def any_pmap_kernel(request) -> MachKernel:
     elif name == "ns32082":
         kwargs = dict(hw_page_size=512, page_size=4096,
                       va_limit=16 * MB, buggy_rmw_reports_read=True)
-    return MachKernel(make_spec(name=f"test-{name}", pmap_name=name,
-                                **kwargs))
+    k = MachKernel(make_spec(name=f"test-{name}", pmap_name=name,
+                             **kwargs))
+    yield k
+    _teardown_sweep(k)

@@ -13,7 +13,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for command in ("machines", "demo", "fault-trace", "show",
-                        "bench"):
+                        "bench", "check"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -64,3 +64,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "zero fill 1K" in out
         assert "fork 256K" in out
+
+    def test_check_lint_only(self, capsys):
+        assert main(["check", "--lint-only"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+
+    def test_check_single_arch_sweep(self, capsys):
+        assert main(["check", "--arch", "generic"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 cells passed" in out

@@ -80,7 +80,14 @@ class TestPmapModel:
                 _, vpn, prot = op
                 pmap.protect(vpn * page, (vpn + 1) * page, prot)
                 if vpn in model:
-                    model[vpn] = (model[vpn][0], prot)
+                    # pmap_protect only ever restricts: the new
+                    # protection is intersected with the mapping's,
+                    # never raised (raising happens at fault time).
+                    if prot is VMProt.NONE:
+                        del model[vpn]
+                    else:
+                        model[vpn] = (model[vpn][0],
+                                      model[vpn][1] & prot)
             else:
                 _, frame_index = op
                 kernel.pmap_system.remove_all(frames[frame_index])
