@@ -59,9 +59,13 @@ HW_SUBSTRATE = ("hw.machine", "hw.physmem", "hw.clock", "hw.costs")
 VOCABULARY = ("core.constants", "core.errors")
 
 #: Packages/modules that sit *above* the machine-independent VM layer;
-#: neither hw nor pmap code may import them.
+#: neither hw nor pmap code may import them.  ``inject`` belongs here:
+#: fault injection reaches downward only through duck-typed hooks
+#: (``SimDisk.injector``, ``Port.injector``), never via imports from
+#: below.
 UPPER_LAYERS = ("pager", "ipc", "fs", "unix", "bench", "baseline",
-                "dist", "sched", "analysis", "viz", "trace", "cli")
+                "dist", "sched", "analysis", "inject", "viz", "trace",
+                "cli")
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,10 @@ Commands:
   copy-on-write fault, for teaching;
 * ``check [--lint-only]`` — run the MD/MI layering lint over the
   source tree, then the runtime invariant sweeps on all five pmap
-  architectures (see :mod:`repro.analysis`).
+  architectures (see :mod:`repro.analysis`);
+* ``faultsweep [--quick] [--seed N]`` — the fault-injection survival
+  matrix: errant pagers, flaky disks and lossy IPC against every pmap
+  architecture (see :mod:`repro.inject`).
 """
 
 from __future__ import annotations
@@ -240,6 +243,30 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_faultsweep(args: argparse.Namespace) -> int:
+    """``repro faultsweep``: the fault-injection survival matrix."""
+    from repro.inject import run_faultsweep
+    from repro.inject.sweep import QUICK_ARCHS, SCENARIOS, SWEEP_ARCHS
+
+    archs = [args.arch] if args.arch else None
+    scenarios = [args.scenario] if args.scenario else None
+    names = ", ".join(archs or (QUICK_ARCHS if args.quick
+                                else tuple(SWEEP_ARCHS)))
+    print(f"fault sweep (seed={args.seed:#x}): "
+          f"{', '.join(scenarios or SCENARIOS)}")
+    print(f"architectures: {names}\n")
+    results = run_faultsweep(archs=archs, scenarios=scenarios,
+                             seed=args.seed, quick=args.quick,
+                             verbose=True)
+    failed = [r for r in results if not r.ok]
+    injected = sum(r.injected for r in results)
+    absorbed = sum(r.typed_errors for r in results)
+    print(f"\nsweep: {len(results) - len(failed)}/{len(results)} cells "
+          f"survived ({injected} faults injected, {absorbed} typed "
+          f"errors absorbed)")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -273,6 +300,24 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--arch", choices=["generic", "vax", "rt_pc",
                                           "sun3", "ns32082"],
                        help="sweep a single pmap architecture")
+
+    fault = sub.add_parser(
+        "faultsweep",
+        help="fault-injection survival matrix (errant pagers, flaky "
+             "disks, lossy IPC)")
+    fault.add_argument("--quick", action="store_true",
+                       help="3 architectures, smaller workloads")
+    fault.add_argument("--seed", type=lambda v: int(v, 0),
+                       default=0xFA17,
+                       help="base seed (every cell derives its own)")
+    fault.add_argument("--arch", choices=["generic", "vax", "rt_pc",
+                                          "sun3", "ns32082"],
+                       help="sweep a single pmap architecture")
+    fault.add_argument("--scenario",
+                       choices=["pager-stall", "pager-crash",
+                                "pager-garbage", "disk-error",
+                                "ipc-loss", "pageout-pressure"],
+                       help="run a single fault scenario")
     return parser
 
 
@@ -286,6 +331,7 @@ def main(argv=None) -> int:
         "show": cmd_show,
         "bench": cmd_bench,
         "check": cmd_check,
+        "faultsweep": cmd_faultsweep,
     }[args.command]
     return handler(args)
 

@@ -70,6 +70,64 @@ class MemoryObjectError(VMError):
     kern_return = KernReturn.MEMORY_ERROR
 
 
+class DiskIOError(VMError):
+    """A simulated disk transfer failed.
+
+    Raised by :class:`repro.fs.disk.SimDisk` (usually under fault
+    injection) and propagated — never swallowed — through the
+    filesystem, the vnode pager and the fault handler, so a bad block
+    surfaces as a typed error rather than silent corruption.
+    """
+
+    kern_return = KernReturn.MEMORY_FAILURE
+
+
+class IPCTimeoutError(VMError):
+    """A message round trip produced no reply within the retry budget
+    (the request, the reply, or both were lost in transit)."""
+
+    kern_return = KernReturn.ABORTED
+
+
+class PagerError(MemoryObjectError):
+    """Base class for pager failure modes.
+
+    Section 4 of the paper warns that the external-pager design makes
+    the kernel depend "on user-state code it cannot trust"; these
+    exceptions are the kernel's defense: every way a pager can go wrong
+    maps to a typed error the faulting task receives instead of a hang.
+    """
+
+
+class PagerStallError(PagerError):
+    """A pager did not respond in time (transient).
+
+    The kernel retries stalled requests with exponential backoff on the
+    simulated clock; only after the retry budget is exhausted does the
+    stall escalate to :class:`PagerTimeoutError`.
+    """
+
+
+class PagerTimeoutError(PagerError):
+    """A pager stayed unresponsive through every timed retry; the
+    kernel declares it dead."""
+
+
+class PagerCrashedError(PagerError):
+    """A pager task died (dead ports, vanished server) mid-protocol."""
+
+
+class PagerGarbageError(PagerError):
+    """A pager answered with malformed data (wrong type); the kernel
+    refuses to install it."""
+
+
+class PagerDeadError(PagerError):
+    """The object's pager was previously declared dead; the fault
+    fails immediately (no retries) unless the object has been adopted
+    by the default pager or the kernel degrades to zero fill."""
+
+
 class PageFault(Exception):
     """Raised by the simulated MMU when a translation is missing or the
     attempted access exceeds the installed permissions.

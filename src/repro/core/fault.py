@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.constants import FaultType, VMProt, trunc_page
-from repro.core.errors import MemoryObjectError
+from repro.core.errors import DiskIOError, MemoryObjectError
 from repro.core.page import VMPage
 
 
@@ -99,8 +99,16 @@ def vm_fault(kernel, task, vaddr: int, fault_type: FaultType,
     first_object = entry.vm_object
     first_offset = result.offset
 
-    # (4) Walk the shadow chain for the data.
-    page, level = _find_page(kernel, first_object, first_offset, outcome)
+    # (4) Walk the shadow chain for the data.  A failed backing store
+    # (dead pager, bad disk) surfaces here as a *typed* error to the
+    # faulting task — never a hang, never silently wrong data (the
+    # paper's Section 4 concern about errant user-state managers).
+    try:
+        page, level = _find_page(kernel, first_object, first_offset,
+                                 outcome)
+    except (MemoryObjectError, DiskIOError):
+        kernel.stats.fault_errors += 1
+        raise
 
     # (4a) Honour pager data locks (Table 3-2 pager_data_lock:
     # "Prevents further access to the specified data until an unlock").

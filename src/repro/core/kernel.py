@@ -14,7 +14,16 @@ from typing import Optional
 
 from repro.core.address_map import AddressMap
 from repro.core.constants import FaultType, VMInherit, VMProt, round_page
-from repro.core.errors import InvalidArgumentError, PageFault
+from repro.core.errors import (
+    DiskIOError,
+    InvalidArgumentError,
+    PageFault,
+    PagerCrashedError,
+    PagerDeadError,
+    PagerGarbageError,
+    PagerStallError,
+    PagerTimeoutError,
+)
 from repro.core.fault import resolve_task_fault, vm_fault
 from repro.core.page import VMPage
 from repro.core.pageout import PageoutDaemon
@@ -25,7 +34,7 @@ from repro.core.vm_object import VMObjectManager
 from repro.hw.machine import Machine, MachineSpec
 from repro.ipc.kernel_server import KernelServer
 from repro.ipc.message import Message
-from repro.ipc.port import Port
+from repro.ipc.port import DeadPortError, Port
 from repro.pager.default_pager import DefaultPager
 from repro.pager.protocol import UNAVAILABLE
 from repro.pager.swap import SwapSpace
@@ -88,6 +97,17 @@ class MachKernel:
         resident.reclaim_hook = self._low_memory
         self.tasks: list[Task] = []
         self.max_fault_retries = 8
+        #: Pager failure policy (Section 4's "errant memory manager"
+        #: defense).  A transient pager error is retried up to
+        #: ``max_pager_retries`` times, charging ``pager_timeout_us``
+        #: (doubling per retry) of simulated wait each time; a pager
+        #: that exhausts its stall budget is declared dead.  Faults on
+        #: objects with a dead pager raise ``PagerDeadError`` unless
+        #: ``dead_pager_zero_fill`` asks for degraded zero-filled pages
+        #: instead.
+        self.pager_timeout_us = 20_000.0
+        self.max_pager_retries = 3
+        self.dead_pager_zero_fill = False
         #: Debug hook (``repro.analysis.invariants``): called with the
         #: kernel after faults, task lifecycle events and pageout
         #: passes.  None (the default) costs nothing.
@@ -421,6 +441,102 @@ class MachKernel:
             return True
         return probe(obj, offset)
 
+    def declare_pager_dead(self, obj, cause: Exception) -> None:
+        """The object's managing task is errant (crashed, wedged, or
+        feeding the kernel garbage): stop talking to it.
+
+        Later faults on the object degrade per ``dead_pager_zero_fill``
+        instead of hanging on the pager;
+        :meth:`adopt_orphaned_object` can re-home the object to the
+        default pager.
+        """
+        if obj.pager_dead:
+            return
+        obj.pager_dead = True
+        obj.pager_dead_cause = cause
+        self.stats.pagers_declared_dead += 1
+
+    def adopt_orphaned_object(self, obj):
+        """Re-home an object whose pager was declared dead onto the
+        default pager.
+
+        Resident pages stay; paged-out data held by the dead pager is
+        lost (further faults on it zero-fill), which is the graceful-
+        degradation contract — memory keeps working, stale backing
+        store does not come back.  Returns *obj*.
+        """
+        if not obj.pager_dead:
+            raise InvalidArgumentError(
+                f"{obj!r}: pager is not dead, nothing to adopt")
+        old = obj.pager
+        if old is not None:
+            if self.vm.objects._by_pager.get(old) is obj:
+                del self.vm.objects._by_pager[old]
+            release = getattr(old, "release_object", None)
+            if release is not None:
+                try:
+                    release(obj)
+                except Exception:
+                    pass  # the pager is dead; a failing release is moot
+        # The shared default pager backs many objects, so it never
+        # enters the pager -> object registry (see set_pager).
+        obj.pager = self.default_pager
+        obj.pager_initialized = True
+        obj.internal = True
+        obj.pager_dead = False
+        self.stats.orphans_adopted += 1
+        if self.sanitize_hook is not None:
+            self.sanitize_hook(self)
+        return obj
+
+    def _call_pager(self, obj, op: str, call) -> object:
+        """Invoke one pager operation under the failure policy.
+
+        Transient errors (``PagerStallError``, ``DiskIOError``) are
+        retried with exponential backoff charged to the simulated
+        clock.  Fatal errors (crash/garbage/timeout, dead ports)
+        declare the pager dead and re-raise.  A stall budget exhausted
+        becomes ``PagerTimeoutError`` (pager dead); a disk budget
+        exhausted re-raises ``DiskIOError`` *without* killing the pager
+        — the medium may recover.
+        """
+        transient: Optional[Exception] = None
+        for attempt in range(self.max_pager_retries + 1):
+            if attempt:
+                self.stats.pager_retries += 1
+                self.clock.wait(self.pager_timeout_us
+                                * (1 << (attempt - 1)))
+            try:
+                return call()
+            except (PagerStallError, DiskIOError) as exc:
+                transient = exc
+            except (PagerCrashedError, PagerGarbageError,
+                    PagerTimeoutError) as exc:
+                self.declare_pager_dead(obj, exc)
+                raise
+            except DeadPortError as exc:
+                error = PagerCrashedError(
+                    f"pager port of {obj!r} is dead: {exc}")
+                self.declare_pager_dead(obj, error)
+                raise error from exc
+        if isinstance(transient, DiskIOError):
+            raise transient
+        error = PagerTimeoutError(
+            f"pager of {obj!r} stalled through "
+            f"{self.max_pager_retries + 1} {op} attempts: {transient}")
+        self.declare_pager_dead(obj, error)
+        raise error from transient
+
+    def _dead_pager_data(self, obj, offset: int) -> None:
+        """Policy for a fault on an object whose pager is dead: degrade
+        to zero fill when asked to, else raise the typed error."""
+        if self.dead_pager_zero_fill:
+            self.stats.dead_pager_zero_fills += 1
+            return None
+        raise PagerDeadError(
+            f"fault at offset {offset:#x} of {obj!r}, whose pager "
+            f"was declared dead: {getattr(obj, 'pager_dead_cause', None)}")
+
     def request_object_data(self, obj, offset: int) -> Optional[VMPage]:
         """``pager_data_request`` round trip: ask the object's pager for
         data; install pages and return the one at *offset* (None when
@@ -431,18 +547,32 @@ class MachKernel:
         aligned cluster, and every page of the reply is installed —
         "The physical page size used in Mach is also independent of the
         page size used by memory object handlers" (Section 3.1).
+
+        Failure policy: see :meth:`_call_pager`; a well-typed reply of
+        the wrong shape (non-bytes) is garbage and kills the pager too.
         """
+        if obj.pager_dead:
+            return self._dead_pager_data(obj, offset)
         page_size = self.page_size
         cluster = max(getattr(obj.pager, "transfer_size", page_size),
                       page_size)
         base = offset - offset % cluster
         obj.paging_in_progress += 1
         try:
-            data = obj.pager.data_request(obj, base, cluster, VMProt.READ)
+            data = self._call_pager(
+                obj, "data_request",
+                lambda: obj.pager.data_request(obj, base, cluster,
+                                               VMProt.READ))
         finally:
             obj.paging_in_progress -= 1
         if data is UNAVAILABLE or data is None:
             return None
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            error = PagerGarbageError(
+                f"pager of {obj!r} returned {type(data).__name__} "
+                f"instead of bytes for offset {base:#x}")
+            self.declare_pager_dead(obj, error)
+            raise error
         data = bytes(data)
         if len(data) < cluster:
             data += bytes(cluster - len(data))
@@ -485,8 +615,17 @@ class MachKernel:
         return self._pager_lock_value(obj, offset)
 
     def pager_write_data(self, obj, offset: int, data: bytes) -> None:
-        """``pager_data_write``: push pageout data at the pager."""
-        obj.pager.data_write(obj, offset, data)
+        """``pager_data_write``: push pageout data at the pager.
+
+        Same failure policy as :meth:`request_object_data`; on error
+        the caller (pageout daemon / clean_object) must keep the page
+        dirty so no data is lost.
+        """
+        if obj.pager_dead:
+            raise PagerDeadError(
+                f"pageout to {obj!r}, whose pager was declared dead")
+        self._call_pager(obj, "data_write",
+                         lambda: obj.pager.data_write(obj, offset, data))
 
     def clean_object(self, obj, offset: int, length: int) -> None:
         """``pager_clean_request``: write modified cached pages of the

@@ -18,7 +18,9 @@ allocation finds memory short.
 
 from __future__ import annotations
 
+from repro.core.errors import DiskIOError, PagerError
 from repro.core.page import VMPage
+from repro.ipc.port import DeadPortError
 from repro.pmap.interface import ShootdownStrategy
 
 
@@ -31,6 +33,7 @@ class PageoutDaemon:
         self.pages_freed = 0
         self.pages_laundered = 0
         self.reactivated = 0
+        self.launder_failures = 0
 
     # ------------------------------------------------------------------
 
@@ -110,8 +113,15 @@ class PageoutDaemon:
         vm.pmap_system.remove_all(page.phys_addr)
         self._quiesce_tlbs()
 
-        if dirty:
-            self._launder(page)
+        if dirty and not self._launder(page):
+            # The pageout failed: the only good copy of the data is
+            # this frame.  Keep the page — dirty at the MI level, since
+            # remove_all dropped the hardware modify state — and put it
+            # back on the active queue so the daemon moves on to other
+            # victims instead of grinding on a broken pager.
+            page.modified = True
+            resident.activate(page)
+            return False
 
         resident.free(page)
         return True
@@ -132,13 +142,20 @@ class PageoutDaemon:
                 cpu.tlb.flush_all()
         # IMMEDIATE: remove_all already interrupted every tainted CPU.
 
-    def _launder(self, page: VMPage) -> None:
-        """Write a dirty page to its object's pager.
+    def _launder(self, page: VMPage) -> bool:
+        """Write a dirty page to its object's pager; returns True when
+        the backing store accepted the data.
 
         Anonymous memory that has never been paged gets the default
         pager bound on first pageout — "page-out is done to a default
         inode pager" (Section 3.3), so no separate paging partition is
         needed.
+
+        A pager/disk failure (see the failure contract in
+        :mod:`repro.pager.protocol`) is absorbed here: the page stays
+        dirty so its data survives in memory, and the caller must not
+        free the frame.  ``ResourceShortageError`` (swap exhaustion) is
+        *not* absorbed — that one must propagate.
         """
         vm = self.kernel.vm
         obj = page.vm_object
@@ -148,9 +165,14 @@ class PageoutDaemon:
         obj.paging_in_progress += 1
         try:
             self.kernel.pager_write_data(obj, page.offset, data)
+        except (PagerError, DiskIOError, DeadPortError):
+            self.launder_failures += 1
+            self.kernel.stats.pageout_failures += 1
+            return False
         finally:
             obj.paging_in_progress -= 1
         page.modified = False
         vm.pmap_system.clear_modify(page.phys_addr)
         self.pages_laundered += 1
         self.kernel.stats.pageouts += 1
+        return True

@@ -19,6 +19,13 @@ class KernelStats:
         self.tasks_terminated = 0
         self.messages_sent = 0
         self.messages_received = 0
+        # Failure-path counters (fault injection / errant pagers).
+        self.pager_retries = 0
+        self.pagers_declared_dead = 0
+        self.orphans_adopted = 0
+        self.pageout_failures = 0
+        self.fault_errors = 0
+        self.dead_pager_zero_fills = 0
 
     def __repr__(self) -> str:
         return (f"KernelStats(faults={self.faults}, cow={self.cow_faults}, "

@@ -58,6 +58,10 @@ class VMObject:
         self.can_persist = False
         self.cached = False
         self.terminated = False
+        #: Set by ``MachKernel.declare_pager_dead`` when the managing
+        #: task stopped responding/crashed/returned garbage; faults on
+        #: the object degrade instead of re-contacting the pager.
+        self.pager_dead = False
         #: Pages of this object resident in physical memory, by offset
         #: ("All the page entries associated with a given object are
         #: linked together in a memory object list").
@@ -274,7 +278,15 @@ class VMObjectManager:
 
     def _terminate(self, obj: VMObject) -> Optional[VMObject]:
         """Free the object's pages and registry entries; returns the
-        shadowed object (whose reference the caller must now drop)."""
+        shadowed object (whose reference the caller must now drop).
+
+        Idempotent: teardown paths can race (an object evicted from the
+        cache while its last mapping is also going away), so a second
+        terminate must be a no-op — by then the shadow reference has
+        already been handed off and the pager released.
+        """
+        if obj.terminated:
+            return None
         obj.terminated = True
         self.objects_destroyed += 1
         for page in obj.iter_resident():

@@ -5,6 +5,15 @@ while the disk works) plus a small CPU cost for the interrupt/completion
 path.  Sequential block access skips the seek charge, which is what
 makes large file reads bandwidth-bound rather than seek-bound — the
 regime of the paper's 2.5 MB read benchmark.
+
+Failure semantics: every transfer consults an optional *injector*
+(duck-typed, see :mod:`repro.inject`) which may add latency spikes or
+raise :class:`~repro.core.errors.DiskIOError`.  Errors are raised, not
+returned — a failed read never hands back a half block or stale data,
+and a failed write leaves the previous block contents intact.  Reads
+always return exactly ``block_size`` bytes: short writes are padded
+with zeros at write time so an unwritten tail can never alias a
+truncated buffer.
 """
 
 from __future__ import annotations
@@ -25,6 +34,12 @@ class SimDisk:
         self.reads = 0
         self.writes = 0
         self.seeks = 0
+        self.read_errors = 0
+        self.write_errors = 0
+        #: Optional fault injector (duck-typed: ``on_disk_io(disk, op,
+        #: block)`` may wait on the clock and/or raise ``DiskIOError``).
+        #: ``None`` — the default — costs nothing.
+        self.injector = None
 
     def _charge(self, block: int) -> None:
         costs = self.machine.costs
@@ -43,22 +58,47 @@ class SimDisk:
             raise ValueError(f"block {block} out of range "
                              f"[0, {self.nblocks})")
 
+    def _perturb(self, op: str, block: int, counter: str) -> None:
+        """Give the fault injector its shot at this transfer; a raised
+        ``DiskIOError`` counts against the per-direction error stat."""
+        if self.injector is None:
+            return
+        try:
+            self.injector.on_disk_io(self, op, block)
+        except Exception:
+            setattr(self, counter, getattr(self, counter) + 1)
+            raise
+
     def read_block(self, block: int) -> bytes:
-        """Read one block (charges seek/transfer costs)."""
+        """Read one block (charges seek/transfer costs).
+
+        Always returns exactly ``block_size`` bytes; unwritten blocks
+        read as zeros.  Raises ``DiskIOError`` on an injected medium
+        error.
+        """
         self._check(block)
         self._charge(block)
+        self._perturb("read", block, "read_errors")
         self.reads += 1
         data = self._blocks.get(block)
         if data is None:
             return bytes(self.block_size)
+        assert len(data) == self.block_size, \
+            f"block {block} stored with {len(data)} bytes"
         return data
 
     def write_block(self, block: int, data: bytes) -> None:
-        """Write one block (charges seek/transfer costs)."""
+        """Write one block (charges seek/transfer costs).
+
+        Short writes are padded to ``block_size`` with zeros before
+        being stored, so a later ``read_block`` returns a full block.
+        On an injected error the previous contents survive untouched.
+        """
         self._check(block)
         if len(data) > self.block_size:
             raise ValueError("data larger than a block")
         self._charge(block)
+        self._perturb("write", block, "write_errors")
         self.writes += 1
         if len(data) < self.block_size:
             data = bytes(data) + bytes(self.block_size - len(data))

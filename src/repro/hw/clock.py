@@ -46,6 +46,18 @@ class SimClock:
         return self._elapsed_us
 
     @property
+    def now_us(self) -> float:
+        """The current simulated instant (elapsed time), for deadlines
+        and timeouts.  Never wall-clock time: fault-injection sweeps and
+        pager timeouts stay deterministic because "now" only advances
+        through ``charge``/``wait``."""
+        return self._elapsed_us
+
+    def deadline(self, budget_us: float) -> "Deadline":
+        """A deadline *budget_us* simulated microseconds from now."""
+        return Deadline(self, budget_us)
+
+    @property
     def cpu_ms(self) -> float:
         """Accumulated simulated CPU milliseconds."""
         return self._cpu_us / 1000.0
@@ -67,6 +79,41 @@ class SimClock:
     def __repr__(self) -> str:
         return (f"SimClock(cpu={self._cpu_us:.1f}us, "
                 f"elapsed={self._elapsed_us:.1f}us)")
+
+
+class Deadline:
+    """A point on the simulated clock after which an operation has
+    timed out.
+
+    Used by the kernel's pager-request retry loop: each retry *waits*
+    (elapsed time, no CPU) until its backoff expires, so an errant
+    pager costs the faulting task simulated time, never a host hang.
+    """
+
+    def __init__(self, clock: SimClock, budget_us: float) -> None:
+        if budget_us < 0:
+            raise ValueError("deadline budget cannot be negative")
+        self._clock = clock
+        self._expiry_us = clock.now_us + budget_us
+
+    @property
+    def expired(self) -> bool:
+        """True once the simulated clock has passed the deadline."""
+        return self._clock.now_us >= self._expiry_us
+
+    @property
+    def remaining_us(self) -> float:
+        """Simulated microseconds left before expiry (0 when past)."""
+        return max(0.0, self._expiry_us - self._clock.now_us)
+
+    def wait_out(self) -> None:
+        """Advance the clock (I/O wait) to the deadline."""
+        remaining = self.remaining_us
+        if remaining > 0:
+            self._clock.wait(remaining)
+
+    def __repr__(self) -> str:
+        return f"Deadline(+{self.remaining_us:.1f}us)"
 
 
 class ClockSnapshot:

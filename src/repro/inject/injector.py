@@ -1,0 +1,202 @@
+"""The fault injector: one seeded RNG, many failure sites.
+
+Every decision — drop this message? error this disk transfer? stall
+this pager call? — comes from a single ``random.Random(seed)``, so a
+run is *replayable*: the same seed against the same workload injects
+the same faults at the same points.  Nothing here reads the wall
+clock; latency spikes and backoffs are charged to the simulated
+machine clock.
+
+Layering: the kernel never imports this package.  The hook points are
+duck-typed attributes — ``SimDisk.injector`` (per instance) and
+``Port.injector`` (class-wide) — armed and disarmed from here, so the
+fs/ipc layers stay ignorant of who is perturbing them
+(``python -m repro check`` enforces that direction statically).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Optional
+
+from repro.core.errors import DiskIOError
+from repro.ipc.port import Port
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-site fault probabilities (all default to 0.0 = never).
+
+    Attributes:
+        disk_read_error / disk_write_error: chance a block transfer
+            raises :class:`~repro.core.errors.DiskIOError`.
+        disk_latency_spike: chance a transfer additionally waits
+            ``disk_spike_us`` of simulated time (a slow sector).
+        ipc_drop / ipc_duplicate / ipc_delay: chance a sent message is
+            lost, enqueued twice, or parked for ``ipc_delay_ops`` port
+            operations.
+        pager_stall / pager_crash / pager_garbage: chance a
+            :class:`~repro.inject.pagers.FaultyPager` operation stalls
+            (transient), crashes (sticky-fatal) or answers with a
+            non-bytes reply.
+        max_faults: total injection budget; ``None`` is unlimited.
+            Bounding it guarantees fault-free tails, so workloads can
+            assert full recovery.
+    """
+
+    disk_read_error: float = 0.0
+    disk_write_error: float = 0.0
+    disk_latency_spike: float = 0.0
+    disk_spike_us: float = 50_000.0
+    ipc_drop: float = 0.0
+    ipc_duplicate: float = 0.0
+    ipc_delay: float = 0.0
+    ipc_delay_ops: int = 3
+    pager_stall: float = 0.0
+    pager_crash: float = 0.0
+    pager_garbage: float = 0.0
+    max_faults: Optional[int] = None
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """A copy with every probability multiplied by *factor*
+        (clamped to 1.0); budgets and magnitudes are unchanged."""
+        changes = {}
+        for f in fields(self):
+            if f.name in ("disk_spike_us", "ipc_delay_ops", "max_faults"):
+                continue
+            changes[f.name] = min(1.0, getattr(self, f.name) * factor)
+        return replace(self, **changes)
+
+
+#: Everything at once, gently — the chaos profile the randomized
+#: fault-sweep harness uses.
+CHAOS = FaultConfig(
+    disk_read_error=0.02, disk_write_error=0.02,
+    disk_latency_spike=0.05,
+    ipc_drop=0.03, ipc_duplicate=0.03, ipc_delay=0.03,
+    pager_stall=0.05, pager_crash=0.01, pager_garbage=0.01,
+)
+
+
+class FaultInjector:
+    """Seeded source of deterministic misfortune.
+
+    Arm it over the ports layer and any number of disks with
+    :meth:`armed` (a context manager), or :meth:`arm`/:meth:`disarm`
+    directly.  Every injected fault is appended to :attr:`injected` as
+    a ``(site, detail)`` pair for post-mortems.
+    """
+
+    def __init__(self, seed: int,
+                 config: Optional[FaultConfig] = None) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.config = config if config is not None else CHAOS
+        self.injected: list[tuple[str, str]] = []
+        self._armed_disks: list = []
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults injected so far."""
+        return len(self.injected)
+
+    def _roll(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        budget = self.config.max_faults
+        if budget is not None and self.faults_injected >= budget:
+            return False
+        # One RNG draw per *possible* fault keeps the stream aligned
+        # with the decision sites, which is what makes seeds replay.
+        return self.rng.random() < probability
+
+    def _record(self, site: str, detail: str) -> None:
+        self.injected.append((site, detail))
+
+    # -- hook: SimDisk.injector ----------------------------------------
+
+    def on_disk_io(self, disk, op: str, block: int) -> None:
+        """Duck-typed :class:`~repro.fs.disk.SimDisk` hook: may charge
+        a latency spike and/or raise ``DiskIOError``."""
+        cfg = self.config
+        if self._roll(cfg.disk_latency_spike):
+            self._record("disk-spike", f"{op} block {block}")
+            disk.machine.clock.wait(cfg.disk_spike_us)
+        probability = (cfg.disk_read_error if op == "read"
+                       else cfg.disk_write_error)
+        if self._roll(probability):
+            self._record(f"disk-{op}-error", f"block {block}")
+            raise DiskIOError(f"injected {op} error at block {block} "
+                              f"(seed {self.seed})")
+
+    # -- hook: Port.injector -------------------------------------------
+
+    def on_port_send(self, port, message) -> Optional[tuple[str, int]]:
+        """Duck-typed :class:`~repro.ipc.port.Port` hook: returns the
+        transport's misbehaviour for this send, or None."""
+        cfg = self.config
+        label = getattr(message, "msgh_id", "?")
+        if self._roll(cfg.ipc_drop):
+            self._record("ipc-drop", f"{label} -> {port.name}")
+            return ("drop", 0)
+        if self._roll(cfg.ipc_duplicate):
+            self._record("ipc-duplicate", f"{label} -> {port.name}")
+            return ("duplicate", 0)
+        if self._roll(cfg.ipc_delay):
+            self._record("ipc-delay", f"{label} -> {port.name}")
+            return ("delay", cfg.ipc_delay_ops)
+        return None
+
+    # -- hook: FaultyPager ---------------------------------------------
+
+    def roll_pager(self, kind: str, who: str, op: str) -> bool:
+        """Used by :class:`~repro.inject.pagers.FaultyPager`: decide
+        whether pager operation *op* suffers *kind* (stall / crash /
+        garbage)."""
+        if self._roll(getattr(self.config, f"pager_{kind}")):
+            self._record(f"pager-{kind}", f"{who}.{op}")
+            return True
+        return False
+
+    # -- arming ---------------------------------------------------------
+
+    def arm(self, *disks) -> None:
+        """Install this injector over the port transport and *disks*."""
+        Port.injector = self
+        for disk in disks:
+            disk.injector = self
+            self._armed_disks.append(disk)
+
+    def disarm(self) -> None:
+        """Remove every hook this injector installed."""
+        if Port.injector is self:
+            Port.injector = None
+        for disk in self._armed_disks:
+            if disk.injector is self:
+                disk.injector = None
+        self._armed_disks.clear()
+
+    @contextmanager
+    def armed(self, *disks) -> Iterator["FaultInjector"]:
+        """``with injector.armed(disk): ...`` — faults only inside."""
+        self.arm(*disks)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    def summary(self) -> str:
+        """Counts per site, e.g. ``ipc-drop=4 pager-stall=2``."""
+        counts: dict[str, int] = {}
+        for site, _ in self.injected:
+            counts[site] = counts.get(site, 0) + 1
+        return " ".join(f"{site}={n}"
+                        for site, n in sorted(counts.items())) or "none"
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(seed={self.seed}, "
+                f"injected={self.faults_injected})")

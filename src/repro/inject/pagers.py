@@ -1,0 +1,175 @@
+"""Misbehaving pagers.
+
+The paper's Section 4 worry — "the possibility that a memory manager
+task may be errant" — needs errant memory managers to test against.
+Two are provided:
+
+* :class:`FaultyPager` — wraps any real :class:`PagerProtocol`
+  implementation and consults a :class:`~repro.inject.injector
+  .FaultInjector` before each operation: randomly stalls (transient),
+  crashes (sticky fatal) or answers with garbage.
+* :class:`ScriptedPager` — the deterministic sibling: follows an
+  explicit action script (``"ok" | "stall" | "crash" | "garbage"``),
+  for tests that pin exact failure sequences.
+
+Both raise/return through the failure contract documented in
+:mod:`repro.pager.protocol`, so the kernel's retry/dead-pager
+machinery is what gets exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.errors import PagerCrashedError, PagerStallError
+from repro.pager.protocol import DataResult, PagerProtocol
+
+#: A well-formed-looking but wrong-typed pager reply.  Deliberately an
+#: int: ``bytes(int)`` silently yields that many zero bytes, so only an
+#: explicit type check (which the kernel performs) catches it.
+GARBAGE_REPLY = 0xBAD
+
+
+class _WrappingPager(PagerProtocol):
+    """Shared delegation plumbing: everything the kernel probes with
+    ``getattr`` (transfer_size, has_data, pager_init, ...) falls
+    through to the wrapped pager untouched."""
+
+    def __init__(self, inner: PagerProtocol) -> None:
+        self.inner = inner
+
+    def __getattr__(self, attr):
+        # Only called for attributes not found normally; optional
+        # protocol hooks resolve against the wrapped pager so wrapping
+        # never changes the kernel's view of the pager's capabilities.
+        return getattr(self.inner, attr)
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        return self.inner.data_request(obj, offset, length,
+                                       desired_access)
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        self.inner.data_write(obj, offset, data)
+
+    def name(self) -> str:
+        return f"{type(self).__name__}({self.inner.name()})"
+
+
+class FaultyPager(_WrappingPager):
+    """A pager whose failures are rolled by a fault injector.
+
+    * *stall* — raises :class:`PagerStallError` (transient; the kernel
+      retries with backoff).
+    * *crash* — raises :class:`PagerCrashedError` and stays crashed:
+      every later operation fails the same way, like a dead task.
+    * *garbage* — ``data_request`` answers :data:`GARBAGE_REPLY`
+      instead of bytes.
+    """
+
+    def __init__(self, inner: PagerProtocol, injector) -> None:
+        super().__init__(inner)
+        self.injector = injector
+        self.crashed = False
+        self.stalls = 0
+        self.garbage_served = 0
+
+    def _perturb(self, op: str) -> None:
+        if self.crashed:
+            raise PagerCrashedError(f"{self.name()} crashed earlier")
+        if self.injector.roll_pager("crash", self.name(), op):
+            self.crashed = True
+            raise PagerCrashedError(
+                f"{self.name()} crashed during {op} "
+                f"(seed {self.injector.seed})")
+        if self.injector.roll_pager("stall", self.name(), op):
+            self.stalls += 1
+            raise PagerStallError(
+                f"{self.name()} stalled during {op} "
+                f"(seed {self.injector.seed})")
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        self._perturb("data_request")
+        if self.injector.roll_pager("garbage", self.name(),
+                                    "data_request"):
+            self.garbage_served += 1
+            return GARBAGE_REPLY  # type: ignore[return-value]
+        return super().data_request(obj, offset, length, desired_access)
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        self._perturb("data_write")
+        super().data_write(obj, offset, data)
+
+
+class ScriptedPager(_WrappingPager):
+    """A pager that fails exactly on cue.
+
+    *script* is consumed one action per operation; once exhausted (or
+    where it says ``"ok"``) the wrapped pager serves normally.  A
+    ``"crash"`` is sticky, as with :class:`FaultyPager`.
+    """
+
+    OK, STALL, CRASH, GARBAGE = "ok", "stall", "crash", "garbage"
+
+    def __init__(self, inner: PagerProtocol,
+                 script: Sequence[str] = ()) -> None:
+        super().__init__(inner)
+        self.script = list(script)
+        self.crashed = False
+        self.ops = 0
+
+    def _next_action(self) -> str:
+        self.ops += 1
+        if self.crashed:
+            return self.CRASH
+        if self.script:
+            return self.script.pop(0)
+        return self.OK
+
+    def _apply(self, action: str, op: str) -> Optional[str]:
+        if action == self.CRASH:
+            self.crashed = True
+            raise PagerCrashedError(f"{self.name()}: scripted crash "
+                                    f"at {op} #{self.ops}")
+        if action == self.STALL:
+            raise PagerStallError(f"{self.name()}: scripted stall "
+                                  f"at {op} #{self.ops}")
+        return action
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        action = self._apply(self._next_action(), "data_request")
+        if action == self.GARBAGE:
+            return GARBAGE_REPLY  # type: ignore[return-value]
+        return super().data_request(obj, offset, length, desired_access)
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        self._apply(self._next_action(), "data_write")
+        super().data_write(obj, offset, data)
+
+
+class StoreBackedPager(PagerProtocol):
+    """A minimal well-behaved pager over a byte store — the workload
+    pager the fault sweep wraps in :class:`FaultyPager` (direct
+    PagerProtocol, no ports, so pager faults are isolated from IPC
+    faults)."""
+
+    def __init__(self, initial: bytes = b"") -> None:
+        self.store = bytearray(initial)
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access) -> DataResult:
+        from repro.pager.protocol import UNAVAILABLE
+        if offset >= len(self.store):
+            return UNAVAILABLE
+        return bytes(self.store[offset:offset + length])
+
+    def data_write(self, obj, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if end > len(self.store):
+            self.store.extend(bytes(end - len(self.store)))
+        self.store[offset:end] = data
+
+    def has_data(self, obj, offset: int) -> bool:
+        return offset < len(self.store)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.errors import KernReturn, VMError
+from repro.core.errors import IPCTimeoutError, KernReturn, VMError
 from repro.core.task import Task
 from repro.ipc.message import Message, MsgType
 from repro.ipc.port import Port
@@ -52,11 +52,17 @@ class KernelServer:
     task's ``task_port`` (and thread ports) at registration time.
     """
 
+    #: Resend attempts ``call`` makes when a request or its reply is
+    #: lost in transit (the transport may drop messages — see
+    #: :mod:`repro.ipc.port`).
+    MAX_CALL_RETRIES = 3
+
     def __init__(self, kernel) -> None:
         self.kernel = kernel
         #: port -> the kernel object it represents.
         self._objects: dict[Port, object] = {}
         self.requests_served = 0
+        self.calls_retried = 0
 
     # ------------------------------------------------------------------
     # Registration ("the act of creating a task ... returns access
@@ -92,17 +98,34 @@ class KernelServer:
 
         This is the client-side stub a user task (or remote node) would
         use; the reply carries ``kern_return`` plus any out values.
+
+        The transport may drop, duplicate or delay either direction of
+        the round trip, so each attempt builds a fresh request; after
+        ``MAX_CALL_RETRIES`` resends with no reply the call raises
+        :class:`~repro.core.errors.IPCTimeoutError`.  A duplicated
+        request is served twice — the operations are kernel calls, whose
+        replies carry the result — and the extra reply is drained so it
+        cannot be mistaken for the answer to a later call.
         """
         reply_port = reply_to or Port(name="reply")
-        message = Message(msgh_id=msgh_id, reply_port=reply_port)
-        for key, value in fields.items():
-            message.add_inline(MsgType.STRING, (key, value))
-        port.send(message)
-        port.pump()
-        reply = reply_port.receive()
-        if reply is None:
-            raise RuntimeError(f"no reply to {msgh_id}")
-        return reply
+        for attempt in range(self.MAX_CALL_RETRIES + 1):
+            if attempt:
+                self.calls_retried += 1
+                self.kernel.clock.wait(
+                    self.kernel.machine.costs.syscall_us * (1 << attempt))
+            message = Message(msgh_id=msgh_id, reply_port=reply_port)
+            for key, value in fields.items():
+                message.add_inline(MsgType.STRING, (key, value))
+            port.send(message)
+            port.pump()
+            reply = reply_port.receive()
+            if reply is not None:
+                while reply_port.pending:     # duplicate replies
+                    reply_port.receive()
+                return reply
+        raise IPCTimeoutError(
+            f"no reply to {msgh_id} after "
+            f"{self.MAX_CALL_RETRIES + 1} attempts")
 
     @staticmethod
     def result_of(reply: Message) -> tuple[KernReturn, dict]:

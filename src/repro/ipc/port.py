@@ -9,6 +9,15 @@ The reproduction keeps ports deliberately small: a FIFO of messages plus
 an optional *handler* (the receiving task's server function), which is
 how the single-threaded simulation pumps synchronous request/reply
 protocols such as the external-pager interface.
+
+Failure semantics: the transport may be lossy.  A class-wide fault
+injector (armed by :mod:`repro.inject`, duck-typed so this module never
+imports upward) can *drop*, *duplicate* or *delay* any sent message.
+Dropped messages simply vanish — senders that need a reply must time
+out and retry (see ``ExternalPagerAdapter`` and ``KernelServer.call``).
+Delayed messages sit in a side queue and are re-enqueued after a fixed
+number of subsequent port operations, which models out-of-order arrival
+without any wall-clock dependence.
 """
 
 from __future__ import annotations
@@ -35,26 +44,72 @@ class Port:
             *pumped* (the owning task's server loop).
     """
 
+    #: Class-wide fault injector (duck-typed: ``on_port_send(port,
+    #: message)`` returns None or an ``("drop"|"duplicate"|"delay",
+    #: ticks)`` action).  Armed/disarmed by :mod:`repro.inject`; None —
+    #: the default — costs one attribute test per send.
+    injector = None
+
     def __init__(self, name: str = "",
                  handler: Optional[Callable] = None) -> None:
         self.port_id = next(_port_ids)
         self.name = name or f"port{self.port_id}"
         self.handler = handler
         self._queue: deque = deque()
+        #: Injector-delayed messages: [countdown, message] pairs,
+        #: re-enqueued when their countdown of port operations expires.
+        self._delayed: list = []
         self.dead = False
         self.messages_sent = 0
         self.messages_received = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_delayed = 0
+
+    def _tick_delayed(self) -> None:
+        """Advance delayed-message countdowns; deliver the expired."""
+        if not self._delayed:
+            return
+        still_waiting = []
+        for pair in self._delayed:
+            pair[0] -= 1
+            if pair[0] <= 0:
+                self._queue.append(pair[1])
+            else:
+                still_waiting.append(pair)
+        self._delayed = still_waiting
 
     def send(self, message) -> None:
-        """Enqueue *message* (the Send primitive)."""
+        """Enqueue *message* (the Send primitive).
+
+        Under an armed injector the message may be silently dropped,
+        enqueued twice, or parked for delayed delivery.
+        """
         if self.dead:
             raise DeadPortError(f"send to dead port {self.name}")
-        self._queue.append(message)
+        self._tick_delayed()
         self.messages_sent += 1
+        injector = Port.injector
+        if injector is not None:
+            action = injector.on_port_send(self, message)
+            if action is not None:
+                kind, ticks = action
+                if kind == "drop":
+                    self.messages_dropped += 1
+                    return
+                if kind == "duplicate":
+                    self.messages_duplicated += 1
+                    self._queue.append(message)
+                elif kind == "delay":
+                    self.messages_delayed += 1
+                    self._delayed.append([max(1, ticks), message])
+                    return
+        self._queue.append(message)
 
     def receive(self):
         """Dequeue the oldest message, or None when the queue is empty
         (the Receive primitive; non-blocking in the simulation)."""
+        self._tick_delayed()
         if not self._queue:
             return None
         self.messages_received += 1
@@ -66,6 +121,7 @@ class Port:
         server (e.g. an external pager's ``pager_server`` loop)."""
         if self.handler is None:
             raise RuntimeError(f"port {self.name} has no handler")
+        self._tick_delayed()
         processed = 0
         while self._queue:
             message = self._queue.popleft()
@@ -78,10 +134,12 @@ class Port:
         """Mark the port dead and drop its queued messages."""
         self.dead = True
         self._queue.clear()
+        self._delayed.clear()
 
     @property
     def pending(self) -> int:
-        """Number of messages waiting in the queue."""
+        """Number of messages waiting in the queue (delayed messages
+        are invisible until their countdown expires)."""
         return len(self._queue)
 
     def __repr__(self) -> str:

@@ -28,8 +28,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.constants import VMProt
+from repro.core.errors import PagerCrashedError, PagerGarbageError, \
+    PagerTimeoutError
 from repro.ipc.message import Message, MsgType
-from repro.ipc.port import Port
+from repro.ipc.port import DeadPortError, Port
 from repro.pager.protocol import (
     UNAVAILABLE,
     DataResult,
@@ -132,6 +134,14 @@ class ExternalPagerAdapter(PagerProtocol):
     """Kernel-side stub bridging PagerProtocol calls onto the message
     protocol, and processing the pager's replies."""
 
+    #: Resend attempts for an unanswered ``pager_data_request`` before
+    #: the pager is considered unresponsive (the transport may drop or
+    #: delay messages; the pager task itself may be wedged).
+    MAX_REQUEST_RETRIES = 3
+    #: Base backoff charged (as simulated I/O wait) before the first
+    #: resend; doubles per retry.
+    RETRY_BACKOFF_US = 5000.0
+
     def __init__(self, pager: ExternalPager, kernel=None,
                  name: str = "") -> None:
         self.user_pager = pager
@@ -152,6 +162,7 @@ class ExternalPagerAdapter(PagerProtocol):
         self._bound_object = None
         self.requests = 0
         self.writes = 0
+        self.retries = 0
 
     # -- Table 3-1: kernel -> pager ("pager_server routine called by
     # task to process a message from the kernel") ----------------------
@@ -248,43 +259,82 @@ class ExternalPagerAdapter(PagerProtocol):
             if self.request_port.pending:
                 self.request_port.pump()
 
+    def _backoff(self, attempt: int) -> None:
+        """Charge the exponential retry backoff as simulated I/O wait
+        (an unresponsive pager costs the faulting task *time*, never a
+        host hang)."""
+        self.retries += 1
+        clock = self.kernel.clock if self.kernel is not None else None
+        if clock is not None:
+            clock.wait(self.RETRY_BACKOFF_US * (1 << attempt))
+
+    def _crashed(self, cause: Exception) -> PagerCrashedError:
+        return PagerCrashedError(
+            f"pager {self.name()} died mid-protocol: {cause}")
+
     def data_request(self, obj, offset: int, length: int,
                      desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region."""
+        """PagerProtocol: supply data for a faulting region.
+
+        A pager that answers ``pager_data_unavailable`` is fine (zero
+        fill); a pager that answers *nothing* is errant.  The request
+        is resent with exponential backoff on the simulated clock; when
+        the retry budget is exhausted the adapter raises
+        :class:`PagerTimeoutError`, and dead ports (the pager task was
+        torn down) surface as :class:`PagerCrashedError`.
+        """
         self.requests += 1
-        lock = self.locks.get(offset, VMProt.NONE)
-        if lock & desired_access:
-            # Locked against this access: ask the pager to unlock first.
-            self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
-                                offset=offset, length=length,
-                                desired_access=desired_access)
-            self._pump()
+        try:
             lock = self.locks.get(offset, VMProt.NONE)
             if lock & desired_access:
-                return UNAVAILABLE
-        if offset in self._provided:
-            # Satisfied by data the pager pushed earlier.
-            return self._take_provided(offset, length)
-        self._send_to_pager(KernelToPager.PAGER_DATA_REQUEST,
-                            offset=offset, length=length,
-                            desired_access=desired_access)
-        self._pump()
-        if offset in self._provided:
-            return self._take_provided(offset, length)
-        return UNAVAILABLE
+                # Locked against this access: ask the pager to unlock
+                # first.
+                self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
+                                    offset=offset, length=length,
+                                    desired_access=desired_access)
+                self._pump()
+                lock = self.locks.get(offset, VMProt.NONE)
+                if lock & desired_access:
+                    return UNAVAILABLE
+            if offset in self._provided:
+                # Satisfied by data the pager pushed earlier.
+                return self._take_provided(offset, length)
+            for attempt in range(self.MAX_REQUEST_RETRIES + 1):
+                if attempt:
+                    self._backoff(attempt - 1)
+                self._send_to_pager(KernelToPager.PAGER_DATA_REQUEST,
+                                    offset=offset, length=length,
+                                    desired_access=desired_access)
+                self._pump()
+                if offset in self._provided:
+                    return self._take_provided(offset, length)
+        except DeadPortError as exc:
+            raise self._crashed(exc) from exc
+        raise PagerTimeoutError(
+            f"pager {self.name()} did not answer data_request("
+            f"offset={offset:#x}) after "
+            f"{self.MAX_REQUEST_RETRIES + 1} attempts")
 
     def _take_provided(self, offset: int, length: int) -> DataResult:
         data = self._provided.pop(offset)
         if data is UNAVAILABLE:
             return UNAVAILABLE
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise PagerGarbageError(
+                f"pager {self.name()} provided "
+                f"{type(data).__name__!s} instead of bytes at offset "
+                f"{offset:#x}")
         return bytes(data)[:length]
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         """PagerProtocol: accept page-out data."""
         self.writes += 1
-        self._send_to_pager(KernelToPager.PAGER_DATA_WRITE,
-                            offset=offset, data=bytes(data))
-        self._pump()
+        try:
+            self._send_to_pager(KernelToPager.PAGER_DATA_WRITE,
+                                offset=offset, data=bytes(data))
+            self._pump()
+        except DeadPortError as exc:
+            raise self._crashed(exc) from exc
 
     def data_unlock(self, obj, offset: int, length: int,
                     desired_access) -> None:

@@ -15,11 +15,22 @@ message latency plus per-byte bandwidth cost on the *client's* clock.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.errors import PagerCrashedError
 from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
 
 
 class NetMemoryServer:
-    """Master-copy holder for named memory regions."""
+    """Master-copy holder for named memory regions.
+
+    The server is a *remote* service: it can disappear under its
+    clients.  ``shutdown()`` (or ``fail_after_fetches``, which models a
+    server dying mid-workload) makes every later fetch/store raise
+    :class:`~repro.core.errors.PagerCrashedError`, which the kernel
+    treats as the pager being dead — local tasks get typed fault errors
+    or a degraded zero-fill page, never a hang on a vanished node.
+    """
 
     def __init__(self, latency_us: float = 2000.0,
                  bandwidth_us_per_kb: float = 400.0) -> None:
@@ -28,6 +39,22 @@ class NetMemoryServer:
         self._regions: dict[str, bytearray] = {}
         self.fetches = 0
         self.stores = 0
+        self.alive = True
+        #: When set, the server dies after that many more fetches
+        #: (deterministic mid-request disappearance for tests).
+        self.fail_after_fetches: Optional[int] = None
+
+    def shutdown(self) -> None:
+        """The server node goes away; master copies become unreachable."""
+        self.alive = False
+
+    def _check_alive(self, op: str, name: str) -> None:
+        if self.fail_after_fetches is not None \
+                and self.fetches >= self.fail_after_fetches:
+            self.alive = False
+        if not self.alive:
+            raise PagerCrashedError(
+                f"netmemory server unreachable ({op} {name!r})")
 
     def create_region(self, name: str, size: int,
                       initial: bytes = b"") -> None:
@@ -53,6 +80,7 @@ class NetMemoryServer:
     def fetch(self, name: str, offset: int, length: int, clock) -> bytes:
         """One page crosses the network to a client."""
         self._charge(clock, length)
+        self._check_alive("fetch", name)
         self.fetches += 1
         region = self._regions[name]
         return bytes(region[offset:offset + length])
@@ -60,6 +88,7 @@ class NetMemoryServer:
     def store(self, name: str, offset: int, data: bytes, clock) -> None:
         """A dirty page returns to the master copy."""
         self._charge(clock, len(data))
+        self._check_alive("store", name)
         self.stores += 1
         region = self._regions[name]
         end = offset + len(data)

@@ -83,6 +83,23 @@ class PagerProtocol(abc.ABC):
     * ``move_slots(src_obj, dst_obj, delta)`` — migrate paged-out data
       during shadow collapse (default pager only).
     * ``release_object(obj)`` — the object was terminated; drop state.
+      Must be idempotent: object teardown paths may race (double
+      terminate) and the second release must be a no-op.
+
+    Failure contract (Section 4's "errant memory manager" defense):
+    ``data_request``/``data_write`` may raise the typed errors of
+    :mod:`repro.core.errors` —
+
+    * ``PagerStallError`` / ``DiskIOError`` — transient; the kernel
+      retries with exponential backoff on the simulated clock;
+    * ``PagerCrashedError`` / ``PagerGarbageError`` /
+      ``PagerTimeoutError`` — fatal; the kernel declares the pager dead
+      and the faulting task gets a typed error (or a degraded zero-fill
+      page), never a hang.
+
+    Raising anything else is a bug in the pager, not a failure mode the
+    kernel absorbs — unknown exceptions propagate unchanged so the test
+    suite can see them.
     """
 
     @abc.abstractmethod

@@ -95,14 +95,25 @@ class FileBackedSwap(SwapSpace):
         fs._extend_to(self.inode, total_slots * slot_size)
 
     def write_slot(self, data: bytes, slot=None) -> int:
-        """Store one page into a slot (pays disk costs)."""
-        if slot is None:
+        """Store one page into a slot (pays disk costs).
+
+        A failed write returns a freshly allocated slot to the free
+        pool — repeated pageout attempts against a faulty disk must
+        not leak swap space.
+        """
+        fresh = slot is None
+        if fresh:
             if not self._free:
                 from repro.core.errors import ResourceShortageError
                 raise ResourceShortageError("swap file full")
             slot = self._free.pop()
         data = bytes(data)[:self.slot_size]
-        self.fs.write_direct(self.inode, slot * self.slot_size, data)
+        try:
+            self.fs.write_direct(self.inode, slot * self.slot_size, data)
+        except Exception:
+            if fresh:
+                self._free.append(slot)
+            raise
         self._store[slot] = True          # occupancy only; data is in fs
         self.writes += 1
         return slot

@@ -48,14 +48,25 @@ class VnodePager(PagerProtocol):
 
     def data_request(self, obj, offset: int, length: int,
                      desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region."""
+        """PagerProtocol: supply data for a faulting region.
+
+        A medium error surfaces as
+        :class:`~repro.core.errors.DiskIOError` — *transient* under the
+        protocol's failure contract: the kernel retries with backoff and
+        never declares the file system dead over a flaky disk.
+        """
         if offset >= self.inode.size:
             return UNAVAILABLE
         self.pageins += 1
         return self.fs.read_direct(self.inode, offset, length)
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
-        """PagerProtocol: accept page-out data."""
+        """PagerProtocol: accept page-out data.
+
+        On :class:`~repro.core.errors.DiskIOError` the page's previous
+        backing-store contents survive; the kernel keeps the page dirty
+        and retries the pageout later.
+        """
         self.pageouts += 1
         self.fs.write_direct(self.inode, offset, data)
 

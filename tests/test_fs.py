@@ -52,6 +52,36 @@ class TestDisk:
         disk.read_block(9)
         assert disk.seeks == seeks + 1
 
+    def test_short_write_padded_to_full_block(self, machine):
+        disk = SimDisk(machine, nblocks=4, block_size=512)
+        disk.write_block(1, b"tail")
+        data = disk.read_block(1)
+        assert len(data) == 512
+        assert data == b"tail" + bytes(508)
+
+    def test_short_overwrite_leaves_no_stale_tail(self, machine):
+        # Regression: a short write over a previously full block must
+        # zero the tail, not let the old bytes alias through.
+        disk = SimDisk(machine, nblocks=4, block_size=512)
+        disk.write_block(2, b"\xff" * 512)
+        disk.write_block(2, b"ab")
+        data = disk.read_block(2)
+        assert data == b"ab" + bytes(510)
+
+    def test_failed_write_keeps_previous_contents(self, machine):
+        from repro.core.errors import DiskIOError
+        from repro.inject import FaultConfig, FaultInjector
+
+        disk = SimDisk(machine, nblocks=4, block_size=512)
+        disk.write_block(3, b"keep")
+        disk.injector = FaultInjector(
+            seed=11, config=FaultConfig(disk_write_error=1.0))
+        with pytest.raises(DiskIOError):
+            disk.write_block(3, b"lost")
+        disk.injector = None
+        assert disk.read_block(3)[:4] == b"keep"
+        assert disk.write_errors == 1
+
 
 class TestBufferCache:
     def test_hit_avoids_disk(self, machine):

@@ -1,0 +1,119 @@
+"""Pager failure paths: remote servers that disappear mid-request,
+default-pager takeover of orphaned objects, and teardown races
+(double terminate / double release)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PagerCrashedError, PagerDeadError
+from repro.pager.base import ExternalPagerAdapter, SimpleReadWritePager
+from repro.pager.netmemory import NetMemoryServer, map_remote_region
+
+REGION_PAGES = 4
+
+
+def _object_at(task, addr):
+    found, entry = task.vm_map.lookup_entry(addr)
+    assert found
+    return entry.vm_object
+
+
+@pytest.fixture
+def server(kernel):
+    s = NetMemoryServer()
+    s.create_region("shared", REGION_PAGES * kernel.page_size,
+                    initial=b"remote data")
+    return s
+
+
+class TestNetMemoryServerDeath:
+    def test_server_dies_mid_data_request(self, kernel, task, server):
+        addr = map_remote_region(kernel, task, server, "shared")
+        assert task.read(addr, 6) == b"remote"
+        # The server node fails before the next fetch completes.
+        server.fail_after_fetches = server.fetches
+        with pytest.raises(PagerCrashedError):
+            task.read(addr + kernel.page_size, 1)
+        obj = _object_at(task, addr)
+        assert obj.pager_dead
+        assert kernel.stats.pagers_declared_dead == 1
+        # Already-resident pages keep serving; unfetched ones fail
+        # typed, not hang.
+        assert task.read(addr, 6) == b"remote"
+        with pytest.raises(PagerDeadError):
+            task.read(addr + 2 * kernel.page_size, 1)
+
+    def test_default_pager_takeover(self, kernel, task, server):
+        addr = map_remote_region(kernel, task, server, "shared")
+        assert task.read(addr, 6) == b"remote"
+        server.shutdown()
+        with pytest.raises(PagerCrashedError):
+            task.read(addr + kernel.page_size, 1)
+        obj = _object_at(task, addr)
+        kernel.adopt_orphaned_object(obj)
+        assert kernel.stats.orphans_adopted == 1
+        assert obj.pager is kernel.default_pager
+        assert not obj.pager_dead
+        # Resident pages survive the takeover; the unreachable master
+        # copy degrades to zero fill.
+        assert task.read(addr, 6) == b"remote"
+        assert task.read(addr + kernel.page_size, 1) == b"\x00"
+        # New writes page out through the default pager, not the dead
+        # server.
+        task.write(addr + kernel.page_size, b"local")
+        stores_before = server.stores
+        kernel.pageout_daemon.run()
+        assert server.stores == stores_before
+        assert task.read(addr + kernel.page_size, 5) == b"local"
+
+    def test_dead_server_never_blocks_pageout(self, kernel, task, server):
+        addr = map_remote_region(kernel, task, server, "shared")
+        task.write(addr, b"dirty")
+        server.shutdown()
+        # Laundering to the dead server fails typed; the daemon keeps
+        # the page dirty rather than losing it.
+        kernel.pageout_daemon.run(target=kernel.vm.resident.free_count
+                                  + REGION_PAGES)
+        assert task.read(addr, 5) == b"dirty"
+
+
+class TestTeardownRaces:
+    def test_double_terminate_is_noop(self, kernel):
+        mgr = kernel.vm.objects
+        obj = mgr.create_internal(kernel.page_size)
+        mgr._terminate(obj)
+        assert obj.terminated
+        # A second terminate (e.g. a deallocate racing object-cache
+        # eviction) must be a no-op, not a KeyError.
+        mgr._terminate(obj)
+        assert obj.terminated
+
+    def test_external_object_terminates_once(self, kernel, task):
+        adapter = ExternalPagerAdapter(
+            SimpleReadWritePager(b"x" * (2 * kernel.page_size)),
+            kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(
+            task, 2 * kernel.page_size, adapter)
+        assert task.read(addr, 1) == b"x"
+        obj = _object_at(task, addr)
+        task.terminate()
+        assert obj.terminated
+        assert adapter._bound_object is None
+        # Releasing again (double memory_object_terminate) stays quiet.
+        kernel.vm.objects._terminate(obj)
+        adapter.release_object(obj)
+
+    def test_pager_port_death_surfaces_as_crash(self, kernel, task):
+        adapter = ExternalPagerAdapter(
+            SimpleReadWritePager(b"y" * (2 * kernel.page_size)),
+            kernel=kernel)
+        addr = kernel.vm_allocate_with_pager(
+            task, 2 * kernel.page_size, adapter)
+        assert task.read(addr, 1) == b"y"
+        # The pager task is torn down: its ports die underneath the
+        # kernel's stub.
+        adapter.pager_port.destroy()
+        with pytest.raises(PagerCrashedError):
+            task.read(addr + kernel.page_size, 1)
+        assert _object_at(task, addr).pager_dead

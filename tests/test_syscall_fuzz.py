@@ -8,10 +8,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.invariants import assert_all
 from repro.core import syscalls
 from repro.core.constants import VMInherit, VMProt
 from repro.core.errors import KernReturn
 from repro.core.kernel import MachKernel
+from repro.inject import CHAOS, FaultInjector, FaultyPager, StoreBackedPager
 
 from tests.conftest import make_spec
 
@@ -113,6 +115,49 @@ class TestFuzz:
                                   b"x" * max(size, 0))
         task.vm_map.check_invariants()
         # The kernel still works afterwards.
+        kr, addr = syscalls.vm_allocate(task, None, PAGE, True)
+        assert kr is KernReturn.SUCCESS
+        syscalls.vm_write(task, addr, 5, b"alive")
+        assert syscalls.vm_read(task, addr, 5)[1] == b"alive"
+
+    @fuzz_settings
+    @given(seed=st.integers(0, 2 ** 32 - 1),
+           ops=st.lists(st.tuples(
+               st.sampled_from(["alloc", "dealloc", "protect", "read",
+                                "write"]),
+               st.integers(-(1 << 20), 1 << 22),
+               st.integers(-PAGE, 4 * PAGE)), max_size=12))
+    def test_random_syscall_storm_with_faults_armed(self, seed, ops):
+        """The storm again, with a seeded fault injector armed and part
+        of the space backed by a misbehaving pager: the C surface still
+        returns codes only, and the full VM invariant sweep holds."""
+        kernel = MachKernel(make_spec())
+        task = kernel.task_create()
+        injector = FaultInjector(seed, CHAOS.scaled(3.0))
+        pager = FaultyPager(
+            StoreBackedPager(b"\xee" * (4 * PAGE)), injector)
+        kernel.vm_allocate_with_pager(task, 4 * PAGE, pager,
+                                      address=1 << 20, anywhere=False)
+        with injector.armed():
+            for op, address, size in ops:
+                if op == "alloc":
+                    kr, _ = syscalls.vm_allocate(task, address, size,
+                                                 False)
+                elif op == "dealloc":
+                    kr = syscalls.vm_deallocate(task, address, size)
+                elif op == "protect":
+                    kr = syscalls.vm_protect(task, address, size, False,
+                                             VMProt.READ)
+                elif op == "read":
+                    kr, _ = syscalls.vm_read(task, address, max(size, 0))
+                else:
+                    kr = syscalls.vm_write(task, address, max(size, 0),
+                                           b"x" * max(size, 0))
+                assert isinstance(kr, KernReturn), \
+                    f"{op} leaked {kr!r} (seed {seed})"
+        task.vm_map.check_invariants()
+        assert_all(kernel)
+        # Disarmed, the kernel serves a fresh allocation normally.
         kr, addr = syscalls.vm_allocate(task, None, PAGE, True)
         assert kr is KernReturn.SUCCESS
         syscalls.vm_write(task, addr, 5, b"alive")
