@@ -6,10 +6,15 @@
 * :mod:`repro.analysis.invariants` — runtime sanitizer proving every
   pmap/TLB translation is a subset of machine-independent truth;
 * :mod:`repro.analysis.sweeps` — workload sweeps that drive the
-  sanitizer across all five pmap architectures.
+  sanitizer across all five pmap architectures;
+* :mod:`repro.analysis.race` — the concurrency sanitizer: may-yield
+  atomicity lint, ``#: guarded-by`` contract, and a vector-clock
+  happens-before checker for TLB shootdown;
+* :mod:`repro.analysis.schedules` — schedule policies (seeded-random,
+  recording/replay) and bounded DFS exploration of interleavings.
 
-Run both via ``python -m repro check`` (or the ``repro-check`` console
-script).
+Run the static checks via ``python -m repro check``; run the race
+storm via ``python -m repro races``.
 """
 
 from repro.analysis.invariants import (
@@ -22,19 +27,53 @@ from repro.analysis.invariants import (
     uninstall_sanitizer,
 )
 from repro.analysis.layering import LintViolation, lint_package, lint_source_tree
+from repro.analysis.race import (
+    RaceCellResult,
+    RaceDetector,
+    RaceReport,
+    explore_shootdown,
+    lint_atomicity,
+    lint_atomicity_source,
+    lint_concurrency,
+    lint_guarded_by,
+    lint_source_concurrency,
+    run_race_cell,
+    run_races,
+)
+from repro.analysis.schedules import (
+    ExplorationResult,
+    RecordingPolicy,
+    SeededRandomPolicy,
+    explore_schedules,
+)
 from repro.analysis.sweeps import SweepResult, run_sweeps
 
 __all__ = [
+    "ExplorationResult",
     "LintViolation",
+    "RaceCellResult",
+    "RaceDetector",
+    "RaceReport",
+    "RecordingPolicy",
     "SanitizerError",
+    "SeededRandomPolicy",
     "SweepResult",
     "Violation",
     "assert_all",
     "check_all",
     "check_tlbs",
+    "explore_schedules",
+    "explore_shootdown",
     "install_sanitizer",
+    "lint_atomicity",
+    "lint_atomicity_source",
+    "lint_concurrency",
+    "lint_guarded_by",
     "lint_package",
+    "lint_source_concurrency",
     "lint_source_tree",
+    "run_race_cell",
+    "run_races",
     "run_sweeps",
     "uninstall_sanitizer",
 ]

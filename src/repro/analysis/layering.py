@@ -29,6 +29,14 @@ enforces the boundary as import rules:
 * **pmap-imports-upper-layer** / **hw-imports-upper-layer** — the
   dependency order is ``hw`` < ``pmap`` < machine-independent VM <
   drivers; lower layers never import upward.
+* **hook-inversion** — the checked layers never import their checkers:
+  ``repro.analysis`` (invariants, race detection, schedule exploration)
+  attaches to the system only through duck-typed hook attributes
+  (``MachKernel.sanitize_hook``, ``PmapSystem.debug_hook``/
+  ``race_hook``, ``TLB.trace_hook``, ``CPU.tick_hook``,
+  ``Scheduler.race_hook``), so ``sched`` and ``core`` must not import
+  ``analysis`` (for ``hw`` and ``pmap`` the upper-layer rules already
+  forbid it).
 * **star-import** — ``from x import *`` anywhere in the tree.
 * **import-cycle** — no cycle among module-level imports (imports inside
   functions are deliberately excluded: they are the sanctioned way to
@@ -335,6 +343,16 @@ def lint_package(root: Path, package: str = "repro"
                         module, site.lineno, "pmap-imports-upper-layer",
                         f"pmap module imports {site.target}, which "
                         f"sits above the pmap layer"))
+            if (_within(tgt, "analysis")
+                    and (_within(mod_rel, "sched")
+                         or any(_within(mod_rel, pkg)
+                                for pkg in MI_PACKAGES))):
+                violations.append(LintViolation(
+                    module, site.lineno, "hook-inversion",
+                    f"{module} imports {site.target}; the sanitizer "
+                    f"attaches via duck-typed hooks (Scheduler."
+                    f"race_hook, TLB.trace_hook, PmapSystem.race_hook) "
+                    f"— checked layers never import their checkers"))
             if in_hw and tgt is not None and tgt != "" \
                     and not _within(tgt, "hw") and tgt not in VOCABULARY:
                 violations.append(LintViolation(

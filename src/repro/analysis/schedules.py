@@ -1,0 +1,161 @@
+"""Schedule policies and systematic interleaving exploration.
+
+The scheduler's default round-robin policy explores exactly one
+interleaving, so it can never witness the races Section 5.2 of the
+paper reasons about.  This module supplies the other policies the
+concurrency sanitizer needs:
+
+* :class:`SeededRandomPolicy` — a reproducible random walk through the
+  schedule space; the seed *is* the replay token.
+* :class:`RecordingPolicy` — replays a fixed prefix of decisions (then
+  defaults to the queue head) while recording every decision point it
+  passes, which is the substrate for systematic exploration.
+* :func:`explore_schedules` — a bounded depth-first enumeration of
+  schedules with state-hash pruning: the stateless-model-checking loop
+  of systematic concurrency testing, sized for the simulator's small
+  thread counts.
+
+Only the *protocol* (``SchedulePolicy``) lives in
+:mod:`repro.sched.scheduler`; the scheduler never imports this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.sched.scheduler import SchedulePolicy
+
+
+class SeededRandomPolicy(SchedulePolicy):
+    """Pick a uniformly random ready thread; deterministic per seed."""
+
+    name = "seeded-random"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, ready) -> int:
+        return self._rng.randrange(len(ready))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:
+        return f"SeededRandomPolicy(seed={self.seed:#x})"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded decision point: how many threads were runnable,
+    which index ran, and a hash of the system state at the point of
+    choice (``None`` when no ``state_fn`` was provided)."""
+
+    choices: int
+    chosen: int
+    state: Optional[int]
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Replay *prefix*, then default to index 0, recording everything.
+
+    A schedule is identified by the tuple of indices chosen at each
+    decision point.  Running with ``prefix=()`` records the default
+    schedule; running with a longer prefix steers the first
+    ``len(prefix)`` decisions.  ``state_fn`` (set after the system under
+    test is built) hashes the current state so the explorer can prune
+    schedules that re-enter an already-explored state at the same
+    branch.
+    """
+
+    name = "recording"
+
+    def __init__(self, prefix: Sequence[int] = (),
+                 state_fn: Optional[Callable[[], int]] = None) -> None:
+        self.prefix = tuple(prefix)
+        self.state_fn = state_fn
+        self.trace: list[Decision] = []
+
+    def choose(self, ready) -> int:
+        n = len(ready)
+        depth = len(self.trace)
+        chosen = self.prefix[depth] % n if depth < len(self.prefix) else 0
+        state = self.state_fn() if self.state_fn is not None else None
+        self.trace.append(Decision(choices=n, chosen=chosen, state=state))
+        return chosen
+
+    def reset(self) -> None:
+        self.trace = []
+
+    def choices_made(self) -> tuple[int, ...]:
+        """The schedule actually executed, replayable as a prefix."""
+        return tuple(d.chosen for d in self.trace)
+
+
+@dataclass
+class ExplorationResult:
+    """What a bounded DFS over schedules saw."""
+
+    schedules_explored: int = 0
+    decision_points: int = 0
+    pruned: int = 0
+    #: ``(prefix, detail)`` per failing schedule; the prefix replays the
+    #: failure through :class:`RecordingPolicy`.
+    failures: list[tuple[tuple[int, ...], str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def explore_schedules(run_schedule: Callable[[RecordingPolicy], dict],
+                      max_schedules: int = 200,
+                      max_depth: int = 48) -> ExplorationResult:
+    """Bounded DFS over thread interleavings.
+
+    *run_schedule* must build a **fresh** system under test, attach
+    ``policy.state_fn`` if it wants state-hash pruning, drive the run to
+    completion under the policy, and return a dict with at least
+    ``{"ok": bool}`` (plus ``"detail"`` describing a failure).  The
+    explorer starts from the default schedule and, for every decision
+    point it has not steered yet, branches into each untried
+    alternative, depth-first, until *max_schedules* runs or exhaustion.
+
+    Pruning: when ``state_fn`` is provided, an alternative branching
+    from an already-seen ``(state-hash, alternative)`` pair is skipped —
+    two schedules that reach the same state and diverge the same way
+    explore the same subtree.
+    """
+    result = ExplorationResult()
+    frontier: list[tuple[int, ...]] = [()]
+    scheduled: set[tuple[int, ...]] = {()}
+    seen_branches: set[tuple[int, int, int]] = set()
+    while frontier and result.schedules_explored < max_schedules:
+        prefix = frontier.pop()
+        policy = RecordingPolicy(prefix)
+        outcome = run_schedule(policy)
+        result.schedules_explored += 1
+        trace = policy.trace
+        result.decision_points = max(result.decision_points, len(trace))
+        if not outcome.get("ok", True):
+            result.failures.append(
+                (policy.choices_made(), str(outcome.get("detail", ""))))
+        for depth in range(len(prefix), min(len(trace), max_depth)):
+            decision = trace[depth]
+            if decision.choices < 2:
+                continue
+            base = tuple(d.chosen for d in trace[:depth])
+            for alt in range(1, decision.choices):
+                if decision.state is not None:
+                    branch_key = (decision.state, decision.choices, alt)
+                    if branch_key in seen_branches:
+                        result.pruned += 1
+                        continue
+                    seen_branches.add(branch_key)
+                candidate = base + (alt,)
+                if candidate not in scheduled:
+                    scheduled.add(candidate)
+                    frontier.append(candidate)
+    return result

@@ -15,7 +15,13 @@ Commands:
   architectures (see :mod:`repro.analysis`);
 * ``faultsweep [--quick] [--seed N]`` — the fault-injection survival
   matrix: errant pagers, flaky disks and lossy IPC against every pmap
-  architecture (see :mod:`repro.inject`).
+  architecture (see :mod:`repro.inject`);
+* ``races [--quick] [--seed N] [--explore]`` — the concurrency storm:
+  seeded-random schedules over fork+COW, pageout-pressure and
+  shootdown workloads with the happens-before race detector armed, on
+  every pmap architecture x shootdown strategy; ``--explore`` runs a
+  bounded DFS over the schedules of a small shootdown workload (see
+  :mod:`repro.analysis.race`).
 """
 
 from __future__ import annotations
@@ -217,12 +223,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``repro check``: layering lint, then invariant sweeps."""
-    from repro.analysis import lint_source_tree, run_sweeps
+    """``repro check``: static lints, then invariant sweeps."""
+    from repro.analysis import (
+        lint_source_concurrency,
+        lint_source_tree,
+        run_sweeps,
+    )
     from repro.analysis.sweeps import SWEEP_ARCHS
 
     print("layering lint: checking the MD/MI import contract ...")
     violations = lint_source_tree()
+    print("concurrency lint: may-yield atomicity + guarded-by "
+          "contract ...")
+    violations += lint_source_concurrency()
     if violations:
         for violation in violations:
             print(f"  {violation}")
@@ -264,6 +277,57 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     print(f"\nsweep: {len(results) - len(failed)}/{len(results)} cells "
           f"survived ({injected} faults injected, {absorbed} typed "
           f"errors absorbed)")
+    return 1 if failed else 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """``repro races``: the concurrency storm / schedule explorer."""
+    from repro.analysis.race import (
+        DEFAULT_SEED,
+        QUICK_ARCHS,
+        explore_shootdown,
+        run_races,
+    )
+    from repro.analysis.sweeps import SWEEP_ARCHS
+    from repro.core.statistics import KernelStats
+    from repro.pmap.interface import ShootdownStrategy
+
+    if args.explore:
+        strategy = ShootdownStrategy(args.strategy) if args.strategy \
+            else ShootdownStrategy.DEFERRED
+        arch = args.arch or "generic"
+        print(f"schedule exploration: bounded DFS over the small "
+              f"shootdown workload ({arch}, {strategy.value}) ...")
+        stats = KernelStats()
+        result = explore_shootdown(arch=arch, strategy=strategy,
+                                   max_schedules=args.max_schedules,
+                                   kernel_stats=stats)
+        print(f"explored {result.schedules_explored} schedule(s), "
+              f"{result.decision_points} decision point(s) deep, "
+              f"{result.pruned} branch(es) pruned by state hash")
+        for prefix, detail in result.failures:
+            print(f"  FAILING SCHEDULE {list(prefix)}: {detail}")
+        print("exploration: " + ("clean" if result.ok else
+                                 f"{len(result.failures)} failure(s)"))
+        return 0 if result.ok else 1
+
+    archs = [args.arch] if args.arch else None
+    strategies = [ShootdownStrategy(args.strategy)] if args.strategy \
+        else None
+    names = ", ".join(archs or (QUICK_ARCHS if args.quick
+                                else tuple(SWEEP_ARCHS)))
+    print(f"race storm (seed={args.seed:#x}): fork+COW, "
+          f"pageout-pressure, shootdown under seeded-random schedules")
+    print(f"architectures: {names}; strategies: "
+          f"{', '.join(s.value for s in (strategies or ShootdownStrategy))}"
+          f"\n")
+    results = run_races(archs=archs, strategies=strategies,
+                        seed=args.seed, quick=args.quick, verbose=True)
+    failed = [r for r in results if not r.ok]
+    races = sum(r.races for r in results)
+    events = sum(r.events for r in results)
+    print(f"\nstorm: {len(results) - len(failed)}/{len(results)} cells "
+          f"clean ({races} race(s), {events} events timestamped)")
     return 1 if failed else 0
 
 
@@ -318,6 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
                                 "pager-garbage", "disk-error",
                                 "ipc-loss", "pageout-pressure"],
                        help="run a single fault scenario")
+
+    races = sub.add_parser(
+        "races",
+        help="concurrency storm: seeded-random schedules + "
+             "happens-before TLB race detector")
+    races.add_argument("--quick", action="store_true",
+                       help="3 architectures instead of 5")
+    races.add_argument("--seed", type=lambda v: int(v, 0),
+                       default=0xACE5,
+                       help="base seed (every cell derives its own; "
+                            "printed per cell for replay)")
+    races.add_argument("--arch", choices=["generic", "vax", "rt_pc",
+                                          "sun3", "ns32082"],
+                       help="storm a single pmap architecture")
+    races.add_argument("--strategy",
+                       choices=["immediate", "deferred", "lazy"],
+                       help="storm a single shootdown strategy")
+    races.add_argument("--explore", action="store_true",
+                       help="bounded DFS over schedules of a small "
+                            "shootdown workload instead of the storm")
+    races.add_argument("--max-schedules", type=int, default=150,
+                       help="schedule budget for --explore")
     return parser
 
 
@@ -332,6 +418,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "check": cmd_check,
         "faultsweep": cmd_faultsweep,
+        "races": cmd_races,
     }[args.command]
     return handler(args)
 

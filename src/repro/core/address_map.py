@@ -97,10 +97,13 @@ class AddressMap:
         self.max_offset = max_offset
         self.pmap = pmap
         self.is_sharing_map = sharing_map
+        #: guarded-by map-lock
         self.ref_count = 1
         self._first: Optional[MapEntry] = None
         self._last: Optional[MapEntry] = None
+        #: guarded-by map-lock
         self.nentries = 0
+        #: guarded-by map-lock
         self.size = 0          # total mapped bytes
         self._hint: Optional[MapEntry] = None
         self.hint_hits = 0

@@ -95,6 +95,7 @@ class MachKernel:
         self.default_pager = DefaultPager(self.swap)
         self.pageout_daemon = PageoutDaemon(self)
         resident.reclaim_hook = self._low_memory
+        #: guarded-by kernel-funnel
         self.tasks: list[Task] = []
         self.max_fault_retries = 8
         #: Pager failure policy (Section 4's "errant memory manager"
@@ -111,11 +112,13 @@ class MachKernel:
         #: Debug hook (``repro.analysis.invariants``): called with the
         #: kernel after faults, task lifecycle events and pageout
         #: passes.  None (the default) costs nothing.
+        #: guarded-by debug-hook
         self.sanitize_hook = None
         #: Out-of-line message holding maps currently in flight
         #: (id -> AddressMap).  These maps hold object references but
         #: are reachable only through queued messages, so the
         #: reference-count audit needs them as explicit roots.
+        #: guarded-by kernel-funnel
         self._ool_in_flight: dict[int, AddressMap] = {}
         #: "The kernel task acts as a server": task/thread ports are
         #: serviced here (Section 2).

@@ -49,6 +49,7 @@ class ResidentPageTable:
         #: Called (with no arguments) when allocation finds free memory
         #: below ``free_min``; the kernel wires this to the paging
         #: daemon so reclamation happens before exhaustion.
+        #: guarded-by boot-wiring
         self.reclaim_hook = None
         self._reclaiming = False
         # Statistics.

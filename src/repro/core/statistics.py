@@ -26,6 +26,12 @@ class KernelStats:
         self.pageout_failures = 0
         self.fault_errors = 0
         self.dead_pager_zero_fills = 0
+        # Concurrency-sanitizer counters (``repro.analysis.race``
+        # updates these through the kernel reference it is given; the
+        # kernel itself never touches them).
+        self.race_events_timestamped = 0
+        self.races_found = 0
+        self.schedules_explored = 0
 
     def __repr__(self) -> str:
         return (f"KernelStats(faults={self.faults}, cow={self.cow_faults}, "

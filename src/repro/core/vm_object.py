@@ -47,26 +47,40 @@ class VMObject:
     def __init__(self, size: int, internal: bool = True,
                  temporary: bool = True) -> None:
         self.object_id = next(_object_ids)
+        #: guarded-by object-lock
         self.size = size
+        #: guarded-by object-ref
         self.ref_count = 1
+        #: guarded-by object-lock
         self.pager = None
+        #: guarded-by object-lock
         self.pager_initialized = False
+        #: guarded-by object-ref
         self.shadow: Optional[VMObject] = None
+        #: guarded-by object-ref
         self.shadow_offset = 0
+        #: guarded-by object-lock
         self.internal = internal
         self.temporary = temporary
+        #: guarded-by pager-init
         self.can_persist = False
+        #: guarded-by object-ref
         self.cached = False
+        #: guarded-by object-ref
         self.terminated = False
         #: Set by ``MachKernel.declare_pager_dead`` when the managing
         #: task stopped responding/crashed/returned garbage; faults on
         #: the object degrade instead of re-contacting the pager.
+        #: guarded-by object-lock
         self.pager_dead = False
+        #: guarded-by object-lock
+        self.pager_dead_cause = None
         #: Pages of this object resident in physical memory, by offset
         #: ("All the page entries associated with a given object are
         #: linked together in a memory object list").
         self._resident: dict[int, object] = {}
         #: Outstanding pager operations; blocks collapse while nonzero.
+        #: guarded-by object-lock
         self.paging_in_progress = 0
 
     # -- page list maintenance (called by the resident page table) -----

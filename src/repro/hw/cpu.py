@@ -32,6 +32,12 @@ class CPU:
         self._deferred_flushes: list[Callable[[], None]] = []
         self.ipi_count = 0
         self.timer_ticks = 0
+        #: Duck-typed tick observer (``repro.analysis.race`` installs a
+        #: closure).  Called *after* the deferred-flush queue drains, so
+        #: an observer sees the shootdown window close even when the
+        #: flush thunks were lost.  The hardware layer never imports the
+        #: analysis package.
+        self.tick_hook: Optional[Callable[[], None]] = None
 
     def deliver_ipi(self, flush: Callable[[], None]) -> None:
         """Take an inter-processor interrupt and run *flush* now."""
@@ -54,6 +60,8 @@ class CPU:
         pending, self._deferred_flushes = self._deferred_flushes, []
         for flush in pending:
             flush()
+        if self.tick_hook is not None:
+            self.tick_hook()
 
     def __repr__(self) -> str:
         active = getattr(self.active_pmap, "name", self.active_pmap)

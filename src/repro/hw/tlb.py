@@ -63,17 +63,28 @@ class TLB:
         self.capacity = capacity
         self._entries: OrderedDict[tuple[int, int], TLBEntry] = OrderedDict()
         self.stats = TLBStats()
+        #: Duck-typed tracing hook (``repro.analysis.race`` installs one).
+        #: When set, it must provide ``tlb_hit(tag, vpn)``,
+        #: ``tlb_fill(tag, vpn)``, ``tlb_drop(tag, vpn)``,
+        #: ``tlb_range_flushed(tag, start, end)``,
+        #: ``tlb_pmap_flushed(tag)`` and ``tlb_full_flushed()``.
+        #: The hardware layer never imports the analysis package; the
+        #: dependency is inverted through this attribute.
+        self.trace_hook = None
 
     def _key(self, pmap, vaddr: int) -> tuple[int, int]:
         return (id(pmap), vaddr // self.page_size)
 
     def probe(self, pmap, vaddr: int) -> Optional[TLBEntry]:
         """Look up a translation; counts a hit or a miss."""
-        entry = self._entries.get(self._key(pmap, vaddr))
+        key = self._key(pmap, vaddr)
+        entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+            if self.trace_hook is not None:
+                self.trace_hook.tlb_hit(key[0], key[1])
         return entry
 
     def fill(self, pmap, vaddr: int, paddr: int, prot: VMProt) -> None:
@@ -87,15 +98,22 @@ class TLB:
             return
         key = self._key(pmap, vaddr)
         if key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            if self.trace_hook is not None:
+                self.trace_hook.tlb_drop(evicted_key[0], evicted_key[1])
         self._entries[key] = TLBEntry(paddr, prot)
         self.stats.fills += 1
+        if self.trace_hook is not None:
+            self.trace_hook.tlb_fill(key[0], key[1])
 
     def invalidate(self, pmap, vaddr: int) -> bool:
         """Drop one translation; returns True when it was present."""
-        removed = self._entries.pop(self._key(pmap, vaddr), None)
+        key = self._key(pmap, vaddr)
+        removed = self._entries.pop(key, None)
         if removed is not None:
             self.stats.entry_flushes += 1
+            if self.trace_hook is not None:
+                self.trace_hook.tlb_drop(key[0], key[1])
         return removed is not None
 
     def invalidate_range(self, pmap, start: int, end: int) -> int:
@@ -108,8 +126,12 @@ class TLB:
             tag, vpn = key
             if tag == pmap_tag and first <= vpn < last:
                 del self._entries[key]
+                if self.trace_hook is not None:
+                    self.trace_hook.tlb_drop(tag, vpn)
                 count += 1
         self.stats.entry_flushes += count
+        if self.trace_hook is not None:
+            self.trace_hook.tlb_range_flushed(pmap_tag, start, end)
         return count
 
     def invalidate_pmap(self, pmap) -> int:
@@ -118,14 +140,23 @@ class TLB:
         stale = [key for key in self._entries if key[0] == pmap_tag]
         for key in stale:
             del self._entries[key]
+            if self.trace_hook is not None:
+                self.trace_hook.tlb_drop(key[0], key[1])
         self.stats.entry_flushes += len(stale)
+        if self.trace_hook is not None:
+            self.trace_hook.tlb_pmap_flushed(pmap_tag)
         return len(stale)
 
     def flush_all(self) -> int:
         """Drop everything (untagged-TLB context switch, or shootdown)."""
         count = len(self._entries)
+        if self.trace_hook is not None:
+            for tag, vpn in list(self._entries):
+                self.trace_hook.tlb_drop(tag, vpn)
         self._entries.clear()
         self.stats.full_flushes += 1
+        if self.trace_hook is not None:
+            self.trace_hook.tlb_full_flushed()
         return count
 
     def __len__(self) -> int:

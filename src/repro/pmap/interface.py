@@ -101,6 +101,13 @@ class PmapSystem:
         #: arguments after every shootdown and ``pmap_update``.  None
         #: (the default) costs nothing.
         self.debug_hook = None
+        #: Shootdown observer (``repro.analysis.race``): called as
+        #: ``race_hook(pmap, start, end, strategy, force, actions)``
+        #: with ``actions`` a tuple of ``(cpu_id, "local" | "ipi" |
+        #: "deferred" | "lazy")`` *before* any flush lands, so a
+        #: happens-before checker sees the invalidation window open
+        #: first.  None (the default) costs nothing.
+        self.race_hook = None
 
     # ------------------------------------------------------------------
     # Reference / modify bits (maintained by the simulated MMU)
@@ -214,20 +221,36 @@ class PmapSystem:
         strategy = self.strategy
         if force and strategy is ShootdownStrategy.LAZY:
             strategy = ShootdownStrategy.IMMEDIATE
+        # Plan first, then execute: an observer must see the window
+        # open before any flush lands on any CPU.
+        plan: list[tuple] = []
         for cpu in self.machine.cpus:
             if cpu.cpu_id not in pmap.cpus_tainted:
                 continue
+            if cpu.cpu_id == self.current_cpu_id:
+                plan.append((cpu, "local"))
+            elif strategy is ShootdownStrategy.IMMEDIATE:
+                plan.append((cpu, "ipi"))
+            elif strategy is ShootdownStrategy.DEFERRED:
+                plan.append((cpu, "deferred"))
+            else:
+                plan.append((cpu, "lazy"))
+        if self.race_hook is not None:
+            self.race_hook(pmap, start, end, strategy, force,
+                           tuple((cpu.cpu_id, action)
+                                 for cpu, action in plan))
+        for cpu, action in plan:
 
             def flush(cpu=cpu, pmap=pmap, start=start, end=end) -> None:
                 clock.charge(costs.tlb_flush_entry_us)
                 cpu.tlb.invalidate_range(pmap, start, end)
 
-            if cpu.cpu_id == self.current_cpu_id:
+            if action == "local":
                 flush()
-            elif strategy is ShootdownStrategy.IMMEDIATE:
+            elif action == "ipi":
                 self.ipis_sent += 1
                 cpu.deliver_ipi(flush)
-            elif strategy is ShootdownStrategy.DEFERRED:
+            elif action == "deferred":
                 self.deferred_flushes += 1
                 cpu.defer_flush(flush)
             # LAZY: temporary inconsistency is allowed; the entry dies

@@ -1,10 +1,19 @@
 """Cooperative thread scheduling over the simulated CPUs."""
 
 from repro.sched.scheduler import (
+    RoundRobinPolicy,
     SchedThread,
+    SchedulePolicy,
     Scheduler,
     ThreadContext,
     ThreadState,
 )
 
-__all__ = ["SchedThread", "Scheduler", "ThreadContext", "ThreadState"]
+__all__ = [
+    "RoundRobinPolicy",
+    "SchedThread",
+    "SchedulePolicy",
+    "Scheduler",
+    "ThreadContext",
+    "ThreadState",
+]

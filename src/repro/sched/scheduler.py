@@ -98,18 +98,57 @@ class SchedThread:
                 f"{self.state.value})")
 
 
-class Scheduler:
-    """Round-robin multiplexing of threads over the machine's CPUs."""
+class SchedulePolicy:
+    """Strategy deciding which ready thread runs next.
 
-    def __init__(self, kernel, timer_tick_every: int = 8) -> None:
+    ``choose`` receives the ready queue (a sequence of
+    :class:`SchedThread`, length >= 2 — trivial decisions are not
+    offered) and returns the index to run.  Implementations must not
+    mutate the queue.  Alternative policies (seeded-random, recording /
+    replaying for systematic exploration) live in
+    :mod:`repro.analysis.schedules`; this module only defines the
+    protocol and the default so that ``sched`` never depends on the
+    analysis package.
+    """
+
+    name = "policy"
+
+    def choose(self, ready) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated state (for replays)."""
+
+
+class RoundRobinPolicy(SchedulePolicy):
+    """The historical default: always run the head of the queue."""
+
+    name = "round-robin"
+
+    def choose(self, ready) -> int:
+        return 0
+
+
+class Scheduler:
+    """Multiplexing of threads over the machine's CPUs; round-robin by
+    default, or any pluggable :class:`SchedulePolicy`."""
+
+    def __init__(self, kernel, timer_tick_every: int = 8,
+                 policy: Optional[SchedulePolicy] = None) -> None:
         self.kernel = kernel
         self.ready: deque[SchedThread] = deque()
         self.threads: list[SchedThread] = []
         #: Deliver a timer tick to every CPU after this many slices
         #: (drains deferred TLB flushes — Section 5.2 case 2).
         self.timer_tick_every = timer_tick_every
+        self.policy = policy if policy is not None else RoundRobinPolicy()
         self.context_switches = 0
         self.slices_run = 0
+        #: Duck-typed slice observer (``repro.analysis.race`` installs
+        #: one): called as ``race_hook(sched_thread, cpu_id)`` just
+        #: before each slice runs.  The scheduler never imports the
+        #: analysis package.
+        self.race_hook = None
 
     # ------------------------------------------------------------------
 
@@ -158,10 +197,19 @@ class Scheduler:
         for cpu in self.kernel.machine.cpus:
             if not self.ready:
                 break
-            sched_thread = self.ready.popleft()
+            if len(self.ready) > 1:
+                index = self.policy.choose(tuple(self.ready))
+                sched_thread = self.ready[index]
+                del self.ready[index]
+            else:
+                sched_thread = self.ready.popleft()
             if sched_thread.thread.suspended:
                 self.ready.append(sched_thread)
                 continue
+            if self.race_hook is not None:
+                # Before _place, so the observer still sees the CPU the
+                # thread last ran on (migration = causality transfer).
+                self.race_hook(sched_thread, cpu.cpu_id)
             self._place(sched_thread, cpu)
             self.kernel.set_current_cpu(cpu.cpu_id)
             self._advance(sched_thread)
