@@ -28,15 +28,17 @@ enforces the boundary as import rules:
   MD code depend on MI mutable state, inverting the paper's contract.
 * **pmap-imports-upper-layer** / **hw-imports-upper-layer** — the
   dependency order is ``hw`` < ``pmap`` < machine-independent VM <
-  drivers; lower layers never import upward.
+  drivers; lower layers never import upward.  One telemetry exception:
+  ``repro.obs.bus`` (the event bus every layer emits into) is
+  standard-library self-contained and importable from anywhere; the
+  rest of ``repro.obs`` remains an upper layer.
 * **hook-inversion** — the checked layers never import their checkers:
   ``repro.analysis`` (invariants, race detection, schedule exploration)
-  attaches to the system only through duck-typed hook attributes
-  (``MachKernel.sanitize_hook``, ``PmapSystem.debug_hook``/
-  ``race_hook``, ``TLB.trace_hook``, ``CPU.tick_hook``,
-  ``Scheduler.race_hook``), so ``sched`` and ``core`` must not import
-  ``analysis`` (for ``hw`` and ``pmap`` the upper-layer rules already
-  forbid it).
+  attaches to the system only through the event bus
+  (``kernel.events.subscribe``) and duck-typed hook attributes
+  (``MachKernel.sanitize_hook``, ``PmapSystem.debug_hook``), so
+  ``sched`` and ``core`` must not import ``analysis`` (for ``hw`` and
+  ``pmap`` the upper-layer rules already forbid it).
 * **star-import** — ``from x import *`` anywhere in the tree.
 * **import-cycle** — no cycle among module-level imports (imports inside
   functions are deliberately excluded: they are the sanctioned way to
@@ -66,14 +68,21 @@ HW_SUBSTRATE = ("hw.machine", "hw.physmem", "hw.clock", "hw.costs")
 #: and exception types only — no mutable state).
 VOCABULARY = ("core.constants", "core.errors")
 
+#: Telemetry modules importable from every layer.  ``obs.bus`` holds
+#: the event bus that all layers emit into; it is standard-library
+#: self-contained (imports nothing from ``repro``), so letting hw and
+#: pmap import it creates no dependency on upper-layer state.  The rest
+#: of ``repro.obs`` (metrics, exporters) stays an upper layer.
+TELEMETRY = ("obs.bus",)
+
 #: Packages/modules that sit *above* the machine-independent VM layer;
-#: neither hw nor pmap code may import them.  ``inject`` belongs here:
-#: fault injection reaches downward only through duck-typed hooks
-#: (``SimDisk.injector``, ``Port.injector``), never via imports from
-#: below.
+#: neither hw nor pmap code may import them (``obs.bus`` excepted — see
+#: TELEMETRY).  ``inject`` belongs here: fault injection reaches
+#: downward only through duck-typed hooks (``SimDisk.injector``,
+#: ``Port.injector``), never via imports from below.
 UPPER_LAYERS = ("pager", "ipc", "fs", "unix", "bench", "baseline",
-                "dist", "sched", "analysis", "inject", "viz", "trace",
-                "cli")
+                "dist", "sched", "analysis", "inject", "viz", "obs",
+                "trace", "cli")
 
 
 @dataclass(frozen=True)
@@ -338,7 +347,8 @@ def lint_package(root: Path, package: str = "repro"
                         f"may use only the shared vocabulary "
                         f"({', '.join(VOCABULARY)}) — all other MI "
                         f"state arrives through Table 3-3 arguments"))
-                elif any(_within(tgt, up) for up in UPPER_LAYERS):
+                elif (any(_within(tgt, up) for up in UPPER_LAYERS)
+                        and tgt not in TELEMETRY):
                     violations.append(LintViolation(
                         module, site.lineno, "pmap-imports-upper-layer",
                         f"pmap module imports {site.target}, which "
@@ -350,16 +360,18 @@ def lint_package(root: Path, package: str = "repro"
                 violations.append(LintViolation(
                     module, site.lineno, "hook-inversion",
                     f"{module} imports {site.target}; the sanitizer "
-                    f"attaches via duck-typed hooks (Scheduler."
-                    f"race_hook, TLB.trace_hook, PmapSystem.race_hook) "
-                    f"— checked layers never import their checkers"))
+                    f"attaches by subscribing to the kernel's event "
+                    f"bus (kernel.events) — checked layers never "
+                    f"import their checkers"))
             if in_hw and tgt is not None and tgt != "" \
-                    and not _within(tgt, "hw") and tgt not in VOCABULARY:
+                    and not _within(tgt, "hw") and tgt not in VOCABULARY \
+                    and tgt not in TELEMETRY:
                 violations.append(LintViolation(
                     module, site.lineno, "hw-imports-upper-layer",
                     f"hardware substrate imports {site.target}; hw "
-                    f"may depend only on itself and the vocabulary "
-                    f"({', '.join(VOCABULARY)})"))
+                    f"may depend only on itself, the vocabulary "
+                    f"({', '.join(VOCABULARY)}) and the event bus "
+                    f"({', '.join(TELEMETRY)})"))
 
     for cycle in _find_cycles(graph):
         violations.append(LintViolation(

@@ -39,9 +39,14 @@ flush.  IMMEDIATE never sanctions staleness, so an unmodified kernel
 must produce zero reports under it.  Each report carries a replayable
 event trace with provenance.
 
-Everything attaches through duck-typed hooks (``TLB.trace_hook``,
-``CPU.tick_hook``, ``PmapSystem.race_hook``, ``Scheduler.race_hook``);
-the checked layers never import this package.
+Everything attaches through the kernel's instrumentation bus
+(:class:`repro.obs.bus.EventBus`): the detector subscribes one
+dispatcher to ``kernel.events`` and consumes the ``tlb/*``,
+``cpu/tick``, ``pmap/shootdown`` and ``sched/slice`` events the checked
+layers publish — those layers never import this package.  (The old
+duck-typed hooks — ``TLB.trace_hook``, ``CPU.tick_hook``,
+``PmapSystem.race_hook``, ``Scheduler.race_hook`` — survive as
+deprecation shims that forward bus events to legacy observers.)
 
 Run the storm via ``python -m repro races`` (arch x strategy matrix,
 replay seed per cell) or ``--explore`` for bounded DFS over schedules.
@@ -723,40 +728,15 @@ class RaceReport:
         return "\n".join(lines)
 
 
-class _CPUTrace:
-    """Per-CPU adapter bound to one TLB's ``trace_hook``."""
-
-    def __init__(self, detector: "RaceDetector", cpu_id: int) -> None:
-        self.detector = detector
-        self.cpu_id = cpu_id
-
-    def tlb_hit(self, tag: int, vpn: int) -> None:
-        self.detector._on_hit(self.cpu_id, tag, vpn)
-
-    def tlb_fill(self, tag: int, vpn: int) -> None:
-        self.detector._on_fill(self.cpu_id, tag, vpn)
-
-    def tlb_drop(self, tag: int, vpn: int) -> None:
-        self.detector._on_drop(self.cpu_id, tag, vpn)
-
-    def tlb_range_flushed(self, tag: int, start: int, end: int) -> None:
-        self.detector._on_range_flushed(self.cpu_id, tag, start, end)
-
-    def tlb_pmap_flushed(self, tag: int) -> None:
-        self.detector._on_pmap_flushed(self.cpu_id, tag)
-
-    def tlb_full_flushed(self) -> None:
-        self.detector._on_full_flushed(self.cpu_id)
-
-
 class RaceDetector:
-    """Vector-clock happens-before checking over the TLB/pmap hooks.
+    """Vector-clock happens-before checking over the kernel's event bus.
 
-    Install on a booted kernel (and optionally a scheduler); every
-    pmap/TLB mutation and TLB-backed access is timestamped.  A TLB hit
-    whose fill predates an invalidation of that translation is a race
-    unless the responsible shootdown window is still legally open on
-    the hitting CPU:
+    Install on a booted kernel (and optionally a scheduler); the
+    detector subscribes to ``kernel.events`` and timestamps every
+    pmap/TLB mutation and TLB-backed access.  A TLB hit whose fill
+    predates an invalidation of that translation is a race unless the
+    responsible shootdown window is still legally open on the hitting
+    CPU:
 
     ========== =============================================
     strategy   staleness sanctioned
@@ -819,31 +799,54 @@ class RaceDetector:
     # -- installation ---------------------------------------------------
 
     def install(self) -> "RaceDetector":
-        """Arm every hook; returns self for chaining."""
+        """Subscribe to the kernel's event bus; returns self for
+        chaining."""
         if self._installed:
             return self
-        for cpu in self.kernel.machine.cpus:
-            cpu.tlb.trace_hook = _CPUTrace(self, cpu.cpu_id)
-            cpu.tick_hook = (lambda cpu_id=cpu.cpu_id:
-                             self._on_tick(cpu_id))
-        self.kernel.pmap_system.race_hook = self._on_shootdown
-        if self.scheduler is not None:
-            self.scheduler.race_hook = self._on_slice
+        self.kernel.events.subscribe(self._on_event)
         self._installed = True
         return self
 
     def uninstall(self) -> None:
         if not self._installed:
             return
-        for cpu in self.kernel.machine.cpus:
-            cpu.tlb.trace_hook = None
-            cpu.tick_hook = None
-        self.kernel.pmap_system.race_hook = None
-        if self.scheduler is not None:
-            self.scheduler.race_hook = None
+        self.kernel.events.unsubscribe(self._on_event)
         self._installed = False
 
-    # -- hook callbacks -------------------------------------------------
+    # -- bus dispatch ---------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        """One subscriber for everything: route the event kinds the
+        happens-before model consumes, ignore the rest of the bus."""
+        subsystem, kind, data = event.subsystem, event.kind, event.data
+        if subsystem == "tlb":
+            cpu_id = event.cpu
+            if kind == "hit":
+                self._on_hit(cpu_id, data["tag"], data["vpn"])
+            elif kind == "fill":
+                self._on_fill(cpu_id, data["tag"], data["vpn"])
+            elif kind == "drop":
+                self._on_drop(cpu_id, data["tag"], data["vpn"])
+            elif kind == "flush_range":
+                self._on_range_flushed(cpu_id, data["tag"],
+                                       data["start"], data["end"])
+            elif kind == "flush_pmap":
+                self._on_pmap_flushed(cpu_id, data["tag"])
+            elif kind == "flush_all":
+                self._on_full_flushed(cpu_id)
+        elif subsystem == "cpu":
+            if kind == "tick":
+                self._on_tick(event.cpu)
+        elif subsystem == "pmap":
+            if kind == "shootdown":
+                self._on_shootdown(data["pmap"], data["start"],
+                                   data["end"], data["strategy"],
+                                   data["forced"], data["actions"])
+        elif subsystem == "sched":
+            if kind == "slice" and self.scheduler is not None:
+                self._on_slice(data["sched_thread"], data["to_cpu"])
+
+    # -- event handlers -------------------------------------------------
 
     def _name_for(self, tag: int) -> str:
         return self._pmap_names.get(tag, f"pmap@{tag:#x}")

@@ -9,7 +9,14 @@ Commands:
 * ``bench [--table {7-1,7-2}] [--quick]`` — regenerate the paper's
   evaluation tables;
 * ``fault-trace [--machine NAME]`` — narrate every step of a single
-  copy-on-write fault, for teaching;
+  copy-on-write fault, for teaching (including the event-bus span tree
+  of the fault);
+* ``trace [--workload NAME] [--format {chrome,summary,spans}]
+  [--quick] [--out FILE]`` — record a workload on the instrumentation
+  bus (:mod:`repro.obs`) and export it: Chrome ``trace_event`` JSON
+  (loadable in Perfetto / ``chrome://tracing``, one lane per simulated
+  CPU plus daemon/pager lanes), a derived-metrics summary, or the
+  nested span tree with a top-N self-time profile;
 * ``check [--lint-only]`` — run the MD/MI layering lint over the
   source tree, then the runtime invariant sweeps on all five pmap
   architectures (see :mod:`repro.analysis`);
@@ -122,7 +129,10 @@ def cmd_fault_trace(args: argparse.Namespace) -> int:
     print(f"   parent entry: {entry!r}")
     print(f"   child  entry: {centry!r}\n")
 
-    outcome = kernel.fault(child, addr, FaultType.WRITE)
+    from repro.obs import EventRecorder, build_spans, render_spans
+
+    with EventRecorder(kernel.events) as recorder:
+        outcome = kernel.fault(child, addr, FaultType.WRITE)
     found, centry = child.vm_map.lookup_entry(addr)
     print(f"4. child write fault:")
     print(f"   shadow created: {outcome.shadow_created}, "
@@ -130,7 +140,113 @@ def cmd_fault_trace(args: argparse.Namespace) -> int:
     print(f"   child entry now: {centry!r}")
     print(f"   shadow chain: "
           f"{[f'#{o.object_id}' for o in centry.vm_object.chain()]}")
+    print(f"\n5. the same fault as the event bus saw it:")
+    for line in render_spans(build_spans(recorder.events)).splitlines():
+        print(f"   {line}")
     print(f"\nstatistics: {kernel.stats!r}")
+    return 0
+
+
+def _trace_workload_demo(kernel, quick: bool) -> None:
+    """The fork+COW walkthrough, scheduled over every CPU, plus a
+    memory-mapped file (fault -> pager call -> disk I/O spans) and one
+    pageout-daemon pass — enough traffic to light up every lane."""
+    from repro.fs.filesystem import FileSystem
+    from repro.pager.vnode_pager import map_file
+    from repro.sched.scheduler import Scheduler
+
+    page = kernel.page_size
+    npages = 2 if quick else 6
+    sched = Scheduler(kernel)
+
+    parent = kernel.task_create(name="cow-parent")
+    addr = parent.vm_allocate(npages * page)
+    for off in range(0, npages * page, page):
+        parent.write(addr + off, bytes([off // page + 1]))
+    tasks = [parent]
+    while len(tasks) < len(kernel.machine.cpus):
+        tasks.append(tasks[-1].fork())
+
+    def writer(ctx):
+        for off in range(0, npages * page, page):
+            ctx.write(addr + off, bytes([65 + off // page]))
+            yield
+            assert ctx.read(addr + off, 1) == bytes([65 + off // page])
+            yield
+
+    for task in tasks:
+        sched.spawn(task, writer, name=f"{task.name}-w")
+    sched.run()
+
+    # A memory-mapped file: faults route through the vnode pager to
+    # the simulated disk, nesting fault -> pager call -> disk read.
+    fs = FileSystem(kernel.machine, nbufs=32)
+    nblocks = 1 if quick else 3
+    fs.write("/trace/data", b"mach" * (nblocks * fs.block_size // 4))
+    fs.buffer_cache.sync()
+    reader = kernel.task_create(name="file-reader")
+    maddr = map_file(kernel, reader, fs, "/trace/data")
+    for off in range(0, nblocks * fs.block_size, page):
+        reader.read(maddr + off, 4)
+
+    # A user-state pager: its server loop runs on the "pager" lane.
+    from repro.pager.base import ExternalPagerAdapter, \
+        SimpleReadWritePager
+    adapter = ExternalPagerAdapter(
+        SimpleReadWritePager(b"EXT!" * (page // 4)), kernel=kernel)
+    ext = kernel.task_create(name="ext-reader")
+    eaddr = kernel.vm_allocate_with_pager(ext, page, adapter)
+    ext.read(eaddr, 4)
+
+    kernel.pageout_daemon.run()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: record a workload on the bus and export it."""
+    from repro.obs import (
+        EventRecorder,
+        MetricsRegistry,
+        build_spans,
+        chrome_trace_json,
+        profile,
+        render_spans,
+        validate_chrome_trace,
+    )
+
+    spec = _resolve_machine(args.machine)
+    kernel = MachKernel(spec)
+    recorder = EventRecorder(kernel.events)
+    metrics = MetricsRegistry().attach(kernel)
+    try:
+        _trace_workload_demo(kernel, quick=args.quick)
+    finally:
+        recorder.detach()
+        metrics.detach()
+    events = recorder.events
+
+    if args.format == "chrome":
+        text = chrome_trace_json(events)
+        problems = validate_chrome_trace(text)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+    elif args.format == "spans":
+        text = (render_spans(build_spans(events))
+                + "\n\n" + profile(events))
+    else:
+        text = (metrics.summary() + "\n\n" + profile(events)
+                + f"\n\n{len(events)} events on the bus"
+                + (f" ({recorder.dropped} dropped)" if recorder.dropped
+                   else ""))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(events)} events to {args.out} "
+              f"({args.format})")
+    else:
+        print(text)
     return 0
 
 
@@ -344,9 +460,27 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="core-mechanism walkthrough")
     demo.add_argument("--machine", default="MicroVAX II")
 
-    trace = sub.add_parser("fault-trace",
-                           help="narrate one copy-on-write fault")
-    trace.add_argument("--machine", default="MicroVAX II")
+    ftrace = sub.add_parser("fault-trace",
+                            help="narrate one copy-on-write fault")
+    ftrace.add_argument("--machine", default="MicroVAX II")
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a workload on the instrumentation bus and "
+             "export it (Chrome trace / metrics summary / span tree)")
+    trace.add_argument("--machine", default="VAX 11/784",
+                       help="machine preset (default is a 4-CPU VAX "
+                            "so the trace shows one lane per CPU)")
+    trace.add_argument("--format", choices=["chrome", "summary",
+                                            "spans"],
+                       default="chrome",
+                       help="chrome: Perfetto-loadable trace_event "
+                            "JSON; summary: derived metrics + top-N "
+                            "profile; spans: the nested span tree")
+    trace.add_argument("--quick", action="store_true",
+                       help="smaller workload (CI smoke)")
+    trace.add_argument("--out", help="write to a file instead of "
+                                     "stdout")
 
     show = sub.add_parser("show",
                           help="render kernel structures as ASCII")
@@ -414,6 +548,7 @@ def main(argv=None) -> int:
         "machines": cmd_machines,
         "demo": cmd_demo,
         "fault-trace": cmd_fault_trace,
+        "trace": cmd_trace,
         "show": cmd_show,
         "bench": cmd_bench,
         "check": cmd_check,

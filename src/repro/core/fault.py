@@ -49,7 +49,18 @@ def vm_fault(kernel, task, vaddr: int, fault_type: FaultType,
     costs = vm.costs
     vm.clock.charge(costs.fault_trap_us + costs.fault_mi_us)
     kernel.stats.faults += 1
+    with kernel.events.span("vm", "fault", task=task.name, vaddr=vaddr,
+                            fault_type=fault_type.name) as span:
+        outcome = _resolve_fault(kernel, task, vaddr, fault_type,
+                                 wiring, span)
+    return outcome
 
+
+def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
+                   wiring: bool, span) -> FaultOutcome:
+    """The body of :func:`vm_fault`, run inside its ``vm/fault`` span
+    (*span* collects the outcome for the closing event)."""
+    vm = kernel.vm
     page_addr = trunc_page(vaddr, vm.page_size)
     vm_map = task.vm_map
     result = vm_map.lookup(page_addr, fault_type)
@@ -129,6 +140,9 @@ def vm_fault(kernel, task, vaddr: int, fault_type: FaultType,
         page = _copy_up(kernel, page, first_object, first_offset)
         outcome.cow_copied = True
         kernel.stats.cow_faults += 1
+        kernel.events.emit("vm", "cow",
+                           object_id=first_object.object_id,
+                           offset=first_offset, level=level)
         vm.objects.collapse(first_object)
 
     # (6) Decide the hardware protection and enter the mapping.
@@ -161,6 +175,11 @@ def vm_fault(kernel, task, vaddr: int, fault_type: FaultType,
 
     outcome.page = page
     outcome.entered_prot = prot
+    span.note(zero_filled=outcome.zero_filled,
+              paged_in=outcome.paged_in,
+              shadow_created=outcome.shadow_created,
+              cow_copied=outcome.cow_copied,
+              depth=level)
     return outcome
 
 
@@ -187,6 +206,9 @@ def _find_page(kernel, first_object, first_offset: int,
             if page is not None:
                 outcome.paged_in = True
                 kernel.stats.pageins += 1
+                kernel.events.emit("vm", "pagein",
+                                   object_id=obj.object_id,
+                                   offset=offset, level=level)
                 return page, level
 
         if obj.shadow is not None:
@@ -203,6 +225,9 @@ def _find_page(kernel, first_object, first_offset: int,
         vm.pmap_system.zero_page(page.phys_addr)
         outcome.zero_filled = True
         kernel.stats.zero_fill_count += 1
+        kernel.events.emit("vm", "zero_fill",
+                           object_id=first_object.object_id,
+                           offset=first_offset)
         return page, 0
 
 

@@ -79,6 +79,11 @@ class MachKernel:
                  object_cache_page_limit: Optional[int] = None,
                  swap_slots: int = 8192) -> None:
         self.machine = Machine(spec, page_size)
+        #: The machine-wide instrumentation bus (alias of
+        #: ``machine.events``); every subsystem emits here and every
+        #: observer (tracer, metrics registry, race detector)
+        #: subscribes here.
+        self.events = self.machine.events
         self.pmap_system = PmapSystem(self.machine, shootdown)
         resident = ResidentPageTable(self.machine.physmem)
         objects = VMObjectManager(resident, self.machine.clock,
@@ -167,6 +172,7 @@ class MachKernel:
         if not 0 <= cpu_id < len(self.machine.cpus):
             raise InvalidArgumentError(f"no cpu {cpu_id}")
         self.pmap_system.current_cpu_id = cpu_id
+        self.events.current_cpu = cpu_id
 
     def _low_memory(self) -> None:
         self.pageout_daemon.run()
@@ -188,6 +194,7 @@ class MachKernel:
         task = Task(self, vm_map, pmap, name=name)
         pmap.name = f"pmap:{task.name}"
         task.task_port = Port(name=f"{task.name}.task_port")
+        task.task_port.events = self.events
         task.thread_create()
         self.server.register_task(task)
         if parent is not None:
@@ -203,6 +210,8 @@ class MachKernel:
                               entry.start)
         self.tasks.append(task)
         self.stats.tasks_created += 1
+        self.events.emit("task", "create", task=task.name,
+                         forked=parent is not None)
         if self.sanitize_hook is not None:
             self.sanitize_hook(self)
         return task
@@ -221,6 +230,7 @@ class MachKernel:
         if task in self.tasks:
             self.tasks.remove(task)
         self.stats.tasks_terminated += 1
+        self.events.emit("task", "terminate", task=task.name)
         if self.sanitize_hook is not None:
             self.sanitize_hook(self)
 
@@ -458,6 +468,8 @@ class MachKernel:
         obj.pager_dead = True
         obj.pager_dead_cause = cause
         self.stats.pagers_declared_dead += 1
+        self.events.emit("pager", "declared_dead",
+                         object_id=obj.object_id, cause=str(cause))
 
     def adopt_orphaned_object(self, obj):
         """Re-home an object whose pager was declared dead onto the
@@ -504,31 +516,38 @@ class MachKernel:
         — the medium may recover.
         """
         transient: Optional[Exception] = None
-        for attempt in range(self.max_pager_retries + 1):
-            if attempt:
-                self.stats.pager_retries += 1
-                self.clock.wait(self.pager_timeout_us
-                                * (1 << (attempt - 1)))
-            try:
-                return call()
-            except (PagerStallError, DiskIOError) as exc:
-                transient = exc
-            except (PagerCrashedError, PagerGarbageError,
-                    PagerTimeoutError) as exc:
-                self.declare_pager_dead(obj, exc)
-                raise
-            except DeadPortError as exc:
-                error = PagerCrashedError(
-                    f"pager port of {obj!r} is dead: {exc}")
-                self.declare_pager_dead(obj, error)
-                raise error from exc
-        if isinstance(transient, DiskIOError):
-            raise transient
-        error = PagerTimeoutError(
-            f"pager of {obj!r} stalled through "
-            f"{self.max_pager_retries + 1} {op} attempts: {transient}")
-        self.declare_pager_dead(obj, error)
-        raise error from transient
+        with self.events.span("pager", "call", op=op,
+                              object_id=obj.object_id) as span:
+            for attempt in range(self.max_pager_retries + 1):
+                if attempt:
+                    self.stats.pager_retries += 1
+                    self.events.emit("pager", "retry", op=op,
+                                     object_id=obj.object_id,
+                                     attempt=attempt)
+                    self.clock.wait(self.pager_timeout_us
+                                    * (1 << (attempt - 1)))
+                try:
+                    result = call()
+                    span.note(attempts=attempt + 1)
+                    return result
+                except (PagerStallError, DiskIOError) as exc:
+                    transient = exc
+                except (PagerCrashedError, PagerGarbageError,
+                        PagerTimeoutError) as exc:
+                    self.declare_pager_dead(obj, exc)
+                    raise
+                except DeadPortError as exc:
+                    error = PagerCrashedError(
+                        f"pager port of {obj!r} is dead: {exc}")
+                    self.declare_pager_dead(obj, error)
+                    raise error from exc
+            if isinstance(transient, DiskIOError):
+                raise transient
+            error = PagerTimeoutError(
+                f"pager of {obj!r} stalled through "
+                f"{self.max_pager_retries + 1} {op} attempts: {transient}")
+            self.declare_pager_dead(obj, error)
+            raise error from transient
 
     def _dead_pager_data(self, obj, offset: int) -> None:
         """Policy for a fault on an object whose pager is dead: degrade
@@ -703,6 +722,8 @@ class MachKernel:
         message.sender = task
         port.send(message)
         self.stats.messages_sent += 1
+        self.events.emit("ipc", "send", task=task.name, port=port.name,
+                         ool_regions=len(message.ool))
 
     def msg_receive(self, task: Task, port: Port) -> Optional[Message]:
         """Receive the next message; out-of-line regions land in the
@@ -722,6 +743,8 @@ class MachKernel:
             region.holding = None
             region.received_at = dst
         self.stats.messages_received += 1
+        self.events.emit("ipc", "receive", task=task.name,
+                         port=port.name, ool_regions=len(message.ool))
         return message
 
     def msg_destroy(self, message: Message) -> None:

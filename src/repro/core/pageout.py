@@ -47,17 +47,24 @@ class PageoutDaemon:
         target = min(target, resident.physmem.total_frames)
         self.runs += 1
         freed = 0
-        # Guard against scanning forever when everything is wired or
-        # every page keeps getting re-referenced.
-        budget = 4 * resident.physmem.total_frames
-        while resident.free_count < target and budget > 0:
-            budget -= 1
-            self._balance_queues()
-            page = resident.oldest_inactive()
-            if page is None:
-                break
-            if self._try_reclaim(page):
-                freed += 1
+        events = self.kernel.events
+        events.push_track("daemon")
+        try:
+            with events.span("pageout", "run", target=target) as span:
+                # Guard against scanning forever when everything is
+                # wired or every page keeps getting re-referenced.
+                budget = 4 * resident.physmem.total_frames
+                while resident.free_count < target and budget > 0:
+                    budget -= 1
+                    self._balance_queues()
+                    page = resident.oldest_inactive()
+                    if page is None:
+                        break
+                    if self._try_reclaim(page):
+                        freed += 1
+                span.note(freed=freed)
+        finally:
+            events.pop_track()
         self.pages_freed += freed
         hook = getattr(self.kernel, "sanitize_hook", None)
         if hook is not None and not resident._reclaiming:
@@ -103,6 +110,9 @@ class PageoutDaemon:
             resident.activate(page)
             self.reactivated += 1
             self.kernel.stats.reactivations += 1
+            self.kernel.events.emit(
+                "pageout", "reactivate",
+                object_id=page.vm_object.object_id, offset=page.offset)
             return False
 
         dirty = self._modified(page)
@@ -161,18 +171,25 @@ class PageoutDaemon:
         obj = page.vm_object
         if obj.pager is None:
             vm.objects.set_pager(obj, self.kernel.default_pager)
-        data = vm.machine.physmem.read(page.phys_addr, vm.page_size)
-        obj.paging_in_progress += 1
-        try:
-            self.kernel.pager_write_data(obj, page.offset, data)
-        except (PagerError, DiskIOError, DeadPortError):
-            self.launder_failures += 1
-            self.kernel.stats.pageout_failures += 1
-            return False
-        finally:
-            obj.paging_in_progress -= 1
-        page.modified = False
-        vm.pmap_system.clear_modify(page.phys_addr)
-        self.pages_laundered += 1
-        self.kernel.stats.pageouts += 1
+        with self.kernel.events.span(
+                "pageout", "launder",
+                object_id=obj.object_id, offset=page.offset) as span:
+            data = vm.machine.physmem.read(page.phys_addr, vm.page_size)
+            obj.paging_in_progress += 1
+            try:
+                self.kernel.pager_write_data(obj, page.offset, data)
+            except (PagerError, DiskIOError, DeadPortError) as exc:
+                self.launder_failures += 1
+                self.kernel.stats.pageout_failures += 1
+                span.note(error=type(exc).__name__)
+                return False
+            finally:
+                obj.paging_in_progress -= 1
+            page.modified = False
+            vm.pmap_system.clear_modify(page.phys_addr)
+            self.pages_laundered += 1
+            self.kernel.stats.pageouts += 1
+            self.kernel.events.emit(
+                "pageout", "laundered",
+                object_id=obj.object_id, offset=page.offset)
         return True

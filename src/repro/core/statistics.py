@@ -6,7 +6,18 @@ from dataclasses import dataclass
 
 
 class KernelStats:
-    """Mutable event counters accumulated by the kernel."""
+    """Mutable event counters accumulated by the kernel.
+
+    The core counters are independently *derivable* from the
+    instrumentation bus: :class:`repro.obs.MetricsRegistry` recomputes
+    ``faults``, ``cow_faults``, ``zero_fill_count``, ``pageins``,
+    ``pageouts``, ``reactivations``, ``messages_sent``,
+    ``messages_received``, ``tasks_created`` and ``tasks_terminated``
+    purely from ``kernel.events``, and ``tests/test_obs.py`` holds the
+    two equal.  These fields stay authoritative (they are what
+    ``vm_statistics`` reports); the bus derivation is the cross-check
+    that catches an emit site drifting from its counter.
+    """
 
     def __init__(self) -> None:
         self.faults = 0

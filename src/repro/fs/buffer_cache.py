@@ -51,9 +51,13 @@ class BufferCache:
         if buf is not None:
             self.machine.clock.charge(costs.buffer_cache_hit_us)
             self.hits += 1
+            self.machine.events.emit("fs", "cache_hit", block=block,
+                                     op="read")
             self._touch(block)
             return bytes(buf)
         self.misses += 1
+        self.machine.events.emit("fs", "cache_miss", block=block,
+                                 op="read")
         data = self.disk.read_block(block)
         self._evict_for_space()
         self._cache[block] = bytearray(data)
@@ -69,10 +73,14 @@ class BufferCache:
         if buf is not None:
             self.hits += 1
             self.machine.clock.charge(costs.buffer_cache_hit_us)
+            self.machine.events.emit("fs", "cache_hit", block=block,
+                                     op="write")
             buf[:] = data
             self._touch(block)
         else:
             self.misses += 1
+            self.machine.events.emit("fs", "cache_miss", block=block,
+                                     op="write")
             self._evict_for_space()
             self._cache[block] = bytearray(data)
         self._dirty.add(block)

@@ -77,9 +77,10 @@ class SimDisk:
         error.
         """
         self._check(block)
-        self._charge(block)
-        self._perturb("read", block, "read_errors")
-        self.reads += 1
+        with self.machine.events.span("disk", "read", block=block):
+            self._charge(block)
+            self._perturb("read", block, "read_errors")
+            self.reads += 1
         data = self._blocks.get(block)
         if data is None:
             return bytes(self.block_size)
@@ -97,9 +98,10 @@ class SimDisk:
         self._check(block)
         if len(data) > self.block_size:
             raise ValueError("data larger than a block")
-        self._charge(block)
-        self._perturb("write", block, "write_errors")
-        self.writes += 1
+        with self.machine.events.span("disk", "write", block=block):
+            self._charge(block)
+            self._perturb("write", block, "write_errors")
+            self.writes += 1
         if len(data) < self.block_size:
             data = bytes(data) + bytes(self.block_size - len(data))
         self._blocks[block] = bytes(data)

@@ -15,6 +15,7 @@ strategies rely on (Section 5.2):
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 
@@ -32,17 +33,51 @@ class CPU:
         self._deferred_flushes: list[Callable[[], None]] = []
         self.ipi_count = 0
         self.timer_ticks = 0
-        #: Duck-typed tick observer (``repro.analysis.race`` installs a
-        #: closure).  Called *after* the deferred-flush queue drains, so
-        #: an observer sees the shootdown window close even when the
-        #: flush thunks were lost.  The hardware layer never imports the
-        #: analysis package.
-        self.tick_hook: Optional[Callable[[], None]] = None
+        self._tick_hook: Optional[Callable[[], None]] = None
+        self._tick_adapter = None
+
+    @property
+    def events(self):
+        """The machine's event bus (``cpu/...`` events go there)."""
+        return self.machine.events
+
+    @property
+    def tick_hook(self) -> Optional[Callable[[], None]]:
+        """Deprecated duck-typed tick observer.
+
+        Superseded by the event bus: subscribe to ``machine.events``
+        and watch ``cpu/tick`` events (emitted *after* the deferred
+        flush queue drains, so an observer sees the shootdown window
+        close even when the flush thunks were lost).  Assigning a
+        callable still works via a forwarding bus subscriber, but emits
+        a :class:`DeprecationWarning`.
+        """
+        return self._tick_hook
+
+    @tick_hook.setter
+    def tick_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        warnings.warn(
+            "CPU.tick_hook is deprecated; subscribe to the machine's "
+            "event bus and watch cpu/tick events instead",
+            DeprecationWarning, stacklevel=2)
+        if self._tick_adapter is not None:
+            self.events.unsubscribe(self._tick_adapter)
+            self._tick_adapter = None
+        self._tick_hook = hook
+        if hook is not None:
+            def adapter(event, _cpu=self.cpu_id):
+                if (event.subsystem == "cpu" and event.kind == "tick"
+                        and event.cpu == _cpu
+                        and self._tick_hook is not None):
+                    self._tick_hook()
+            self._tick_adapter = adapter
+            self.events.subscribe(adapter)
 
     def deliver_ipi(self, flush: Callable[[], None]) -> None:
         """Take an inter-processor interrupt and run *flush* now."""
         self.machine.clock.charge(self.machine.costs.ipi_us)
         self.ipi_count += 1
+        self.events.emit("cpu", "ipi", cpu=self.cpu_id)
         flush()
 
     def defer_flush(self, flush: Callable[[], None]) -> None:
@@ -55,13 +90,15 @@ class CPU:
         return bool(self._deferred_flushes)
 
     def timer_tick(self) -> None:
-        """Take a timer interrupt, draining deferred flushes."""
+        """Take a timer interrupt, draining deferred flushes.  The
+        ``cpu/tick`` event fires after the drain — observers see the
+        deferred-shootdown window close."""
         self.timer_ticks += 1
         pending, self._deferred_flushes = self._deferred_flushes, []
         for flush in pending:
             flush()
-        if self.tick_hook is not None:
-            self.tick_hook()
+        self.events.emit("cpu", "tick", cpu=self.cpu_id,
+                         drained=len(pending))
 
     def __repr__(self) -> str:
         active = getattr(self.active_pmap, "name", self.active_pmap)

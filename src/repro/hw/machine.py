@@ -34,6 +34,7 @@ from repro.hw.mmu import MMU
 from repro.hw.cpu import CPU
 from repro.hw.physmem import MemorySegment, PhysicalMemory
 from repro.hw.tlb import TLB
+from repro.obs.bus import EventBus
 
 MB = 1 << 20
 GB = 1 << 30
@@ -101,8 +102,13 @@ class Machine:
                     for start, size in spec.memory_segments]
         self.physmem = PhysicalMemory(self.page_size, segments)
         self.mmu = MMU(self)
+        #: the machine-wide instrumentation bus; every layer emits here.
+        self.events = EventBus(clock=self.clock)
         self.cpus = [
-            CPU(i, TLB(spec.hw_page_size, spec.tlb_capacity), self)
+            CPU(i,
+                TLB(spec.hw_page_size, spec.tlb_capacity,
+                    events=self.events, cpu_id=i),
+                self)
             for i in range(spec.ncpus)
         ]
 

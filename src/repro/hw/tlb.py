@@ -17,10 +17,12 @@ Entries are tagged with the owning pmap, modelling a context-tagged TLB;
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Optional
 
 from repro.core.constants import VMProt
+from repro.obs.bus import EventBus
 
 
 class TLBEntry:
@@ -56,21 +58,75 @@ class TLB:
     Args:
         page_size: the *hardware* page size the TLB maps.
         capacity: number of entries (e.g. VAX-11/780: 128).
+        events: the machine's :class:`~repro.obs.bus.EventBus`; every
+            hit/fill/drop/flush is published there as a ``tlb/...``
+            event tagged with this TLB's CPU.  A standalone TLB (unit
+            tests) gets a private bus with no subscribers.
+        cpu_id: the CPU this TLB belongs to (stamps the events).
     """
 
-    def __init__(self, page_size: int, capacity: int = 64) -> None:
+    def __init__(self, page_size: int, capacity: int = 64,
+                 events: Optional[EventBus] = None,
+                 cpu_id: int = 0) -> None:
         self.page_size = page_size
         self.capacity = capacity
+        self.cpu_id = cpu_id
+        self.events = events if events is not None else EventBus()
         self._entries: OrderedDict[tuple[int, int], TLBEntry] = OrderedDict()
         self.stats = TLBStats()
-        #: Duck-typed tracing hook (``repro.analysis.race`` installs one).
-        #: When set, it must provide ``tlb_hit(tag, vpn)``,
-        #: ``tlb_fill(tag, vpn)``, ``tlb_drop(tag, vpn)``,
-        #: ``tlb_range_flushed(tag, start, end)``,
-        #: ``tlb_pmap_flushed(tag)`` and ``tlb_full_flushed()``.
-        #: The hardware layer never imports the analysis package; the
-        #: dependency is inverted through this attribute.
-        self.trace_hook = None
+        self._trace_hook = None
+        self._hook_adapter = None
+
+    @property
+    def trace_hook(self):
+        """Deprecated duck-typed tracing hook.
+
+        Superseded by the event bus: subscribe to ``self.events`` and
+        watch ``tlb/...`` events instead.  Assigning an object with the
+        old ``tlb_hit``/``tlb_fill``/``tlb_drop``/``tlb_range_flushed``/
+        ``tlb_pmap_flushed``/``tlb_full_flushed`` methods still works —
+        a bus subscriber forwards this TLB's events to it — but emits a
+        :class:`DeprecationWarning`.
+        """
+        return self._trace_hook
+
+    @trace_hook.setter
+    def trace_hook(self, hook) -> None:
+        warnings.warn(
+            "TLB.trace_hook is deprecated; subscribe to the machine's "
+            "event bus (tlb.events) instead", DeprecationWarning,
+            stacklevel=2)
+        if self._hook_adapter is not None:
+            self.events.unsubscribe(self._hook_adapter)
+            self._hook_adapter = None
+        self._trace_hook = hook
+        if hook is not None:
+            self._hook_adapter = self._forward_to_hook
+            self.events.subscribe(self._hook_adapter)
+
+    def _forward_to_hook(self, event) -> None:
+        """Bus subscriber replaying ``tlb/...`` events into the legacy
+        trace_hook method vocabulary."""
+        if event.subsystem != "tlb" or event.cpu != self.cpu_id:
+            return
+        hook = self._trace_hook
+        if hook is None:
+            return
+        data = event.data
+        kind = event.kind
+        if kind == "hit":
+            hook.tlb_hit(data["tag"], data["vpn"])
+        elif kind == "fill":
+            hook.tlb_fill(data["tag"], data["vpn"])
+        elif kind == "drop":
+            hook.tlb_drop(data["tag"], data["vpn"])
+        elif kind == "flush_range":
+            hook.tlb_range_flushed(data["tag"], data["start"],
+                                   data["end"])
+        elif kind == "flush_pmap":
+            hook.tlb_pmap_flushed(data["tag"])
+        elif kind == "flush_all":
+            hook.tlb_full_flushed()
 
     def _key(self, pmap, vaddr: int) -> tuple[int, int]:
         return (id(pmap), vaddr // self.page_size)
@@ -83,8 +139,8 @@ class TLB:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
-            if self.trace_hook is not None:
-                self.trace_hook.tlb_hit(key[0], key[1])
+            self.events.emit("tlb", "hit", cpu=self.cpu_id,
+                             tag=key[0], vpn=key[1])
         return entry
 
     def fill(self, pmap, vaddr: int, paddr: int, prot: VMProt) -> None:
@@ -99,12 +155,12 @@ class TLB:
         key = self._key(pmap, vaddr)
         if key not in self._entries and len(self._entries) >= self.capacity:
             evicted_key, _ = self._entries.popitem(last=False)
-            if self.trace_hook is not None:
-                self.trace_hook.tlb_drop(evicted_key[0], evicted_key[1])
+            self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                             tag=evicted_key[0], vpn=evicted_key[1])
         self._entries[key] = TLBEntry(paddr, prot)
         self.stats.fills += 1
-        if self.trace_hook is not None:
-            self.trace_hook.tlb_fill(key[0], key[1])
+        self.events.emit("tlb", "fill", cpu=self.cpu_id,
+                         tag=key[0], vpn=key[1])
 
     def invalidate(self, pmap, vaddr: int) -> bool:
         """Drop one translation; returns True when it was present."""
@@ -112,8 +168,8 @@ class TLB:
         removed = self._entries.pop(key, None)
         if removed is not None:
             self.stats.entry_flushes += 1
-            if self.trace_hook is not None:
-                self.trace_hook.tlb_drop(key[0], key[1])
+            self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                             tag=key[0], vpn=key[1])
         return removed is not None
 
     def invalidate_range(self, pmap, start: int, end: int) -> int:
@@ -126,12 +182,12 @@ class TLB:
             tag, vpn = key
             if tag == pmap_tag and first <= vpn < last:
                 del self._entries[key]
-                if self.trace_hook is not None:
-                    self.trace_hook.tlb_drop(tag, vpn)
+                self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                 tag=tag, vpn=vpn)
                 count += 1
         self.stats.entry_flushes += count
-        if self.trace_hook is not None:
-            self.trace_hook.tlb_range_flushed(pmap_tag, start, end)
+        self.events.emit("tlb", "flush_range", cpu=self.cpu_id,
+                         tag=pmap_tag, start=start, end=end)
         return count
 
     def invalidate_pmap(self, pmap) -> int:
@@ -140,23 +196,23 @@ class TLB:
         stale = [key for key in self._entries if key[0] == pmap_tag]
         for key in stale:
             del self._entries[key]
-            if self.trace_hook is not None:
-                self.trace_hook.tlb_drop(key[0], key[1])
+            self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                             tag=key[0], vpn=key[1])
         self.stats.entry_flushes += len(stale)
-        if self.trace_hook is not None:
-            self.trace_hook.tlb_pmap_flushed(pmap_tag)
+        self.events.emit("tlb", "flush_pmap", cpu=self.cpu_id,
+                         tag=pmap_tag)
         return len(stale)
 
     def flush_all(self) -> int:
         """Drop everything (untagged-TLB context switch, or shootdown)."""
         count = len(self._entries)
-        if self.trace_hook is not None:
+        if self.events.active:
             for tag, vpn in list(self._entries):
-                self.trace_hook.tlb_drop(tag, vpn)
+                self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                 tag=tag, vpn=vpn)
         self._entries.clear()
         self.stats.full_flushes += 1
-        if self.trace_hook is not None:
-            self.trace_hook.tlb_full_flushed()
+        self.events.emit("tlb", "flush_all", cpu=self.cpu_id)
         return count
 
     def __len__(self) -> int:

@@ -55,6 +55,12 @@ class Port:
         self.port_id = next(_port_ids)
         self.name = name or f"port{self.port_id}"
         self.handler = handler
+        #: Optional instrumentation bus (an
+        #: :class:`repro.obs.bus.EventBus`).  The kernel attaches its
+        #: bus to the ports it hands out; transport perturbations and
+        #: port death are then published as ``ipc/...`` events.  None —
+        #: the default — costs one attribute test per perturbation.
+        self.events = None
         self._queue: deque = deque()
         #: Injector-delayed messages: [countdown, message] pairs,
         #: re-enqueued when their countdown of port operations expires.
@@ -94,6 +100,9 @@ class Port:
             action = injector.on_port_send(self, message)
             if action is not None:
                 kind, ticks = action
+                if self.events is not None:
+                    self.events.emit("ipc", "perturb", port=self.name,
+                                     action=kind)
                 if kind == "drop":
                     self.messages_dropped += 1
                     return
@@ -132,6 +141,9 @@ class Port:
 
     def destroy(self) -> None:
         """Mark the port dead and drop its queued messages."""
+        if not self.dead and self.events is not None:
+            self.events.emit("ipc", "port_destroyed", port=self.name,
+                             undelivered=len(self._queue))
         self.dead = True
         self._queue.clear()
         self._delayed.clear()

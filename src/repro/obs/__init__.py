@@ -1,0 +1,37 @@
+"""repro.obs — the unified instrumentation bus.
+
+One event API for tracing, metrics and profiling: every subsystem
+emits typed :class:`Event` records into the machine's
+:class:`EventBus`; observers (the :class:`MetricsRegistry`, the
+legacy-compatible :class:`~repro.trace.KernelTracer`, the race
+detector, the Chrome-trace exporter) subscribe instead of patching
+entry points.
+
+The package is intentionally dependency-free (standard library only):
+``repro.obs.bus`` is the one module the hardware substrate and the
+pmap layer are allowed to import (the layering lint's ``TELEMETRY``
+allowance), so nothing here may import the rest of ``repro``.
+Trace-producing workloads therefore live in :mod:`repro.cli`.
+"""
+
+from repro.obs.bus import Event, EventBus, EventRecorder
+from repro.obs.export import (chrome_trace, chrome_trace_json,
+                              validate_chrome_trace)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.spans import Span, build_spans, profile, render_spans
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "build_spans",
+    "profile",
+    "render_spans",
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,260 @@
+"""The instrumentation event bus.
+
+Every layer of the reproduction — fault handler, pageout daemon, pmap
+and TLB, pagers, IPC ports, scheduler, buffer cache — reports what it
+is doing through one :class:`EventBus` owned by the machine.  Observers
+(:mod:`repro.trace`, :mod:`repro.analysis.race`, the metrics registry,
+the Chrome-trace exporter) subscribe to the bus instead of patching
+entry points or installing duck-typed hook attributes.
+
+The bus is deliberately allocation-free when nobody is listening:
+``emit()`` returns before constructing an :class:`Event` unless at
+least one subscriber is attached, and ``span()`` hands back a shared
+null context manager.  The fault hot path therefore pays one attribute
+load and one truth test when untraced.
+
+This module is imported by the hardware substrate and the pmap layer,
+so it must stay self-contained: standard library only, no imports from
+any other ``repro`` package (the layering lint enforces this via its
+``TELEMETRY`` allowance).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Event", "EventBus", "EventRecorder"]
+
+
+class Event:
+    """One typed record on the bus.
+
+    ``ts_us`` is the simulated elapsed-time stamp (monotonic across the
+    whole machine, so every per-track event stream is non-decreasing).
+    ``phase`` follows the Chrome trace_event convention: ``"B"`` begins
+    a span, ``"E"`` ends it, ``"i"`` is an instant event.  ``track`` is
+    the display lane — ``cpu<N>`` by default, or an override such as
+    ``daemon`` / ``pager`` pushed by long-running service loops.
+    ``data`` carries kind-specific payload (never copied by the bus).
+    """
+
+    __slots__ = ("ts_us", "cpu", "track", "phase", "subsystem", "kind",
+                 "task", "data")
+
+    def __init__(self, ts_us: float, cpu: int, track: str, phase: str,
+                 subsystem: str, kind: str, task: str,
+                 data: Dict[str, Any]) -> None:
+        self.ts_us = ts_us
+        self.cpu = cpu
+        self.track = track
+        self.phase = phase
+        self.subsystem = subsystem
+        self.kind = kind
+        self.task = task
+        self.data = data
+
+    @property
+    def name(self) -> str:
+        """The full event name, ``subsystem/kind``."""
+        return f"{self.subsystem}/{self.kind}"
+
+    def __repr__(self) -> str:
+        extra = f" {self.data}" if self.data else ""
+        task = f" task={self.task}" if self.task else ""
+        return (f"Event({self.ts_us:.1f}us cpu{self.cpu} {self.phase} "
+                f"{self.subsystem}/{self.kind}{task}{extra})")
+
+
+class _ZeroClock:
+    """Fallback clock for buses created outside a machine (tests that
+    construct a TLB or CPU standalone)."""
+
+    elapsed_us = 0.0
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when the bus has no subscribers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def note(self, **data: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live begin/end span: emits ``B`` on enter, ``E`` on exit.
+
+    ``note(**data)`` accumulates payload attached to the closing event
+    (the natural place for outcomes computed during the span).  An
+    exception escaping the body is recorded as ``error`` unless the
+    body already noted one.
+    """
+
+    __slots__ = ("_bus", "_subsystem", "_kind", "_task", "_begin_data",
+                 "_end_data")
+
+    def __init__(self, bus: "EventBus", subsystem: str, kind: str,
+                 task: str, begin_data: Dict[str, Any]) -> None:
+        self._bus = bus
+        self._subsystem = subsystem
+        self._kind = kind
+        self._task = task
+        self._begin_data = begin_data
+        self._end_data: Dict[str, Any] = {}
+
+    def note(self, **data: Any) -> "_Span":
+        self._end_data.update(data)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._bus.emit(self._subsystem, self._kind, phase="B",
+                       task=self._task, **self._begin_data)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None and "error" not in self._end_data:
+            self._end_data["error"] = exc_type.__name__
+        self._bus.emit(self._subsystem, self._kind, phase="E",
+                       task=self._task, **self._end_data)
+        return False
+
+
+class EventBus:
+    """The single fan-out point for kernel instrumentation.
+
+    One bus per :class:`~repro.hw.machine.Machine`; the kernel keeps an
+    alias (``kernel.events``) and updates ``current_cpu`` as the
+    simulated point of execution moves.  Emitters call :meth:`emit`
+    (instant events) or :meth:`span` (nested begin/end pairs);
+    observers register plain callables with :meth:`subscribe`.
+    """
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        #: object exposing ``elapsed_us`` — the machine's SimClock.
+        self.clock = clock if clock is not None else _ZeroClock()
+        #: the CPU id stamped on events that do not name one.
+        self.current_cpu = 0
+        self._subscribers: List[Callable[[Event], None]] = []
+        self._track_stack: List[str] = []
+
+    # -- subscription ------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached.  Emit sites
+        with non-trivial payload preparation guard on this."""
+        return bool(self._subscribers)
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register *fn* to receive every event.  Idempotent."""
+        if fn not in self._subscribers:
+            self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Remove *fn*; tolerates an already-removed subscriber."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    # -- track overrides ---------------------------------------------
+
+    def push_track(self, name: str) -> None:
+        """Route subsequent events to display lane *name* (e.g. the
+        pageout daemon's loop pushes ``"daemon"``)."""
+        self._track_stack.append(name)
+
+    def pop_track(self) -> None:
+        """Undo the most recent :meth:`push_track`."""
+        if self._track_stack:
+            self._track_stack.pop()
+
+    # -- emission ----------------------------------------------------
+
+    def emit(self, subsystem: str, kind: str, phase: str = "i",
+             task: str = "", cpu: Optional[int] = None,
+             **data: Any) -> Optional[Event]:
+        """Publish one event; a no-op (returning None) when nobody is
+        subscribed — no :class:`Event` is allocated."""
+        subscribers = self._subscribers
+        if not subscribers:
+            return None
+        if cpu is None:
+            cpu = self.current_cpu
+        if self._track_stack:
+            track = self._track_stack[-1]
+        else:
+            track = f"cpu{cpu}"
+        event = Event(self.clock.elapsed_us, cpu, track, phase,
+                      subsystem, kind, task, data)
+        for fn in subscribers:
+            fn(event)
+        return event
+
+    def span(self, subsystem: str, kind: str, task: str = "",
+             **data: Any):
+        """A context manager emitting a ``B``/``E`` pair around its
+        body.  Returns a shared null span when nobody is subscribed."""
+        if not self._subscribers:
+            return _NULL_SPAN
+        return _Span(self, subsystem, kind, task, data)
+
+
+class EventRecorder:
+    """The simplest subscriber: append events to a bounded list.
+
+    Usable directly as a context manager::
+
+        with EventRecorder(kernel.events) as rec:
+            task.write(addr, b"x")
+        print(rec.events)
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 capacity: int = 100_000) -> None:
+        self.events: List[Event] = []
+        self.capacity = capacity
+        self.dropped = 0
+        self._bus: Optional[EventBus] = None
+        if bus is not None:
+            self.attach(bus)
+
+    def __call__(self, event: Event) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def attach(self, bus: EventBus) -> "EventRecorder":
+        """Subscribe to *bus* (detaching from any previous one)."""
+        if self._bus is not None:
+            self.detach()
+        self._bus = bus
+        bus.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __enter__(self) -> "EventRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.detach()
+        return False

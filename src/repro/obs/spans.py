@@ -1,0 +1,150 @@
+"""Span reconstruction and profiling over recorded events.
+
+``B``/``E`` event pairs nest — `fault → pager call → disk I/O` — and
+this module rebuilds that nesting per display track, then aggregates it
+into a top-N self-time profile.  Instant events are attached to the
+innermost open span on their track (as ``marks``) so a rendered fault
+span shows its zero-fill / COW decisions inline.
+
+Standard library only — see the module docstring of
+:mod:`repro.obs.bus`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "build_spans", "profile", "render_spans"]
+
+
+class Span:
+    """One reconstructed begin/end interval."""
+
+    __slots__ = ("name", "subsystem", "kind", "task", "cpu", "track",
+                 "start_us", "end_us", "data", "children", "marks")
+
+    def __init__(self, begin: Any) -> None:
+        self.name = f"{begin.subsystem}/{begin.kind}"
+        self.subsystem = begin.subsystem
+        self.kind = begin.kind
+        self.task = begin.task
+        self.cpu = begin.cpu
+        self.track = begin.track
+        self.start_us = begin.ts_us
+        self.end_us: float = begin.ts_us
+        self.data: Dict[str, Any] = dict(begin.data)
+        self.children: List["Span"] = []
+        self.marks: List[Any] = []
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def self_us(self) -> float:
+        """Duration minus time spent in child spans."""
+        return self.duration_us - sum(c.duration_us for c in self.children)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name} {self.duration_us:.1f}us "
+                f"children={len(self.children)})")
+
+
+def build_spans(events: List[Any]) -> List[Span]:
+    """Rebuild the span forest from an event list.
+
+    Pairing is per track: each ``B`` opens a span nested under the
+    track's innermost open span, the matching ``E`` closes it (merging
+    the end event's data — outcomes live there).  An ``E`` with no open
+    ``B`` on its track is dropped (subscriber attached mid-span); a
+    ``B`` never closed is ended at the last timestamp seen.
+    """
+    roots: List[Span] = []
+    open_stacks: Dict[str, List[Span]] = {}
+    last_ts = 0.0
+    for event in events:
+        last_ts = max(last_ts, event.ts_us)
+        stack = open_stacks.setdefault(event.track, [])
+        if event.phase == "B":
+            span = Span(event)
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                roots.append(span)
+            stack.append(span)
+        elif event.phase == "E":
+            # close the innermost open span of the same kind; tolerate
+            # interleaved kinds by searching down the stack.
+            for i in range(len(stack) - 1, -1, -1):
+                span = stack[i]
+                if span.subsystem == event.subsystem and \
+                        span.kind == event.kind:
+                    span.end_us = event.ts_us
+                    span.data.update(event.data)
+                    del stack[i:]
+                    break
+        else:
+            if stack:
+                stack[-1].marks.append(event)
+    for stack in open_stacks.values():
+        for span in stack:
+            span.end_us = max(span.end_us, last_ts)
+    return roots
+
+
+def _walk(spans: List[Span]):
+    for span in spans:
+        yield span
+        yield from _walk(span.children)
+
+
+def profile(events_or_roots: List[Any], top: int = 10) -> str:
+    """A text top-N profile aggregated by span name.
+
+    Columns: call count, total (inclusive) time, self time, mean
+    inclusive time.  Sorted by self time — where the simulated clock
+    actually went.
+    """
+    if events_or_roots and isinstance(events_or_roots[0], Span):
+        roots = events_or_roots
+    else:
+        roots = build_spans(events_or_roots)
+    totals: Dict[str, List[float]] = {}
+    for span in _walk(roots):
+        entry = totals.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration_us
+        entry[2] += span.self_us
+    if not totals:
+        return "no spans recorded"
+    rows = sorted(totals.items(), key=lambda kv: kv[1][2], reverse=True)
+    lines = [f"{'span':<24} {'count':>7} {'total_us':>12} "
+             f"{'self_us':>12} {'mean_us':>10}"]
+    for name, (count, total, self_time) in rows[:top]:
+        lines.append(f"{name:<24} {count:>7} {total:>12.1f} "
+                     f"{self_time:>12.1f} {total / count:>10.1f}")
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more span kind(s) omitted")
+    return "\n".join(lines)
+
+
+def render_spans(roots: List[Span], limit: Optional[int] = 40,
+                 _depth: int = 0, _lines: Optional[List[str]] = None) -> str:
+    """An indented tree of the first *limit* root spans."""
+    lines: List[str] = [] if _lines is None else _lines
+    shown = roots if limit is None else roots[:limit]
+    for span in shown:
+        extra = ""
+        if span.data:
+            pairs = ", ".join(f"{k}={v}" for k, v in span.data.items())
+            extra = f"  [{pairs}]"
+        task = f" {span.task}" if span.task else ""
+        lines.append(f"{'  ' * _depth}{span.start_us:>10.1f}us "
+                     f"{span.name} ({span.duration_us:.1f}us)"
+                     f"{task} @{span.track}{extra}")
+        render_spans(span.children, None, _depth + 1, lines)
+    if _depth == 0:
+        if limit is not None and len(roots) > limit:
+            lines.append(f"... {len(roots) - limit} more root span(s)")
+        return "\n".join(lines) if lines else "no spans recorded"
+    return ""

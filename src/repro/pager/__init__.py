@@ -25,13 +25,14 @@ from repro.pager.protocol import (
     PagerProtocol,
     PagerToKernel,
 )
-from repro.pager.swap import SwapSpace
+from repro.pager.swap import FileBackedSwap, SwapSpace
 from repro.pager.vnode_pager import VnodePager, map_file, vnode_pager_for
 
 __all__ = [
     "DefaultPager", "ExternalPager", "ExternalPagerAdapter",
-    "KernelRequestInterface", "KernelToPager", "NetMemoryPager",
-    "NetMemoryServer", "PagerProtocol", "PagerToKernel",
-    "SimpleReadWritePager", "SwapSpace", "UNAVAILABLE", "VnodePager",
-    "map_file", "map_remote_region", "vnode_pager_for",
+    "FileBackedSwap", "KernelRequestInterface", "KernelToPager",
+    "NetMemoryPager", "NetMemoryServer", "PagerProtocol",
+    "PagerToKernel", "SimpleReadWritePager", "SwapSpace",
+    "UNAVAILABLE", "VnodePager", "map_file", "map_remote_region",
+    "vnode_pager_for",
 ]

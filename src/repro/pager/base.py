@@ -153,6 +153,12 @@ class ExternalPagerAdapter(PagerProtocol):
         self.request_port = Port(name=f"{label}.paging_object_request",
                                  handler=self._kernel_server)
         self.name_port = Port(name=f"{label}.paging_name")
+        if kernel is not None:
+            # Publish transport perturbations / port death on the
+            # kernel's instrumentation bus.
+            self.pager_port.events = kernel.events
+            self.request_port.events = kernel.events
+            self.name_port.events = kernel.events
         self.kernel_if = KernelRequestInterface(self)
         self.readonly = False
         #: offset -> lock_value (prot bits currently prohibited).
@@ -252,7 +258,24 @@ class ExternalPagerAdapter(PagerProtocol):
 
     def _pump(self) -> None:
         """Run the pager task's server loop, then process whatever it
-        sent back (cooperative scheduling of the user-state task)."""
+        sent back (cooperative scheduling of the user-state task).
+
+        While the pager runs, events land on the ``pager`` track so a
+        trace shows user-state pager work as its own lane rather than
+        charged to the faulting CPU.
+        """
+        events = self.kernel.events if self.kernel is not None else None
+        if events is not None and events.active:
+            events.push_track("pager")
+            try:
+                with events.span("pager", "serve", pager=self.name()):
+                    self._pump_ports()
+            finally:
+                events.pop_track()
+        else:
+            self._pump_ports()
+
+    def _pump_ports(self) -> None:
         while self.pager_port.pending or self.request_port.pending:
             if self.pager_port.pending:
                 self.pager_port.pump()

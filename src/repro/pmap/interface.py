@@ -27,6 +27,7 @@ from __future__ import annotations
 import abc
 import enum
 import itertools
+import warnings
 from typing import Optional
 
 from repro.core.constants import FaultType, VMProt, trunc_page
@@ -101,13 +102,49 @@ class PmapSystem:
         #: arguments after every shootdown and ``pmap_update``.  None
         #: (the default) costs nothing.
         self.debug_hook = None
-        #: Shootdown observer (``repro.analysis.race``): called as
-        #: ``race_hook(pmap, start, end, strategy, force, actions)``
-        #: with ``actions`` a tuple of ``(cpu_id, "local" | "ipi" |
-        #: "deferred" | "lazy")`` *before* any flush lands, so a
+        #: The machine's instrumentation bus; shootdowns publish a
+        #: ``pmap/shootdown`` event *before* any flush lands, so a
         #: happens-before checker sees the invalidation window open
-        #: first.  None (the default) costs nothing.
-        self.race_hook = None
+        #: first.
+        self.events = machine.events
+        self._race_hook = None
+        self._race_adapter = None
+
+    @property
+    def race_hook(self):
+        """Deprecated shootdown observer.
+
+        Superseded by the event bus: subscribe to ``self.events`` and
+        watch ``pmap/shootdown`` events (whose data carries ``pmap``,
+        ``start``, ``end``, the *effective* ``strategy``, ``forced``
+        and the per-CPU ``actions`` plan).  Assigning a callable with
+        the old ``race_hook(pmap, start, end, strategy, force,
+        actions)`` signature still works via a forwarding subscriber,
+        but emits a :class:`DeprecationWarning`.
+        """
+        return self._race_hook
+
+    @race_hook.setter
+    def race_hook(self, hook) -> None:
+        warnings.warn(
+            "PmapSystem.race_hook is deprecated; subscribe to the "
+            "machine's event bus and watch pmap/shootdown events "
+            "instead", DeprecationWarning, stacklevel=2)
+        if self._race_adapter is not None:
+            self.events.unsubscribe(self._race_adapter)
+            self._race_adapter = None
+        self._race_hook = hook
+        if hook is not None:
+            def adapter(event):
+                if (event.subsystem == "pmap"
+                        and event.kind == "shootdown"
+                        and self._race_hook is not None):
+                    data = event.data
+                    self._race_hook(data["pmap"], data["start"],
+                                    data["end"], data["strategy"],
+                                    data["forced"], data["actions"])
+            self._race_adapter = adapter
+            self.events.subscribe(adapter)
 
     # ------------------------------------------------------------------
     # Reference / modify bits (maintained by the simulated MMU)
@@ -235,10 +272,13 @@ class PmapSystem:
                 plan.append((cpu, "deferred"))
             else:
                 plan.append((cpu, "lazy"))
-        if self.race_hook is not None:
-            self.race_hook(pmap, start, end, strategy, force,
-                           tuple((cpu.cpu_id, action)
-                                 for cpu, action in plan))
+        if self.events.active:
+            self.events.emit(
+                "pmap", "shootdown",
+                pmap=pmap, start=start, end=end,
+                strategy=strategy, declared=self.strategy, forced=force,
+                actions=tuple((cpu.cpu_id, action)
+                              for cpu, action in plan))
         for cpu, action in plan:
 
             def flush(cpu=cpu, pmap=pmap, start=start, end=end) -> None:
@@ -352,11 +392,13 @@ class Pmap(abc.ABC):
         self.stats.enters += 1
         costs = self.machine.costs
         clock = self.machine.clock
-        self.remove(vaddr, vaddr + self.page_size, shoot=True)
-        for off in range(0, self.page_size, self.hw_page_size):
-            clock.charge(costs.pte_write_us)
-            self._hw_enter(vaddr + off, paddr + off, prot, wired)
-        self.system.pv_enter(self, vaddr, paddr)
+        events = self.machine.events
+        with events.span("pmap", "enter", pmap=self.name, vaddr=vaddr):
+            self.remove(vaddr, vaddr + self.page_size, shoot=True)
+            for off in range(0, self.page_size, self.hw_page_size):
+                clock.charge(costs.pte_write_us)
+                self._hw_enter(vaddr + off, paddr + off, prot, wired)
+            self.system.pv_enter(self, vaddr, paddr)
 
     def remove(self, start: int, end: int, shoot: bool = True) -> None:
         """``pmap_remove``: remove all mappings in [start, end)

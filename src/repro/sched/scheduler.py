@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from collections import deque
 from typing import Callable, Generator, Optional
 
@@ -144,11 +145,44 @@ class Scheduler:
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.context_switches = 0
         self.slices_run = 0
-        #: Duck-typed slice observer (``repro.analysis.race`` installs
-        #: one): called as ``race_hook(sched_thread, cpu_id)`` just
-        #: before each slice runs.  The scheduler never imports the
-        #: analysis package.
-        self.race_hook = None
+        #: The kernel's instrumentation bus; each slice publishes a
+        #: ``sched/slice`` event just before placement.
+        self.events = kernel.events
+        self._race_hook = None
+        self._race_adapter = None
+
+    @property
+    def race_hook(self):
+        """Deprecated duck-typed slice observer.
+
+        Superseded by the event bus: subscribe to ``kernel.events`` and
+        watch ``sched/slice`` events (whose data carries the
+        ``sched_thread`` about to run and the destination ``cpu`` —
+        emitted before placement, so an observer still sees the CPU the
+        thread last ran on).  Assigning a callable with the old
+        ``race_hook(sched_thread, cpu_id)`` signature still works via a
+        forwarding subscriber, but emits a :class:`DeprecationWarning`.
+        """
+        return self._race_hook
+
+    @race_hook.setter
+    def race_hook(self, hook) -> None:
+        warnings.warn(
+            "Scheduler.race_hook is deprecated; subscribe to the "
+            "kernel's event bus and watch sched/slice events instead",
+            DeprecationWarning, stacklevel=2)
+        if self._race_adapter is not None:
+            self.events.unsubscribe(self._race_adapter)
+            self._race_adapter = None
+        self._race_hook = hook
+        if hook is not None:
+            def adapter(event):
+                if (event.subsystem == "sched" and event.kind == "slice"
+                        and self._race_hook is not None):
+                    self._race_hook(event.data["sched_thread"],
+                                    event.data["to_cpu"])
+            self._race_adapter = adapter
+            self.events.subscribe(adapter)
 
     # ------------------------------------------------------------------
 
@@ -206,10 +240,13 @@ class Scheduler:
             if sched_thread.thread.suspended:
                 self.ready.append(sched_thread)
                 continue
-            if self.race_hook is not None:
-                # Before _place, so the observer still sees the CPU the
+            if self.events.active:
+                # Before _place, so an observer still sees the CPU the
                 # thread last ran on (migration = causality transfer).
-                self.race_hook(sched_thread, cpu.cpu_id)
+                self.events.emit(
+                    "sched", "slice", task=sched_thread.task.name,
+                    sched_thread=sched_thread, to_cpu=cpu.cpu_id,
+                    from_cpu=sched_thread.context.cpu_id)
             self._place(sched_thread, cpu)
             self.kernel.set_current_cpu(cpu.cpu_id)
             self._advance(sched_thread)

@@ -8,9 +8,13 @@ interesting events as structured records, with simulated timestamps:
 * pageouts and reactivations from the paging daemon;
 * TLB shootdowns.
 
-The tracer works by *wrapping* the kernel's entry points rather than by
-hooks scattered through the code — the traced kernel is the production
-kernel.  Use it to understand a workload::
+The tracer is a thin facade over the kernel's instrumentation bus
+(:mod:`repro.obs`): it subscribes to ``kernel.events`` and condenses
+the raw ``vm/fault`` / ``pageout/*`` / ``pmap/shootdown`` event stream
+into the four legacy record kinds.  For the full-fidelity stream —
+TLB traffic, pager round trips, disk I/O, span nesting, Chrome-trace
+export — subscribe an :class:`~repro.obs.EventRecorder` directly.
+Use the tracer to understand a workload::
 
     tracer = KernelTracer(kernel)
     with tracer:
@@ -23,10 +27,8 @@ kernel.  Use it to understand a workload::
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
-
-import repro.core.fault as fault_module
 
 
 @dataclass(frozen=True)
@@ -46,7 +48,11 @@ class TraceEvent:
 
 
 class KernelTracer:
-    """Records fault / pageout / shootdown events from one kernel."""
+    """Records fault / pageout / shootdown events from one kernel.
+
+    Per-kernel isolation is structural: each machine owns its bus, so
+    tracing one kernel never observes another.
+    """
 
     def __init__(self, kernel, capacity: int = 100_000) -> None:
         self.kernel = kernel
@@ -54,7 +60,10 @@ class KernelTracer:
         self.events: list[TraceEvent] = []
         self.dropped = 0
         self._installed = False
-        self._saved = {}
+        #: cpu -> stack of open ``vm/fault`` begin events, so the
+        #: closing event can be joined with the faulting address and
+        #: fault type recorded at entry.
+        self._open_faults: dict[int, list] = {}
 
     # -- attachment -----------------------------------------------------
 
@@ -66,91 +75,72 @@ class KernelTracer:
         self.uninstall()
 
     def install(self) -> None:
-        """Attach the tracer's probes to the kernel."""
+        """Subscribe to the kernel's event bus."""
         if self._installed:
             return
         self._installed = True
-        kernel = self.kernel
-
-        self._saved["vm_fault"] = fault_module.vm_fault
-
-        def traced_vm_fault(k, task, vaddr, fault_type, wiring=False):
-            outcome = self._saved["vm_fault"](k, task, vaddr,
-                                              fault_type, wiring)
-            if k is kernel:
-                detail = []
-                if outcome.zero_filled:
-                    detail.append("zero-fill")
-                if outcome.paged_in:
-                    detail.append("pagein")
-                if outcome.shadow_created:
-                    detail.append("shadow")
-                if outcome.cow_copied:
-                    detail.append("cow-copy")
-                self._record("fault", task=task.name, address=vaddr,
-                             detail=f"{fault_type.name.lower()} "
-                                    f"{'+'.join(detail) or 'soft'}")
-            return outcome
-
-        fault_module.vm_fault = traced_vm_fault
-        # The kernel module imported the symbol directly; patch there
-        # too so both call sites are covered.
-        import repro.core.kernel as kernel_module
-        self._saved["kernel.vm_fault"] = kernel_module.vm_fault
-        kernel_module.vm_fault = traced_vm_fault
-
-        daemon = kernel.pageout_daemon
-        self._saved["launder"] = daemon._launder
-        self._saved["reclaim"] = daemon._try_reclaim
-
-        def traced_launder(page):
-            self._record("pageout", address=page.offset,
-                         detail=f"obj#{page.vm_object.object_id}")
-            return self._saved["launder"](page)
-
-        def traced_reclaim(page):
-            freed = self._saved["reclaim"](page)
-            if not freed:
-                self._record("reactivate", address=page.offset,
-                             detail="second chance")
-            return freed
-
-        daemon._launder = traced_launder
-        daemon._try_reclaim = traced_reclaim
-
-        system = kernel.pmap_system
-        self._saved["shootdown"] = system.shootdown
-
-        def traced_shootdown(pmap, start, end, force=False):
-            self._record("shootdown", task=pmap.name, address=start,
-                         detail=f"{(end - start) // 1024}KB "
-                                f"{system.strategy.value}")
-            return self._saved["shootdown"](pmap, start, end, force)
-
-        system.shootdown = traced_shootdown
+        self.kernel.events.subscribe(self._on_event)
 
     def uninstall(self) -> None:
-        """Detach all probes, restoring original entry points."""
+        """Unsubscribe, leaving the kernel untouched."""
         if not self._installed:
             return
         self._installed = False
-        fault_module.vm_fault = self._saved["vm_fault"]
-        import repro.core.kernel as kernel_module
-        kernel_module.vm_fault = self._saved["kernel.vm_fault"]
-        self.kernel.pageout_daemon._launder = self._saved["launder"]
-        self.kernel.pageout_daemon._try_reclaim = self._saved["reclaim"]
-        self.kernel.pmap_system.shootdown = self._saved["shootdown"]
-        self._saved.clear()
+        self.kernel.events.unsubscribe(self._on_event)
+        self._open_faults.clear()
 
     # -- recording --------------------------------------------------------
 
-    def _record(self, kind: str, task: str = "",
+    def _on_event(self, event) -> None:
+        subsystem, kind = event.subsystem, event.kind
+        if subsystem == "vm" and kind == "fault":
+            if event.phase == "B":
+                self._open_faults.setdefault(event.cpu, []).append(event)
+            elif event.phase == "E":
+                opened = self._open_faults.get(event.cpu)
+                begin = opened.pop() if opened else None
+                self._fault_resolved(begin, event)
+        elif subsystem == "pageout":
+            if kind == "launder" and event.phase == "B":
+                self._record(event.ts_us, "pageout",
+                             address=event.data["offset"],
+                             detail=f"obj#{event.data['object_id']}")
+            elif kind == "reactivate":
+                self._record(event.ts_us, "reactivate",
+                             address=event.data["offset"],
+                             detail="second chance")
+        elif subsystem == "pmap" and kind == "shootdown":
+            data = event.data
+            self._record(event.ts_us, "shootdown",
+                         task=data["pmap"].name, address=data["start"],
+                         detail=f"{(data['end'] - data['start']) // 1024}"
+                                f"KB {data['declared'].value}")
+
+    def _fault_resolved(self, begin, end) -> None:
+        data = end.data
+        if "error" in data:
+            return    # the fault raised; nothing resolved
+        parts = []
+        if data.get("zero_filled"):
+            parts.append("zero-fill")
+        if data.get("paged_in"):
+            parts.append("pagein")
+        if data.get("shadow_created"):
+            parts.append("shadow")
+        if data.get("cow_copied"):
+            parts.append("cow-copy")
+        fault_type = begin.data["fault_type"].lower() if begin else "?"
+        address = begin.data.get("vaddr") if begin else None
+        self._record(end.ts_us, "fault", task=end.task, address=address,
+                     detail=f"{fault_type} {'+'.join(parts) or 'soft'}")
+
+    def _record(self, timestamp_us: float, kind: str, task: str = "",
                 address: Optional[int] = None, detail: str = "") -> None:
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
         self.events.append(TraceEvent(
-            timestamp_us=self.kernel.clock.cpu_us, kind=kind,
+            timestamp_us=timestamp_us, kind=kind,
             task=task, address=address, detail=detail))
 
     # -- analysis ----------------------------------------------------------

@@ -1,0 +1,81 @@
+"""docs/API.md stays honest: documented names import, public names
+are documented.
+
+The audited packages (``repro.core``, ``repro.pmap``, ``repro.pager``,
+``repro.obs``) each carry an explicit ``__all__`` and an
+``Exports (`repro.X`):`` paragraph in docs/API.md listing it.  This
+test holds the two equal in both directions — a name added to a
+package without documentation fails, as does a documented name the
+package no longer exports.  Dotted ``repro.*`` paths mentioned
+anywhere in the doc must also resolve.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+AUDITED = ["repro.core", "repro.pmap", "repro.pager", "repro.obs"]
+
+_EXPORTS_RE = r"Exports \(`{pkg}`\):\s*((?:`[A-Za-z_][A-Za-z0-9_]*`[,.]\s*)+)"
+
+
+def _documented_exports(text: str, pkg: str) -> set[str]:
+    match = re.search(_EXPORTS_RE.format(pkg=re.escape(pkg)), text)
+    assert match, f"API.md has no 'Exports (`{pkg}`):' paragraph"
+    return set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", match.group(1)))
+
+
+@pytest.fixture(scope="module")
+def api_text() -> str:
+    return API_MD.read_text()
+
+
+@pytest.mark.parametrize("pkg", AUDITED)
+class TestExportAudit:
+
+    def test_package_declares_all(self, api_text, pkg):
+        module = importlib.import_module(pkg)
+        assert getattr(module, "__all__", None), f"{pkg} has no __all__"
+
+    def test_every_public_name_is_documented(self, api_text, pkg):
+        module = importlib.import_module(pkg)
+        documented = _documented_exports(api_text, pkg)
+        missing = set(module.__all__) - documented
+        assert not missing, (
+            f"exported by {pkg} but absent from API.md: "
+            f"{sorted(missing)}")
+
+    def test_every_documented_name_imports(self, api_text, pkg):
+        module = importlib.import_module(pkg)
+        documented = _documented_exports(api_text, pkg)
+        stale = {name for name in documented
+                 if not hasattr(module, name)}
+        assert not stale, (
+            f"documented in API.md but not importable from {pkg}: "
+            f"{sorted(stale)}")
+        extra = documented - set(module.__all__)
+        assert not extra, (
+            f"documented for {pkg} but not in its __all__: "
+            f"{sorted(extra)}")
+
+
+def test_every_dotted_repro_path_resolves(api_text):
+    """Any `repro.x.y` code span in API.md is a real module or a real
+    attribute of one."""
+    paths = set(re.findall(r"`(repro(?:\.\w+)+)`", api_text))
+    assert paths, "API.md mentions no repro.* paths at all?"
+    for path in sorted(paths):
+        try:
+            importlib.import_module(path)
+            continue
+        except ImportError:
+            pass
+        module_path, _, attr = path.rpartition(".")
+        module = importlib.import_module(module_path)
+        assert hasattr(module, attr), (
+            f"API.md references `{path}` which does not resolve")

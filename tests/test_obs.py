@@ -1,0 +1,352 @@
+"""The instrumentation bus: zero-cost when idle, consistent when not.
+
+Four contracts from the observability redesign:
+
+* the fault path allocates **zero** event objects while nobody is
+  subscribed (the bus is pay-for-what-you-trace);
+* the metrics registry's counters, *derived* purely from bus events,
+  equal the kernel's hand-bumped :class:`KernelStats` fields — so the
+  bus can be trusted as an independent cross-check;
+* the Chrome-trace exporter emits well-formed trace_event JSON with
+  one lane per simulated CPU and properly nested
+  fault → pager → disk spans;
+* the legacy duck-typed hook attributes survive as deprecation shims
+  that forward bus events with the old vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs.bus as bus_mod
+from repro.core import VMProt
+from repro.fs.filesystem import FileSystem
+from repro.ipc.message import Message
+from repro.ipc.port import Port
+from repro.obs import (
+    EventBus,
+    EventRecorder,
+    MetricsRegistry,
+    build_spans,
+    chrome_trace_json,
+    profile,
+    validate_chrome_trace,
+)
+from repro.pager.vnode_pager import map_file
+
+PAGE = 4096
+
+
+# ---------------------------------------------------------------------
+# Bus mechanics
+# ---------------------------------------------------------------------
+
+class TestEventBus:
+
+    def test_emit_returns_none_with_no_subscribers(self):
+        bus = EventBus()
+        assert bus.emit("vm", "fault") is None
+        assert not bus.active
+
+    def test_emit_delivers_to_subscribers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        event = bus.emit("vm", "pagein", task="t0", object_id=3)
+        assert event is not None
+        assert seen == [event]
+        assert event.name == "vm/pagein"
+        assert event.data == {"object_id": 3}
+        assert event.task == "t0"
+
+    def test_subscribe_is_idempotent_unsubscribe_tolerant(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.subscribe(seen.append)
+        bus.emit("a", "b")
+        assert len(seen) == 1
+        bus.unsubscribe(seen.append)
+        bus.unsubscribe(seen.append)   # already gone: no error
+        bus.emit("a", "b")
+        assert len(seen) == 1
+
+    def test_null_span_is_shared_when_inactive(self):
+        bus = EventBus()
+        assert bus.span("vm", "fault") is bus.span("pager", "call")
+
+    def test_span_emits_b_e_pair_with_noted_outcome(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with bus.span("vm", "fault", vaddr=0x1000) as span:
+            span.note(zero_filled=True)
+        begin, end = seen
+        assert (begin.phase, end.phase) == ("B", "E")
+        assert begin.data == {"vaddr": 0x1000}
+        assert end.data == {"zero_filled": True}
+
+    def test_span_records_escaping_exception_as_error(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with pytest.raises(ValueError):
+            with bus.span("pager", "call"):
+                raise ValueError("boom")
+        assert seen[-1].phase == "E"
+        assert seen[-1].data["error"] == "ValueError"
+
+    def test_track_override_stack(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a", "b")
+        bus.push_track("daemon")
+        bus.emit("a", "b")
+        bus.pop_track()
+        bus.emit("a", "b")
+        assert [e.track for e in seen] == ["cpu0", "daemon", "cpu0"]
+
+    def test_recorder_caps_and_counts_drops(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus, capacity=2)
+        for _ in range(5):
+            bus.emit("a", "b")
+        assert len(recorder.events) == 2
+        assert recorder.dropped == 3
+        recorder.detach()
+        bus.emit("a", "b")
+        assert len(recorder.events) == 2
+
+
+# ---------------------------------------------------------------------
+# Zero allocation on the untraced fault path
+# ---------------------------------------------------------------------
+
+class TestZeroAllocation:
+
+    def _counting_event_class(self):
+        class CountingEvent(bus_mod.Event):
+            constructed = 0
+
+            def __init__(self, *args, **kwargs):
+                type(self).constructed += 1
+                super().__init__(*args, **kwargs)
+
+        return CountingEvent
+
+    def test_fault_path_allocates_no_events_untraced(self, kernel,
+                                                     monkeypatch):
+        counting = self._counting_event_class()
+        monkeypatch.setattr(bus_mod, "Event", counting)
+        task = kernel.task_create(name="quiet")
+        addr = task.vm_allocate(4 * kernel.page_size)
+        for i in range(4):
+            task.write(addr + i * kernel.page_size, b"x")
+        child = task.fork()
+        child.write(addr, b"y")
+        assert counting.constructed == 0
+
+    def test_same_path_allocates_once_subscribed(self, kernel,
+                                                 monkeypatch):
+        counting = self._counting_event_class()
+        monkeypatch.setattr(bus_mod, "Event", counting)
+        kernel.events.subscribe(lambda event: None)
+        task = kernel.task_create(name="loud")
+        addr = task.vm_allocate(kernel.page_size)
+        task.write(addr, b"x")
+        assert counting.constructed > 0
+
+
+# ---------------------------------------------------------------------
+# Derived metrics vs. the hand-bumped KernelStats
+# ---------------------------------------------------------------------
+
+class TestMetricsConsistency:
+
+    #: KernelStats fields the registry derives independently from events.
+    FIELDS = ("faults", "cow_faults", "zero_fill_count", "pageins",
+              "pageouts", "reactivations", "messages_sent",
+              "messages_received", "tasks_created", "tasks_terminated")
+
+    def test_derived_counters_equal_kernel_stats(self, tiny_kernel):
+        kernel = tiny_kernel
+        before = {f: getattr(kernel.stats, f) for f in self.FIELDS}
+        metrics = MetricsRegistry().attach(kernel)
+        try:
+            parent = kernel.task_create(name="parent")
+            addr = parent.vm_allocate(16 * kernel.page_size)
+            for i in range(16):
+                parent.write(addr + i * kernel.page_size, b"w")
+            child = parent.fork()
+            for i in range(8):
+                child.write(addr + i * kernel.page_size, b"c")
+            port = Port(name="metrics-port")
+            message = Message(msgh_id=1).add_ool(addr, kernel.page_size)
+            kernel.msg_send(parent, port, message)
+            kernel.msg_receive(child, port)
+            kernel.pageout_daemon.run(
+                target=kernel.vm.resident.physmem.total_frames - 4)
+            for i in range(16):
+                parent.read(addr + i * kernel.page_size, 1)
+            child.terminate()
+        finally:
+            metrics.detach()
+        derived = metrics.derived()
+        for field in self.FIELDS:
+            actual = getattr(kernel.stats, field) - before[field]
+            assert derived[field] == actual, (
+                f"derived {field}={derived[field]} but KernelStats "
+                f"advanced by {actual}")
+        # the workload must actually exercise the counters it checks
+        for field in ("faults", "cow_faults", "pageins", "pageouts",
+                      "messages_sent"):
+            assert derived[field] > 0, f"workload produced no {field}"
+        assert metrics.histograms["fault_latency_us"].count > 0
+        assert "derived counters:" in metrics.summary()
+
+
+# ---------------------------------------------------------------------
+# Exporters: Chrome trace and span reconstruction
+# ---------------------------------------------------------------------
+
+class TestExport:
+
+    def test_chrome_trace_one_lane_per_cpu(self, smp_kernel):
+        kernel = smp_kernel
+        with EventRecorder(kernel.events) as recorder:
+            task = kernel.task_create(name="roamer")
+            addr = task.vm_allocate(4 * kernel.page_size)
+            for cpu in range(4):
+                kernel.set_current_cpu(cpu)
+                task.write(addr + cpu * kernel.page_size, b"x")
+            kernel.set_current_cpu(0)
+        text = chrome_trace_json(recorder.events)
+        assert validate_chrome_trace(text) == []
+        records = json.loads(text)
+        lanes = {r["args"]["name"] for r in records
+                 if r["ph"] == "M" and r["name"] == "thread_name"}
+        assert {"cpu0", "cpu1", "cpu2", "cpu3"} <= lanes
+
+    def test_fault_nests_pager_call_and_disk_read(self, kernel):
+        fs = FileSystem(kernel.machine, nbufs=8)
+        fs.write("/obs/file", b"mach" * (kernel.page_size // 4))
+        fs.buffer_cache.sync()   # dirty blocks would satisfy the
+                                 # pager from cache, hiding the disk
+        task = kernel.task_create(name="reader")
+        with EventRecorder(kernel.events) as recorder:
+            addr = map_file(kernel, task, fs, "/obs/file")
+            task.read(addr, 4)
+        roots = build_spans(recorder.events)
+        faults = [s for s in roots if s.name == "vm/fault"]
+        assert faults, "no fault span reconstructed"
+        fault = faults[0]
+        pager_calls = [c for c in fault.children
+                       if c.name == "pager/call"]
+        assert pager_calls, "fault span has no nested pager/call"
+        disk_reads = [g for g in pager_calls[0].children
+                      if g.name == "disk/read"]
+        assert disk_reads, "pager/call span has no nested disk/read"
+        assert (fault.start_us <= pager_calls[0].start_us
+                <= disk_reads[0].start_us
+                <= disk_reads[0].end_us <= fault.end_us)
+        table = profile(roots)
+        assert "vm/fault" in table and "span" in table
+
+    def test_unmatched_end_events_are_dropped(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("vm", "fault", phase="E")   # attach happened mid-span
+        bus.emit("vm", "fault", phase="B")
+        bus.emit("vm", "fault", phase="E")
+        recorder.detach()
+        assert validate_chrome_trace(
+            chrome_trace_json(recorder.events)) == []
+        roots = build_spans(recorder.events)
+        assert [s.name for s in roots] == ["vm/fault"]
+
+
+# ---------------------------------------------------------------------
+# Deprecation shims for the retired duck-typed hooks
+# ---------------------------------------------------------------------
+
+class _TLBHook:
+    def __init__(self):
+        self.fills = []
+        self.hits = []
+
+    def tlb_fill(self, tag, vpn):
+        self.fills.append((tag, vpn))
+
+    def tlb_hit(self, tag, vpn):
+        self.hits.append((tag, vpn))
+
+    def tlb_drop(self, tag, vpn):
+        pass
+
+    def tlb_range_flushed(self, tag, start, end):
+        pass
+
+    def tlb_pmap_flushed(self, tag):
+        pass
+
+    def tlb_full_flushed(self):
+        pass
+
+
+class TestDeprecatedHookShims:
+
+    def test_tlb_trace_hook_warns_and_forwards(self, kernel):
+        tlb = kernel.machine.boot_cpu.tlb
+        hook = _TLBHook()
+        with pytest.warns(DeprecationWarning):
+            tlb.trace_hook = hook
+        task = kernel.task_create(name="hooked")
+        addr = task.vm_allocate(kernel.page_size)
+        task.write(addr, b"x")
+        task.read(addr, 1)
+        assert hook.fills, "legacy tlb_fill never forwarded"
+        assert tlb.trace_hook is hook
+        with pytest.warns(DeprecationWarning):
+            tlb.trace_hook = None
+        assert tlb.trace_hook is None
+
+    def test_cpu_tick_hook_warns_and_forwards(self, kernel):
+        cpu = kernel.machine.boot_cpu
+        ticks = []
+        with pytest.warns(DeprecationWarning):
+            cpu.tick_hook = lambda: ticks.append(1)
+        kernel.machine.tick_all_timers()
+        assert ticks, "legacy tick_hook never forwarded"
+
+    def test_pmap_race_hook_warns_and_forwards(self, smp_kernel):
+        kernel = smp_kernel
+        shootdowns = []
+
+        def hook(pmap, start, end, strategy, force, actions):
+            shootdowns.append((pmap, start, end))
+
+        with pytest.warns(DeprecationWarning):
+            kernel.pmap_system.race_hook = hook
+        task = kernel.task_create(name="shooter")
+        addr = task.vm_allocate(kernel.page_size)
+        task.write(addr, b"x")
+        task.vm_protect(addr, kernel.page_size, False, VMProt.READ)
+        assert shootdowns, "legacy race_hook never forwarded"
+
+    def test_race_detector_rides_the_bus(self, smp_kernel):
+        from repro.analysis.race import RaceDetector
+        detector = RaceDetector(smp_kernel).install()
+        try:
+            task = smp_kernel.task_create(name="raced")
+            addr = task.vm_allocate(smp_kernel.page_size)
+            task.write(addr, b"x")
+            assert detector.events_timestamped > 0
+        finally:
+            detector.uninstall()
+        # uninstall really unsubscribes: no further events observed
+        count = detector.events_timestamped
+        task.read(addr, 1)
+        assert detector.events_timestamped == count
