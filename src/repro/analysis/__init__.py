@@ -11,7 +11,21 @@
   atomicity lint, ``#: guarded-by`` contract, and a vector-clock
   happens-before checker for TLB shootdown;
 * :mod:`repro.analysis.schedules` — schedule policies (seeded-random,
-  recording/replay) and bounded DFS exploration of interleavings.
+  recording/replay) and bounded DFS exploration of interleavings;
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.flow` — the AST→CFG
+  dataflow framework (exception edges, yield points, forward worklist
+  solver) shared by the flow passes;
+* :mod:`repro.analysis.lifecycle` — resource acquire/release pairing
+  along all paths (swap slots, vm_object references, resident pages,
+  holding maps, port rights);
+* :mod:`repro.analysis.conformance` — pmap MI-contract verifier over
+  the live registry (coverage, signatures, TLB invalidation,
+  reach-around imports);
+* :mod:`repro.analysis.errorpaths` — transient-error call sites must
+  meet the PR 2 retry policy (or carry ``#: no-retry``); broad
+  swallowing excepts in kernel paths are flagged;
+* :mod:`repro.analysis.determinism` — no wall clock / unseeded
+  randomness in replayed simulation code.
 
 Run the static checks via ``python -m repro check``; run the race
 storm via ``python -m repro races``.
@@ -25,6 +39,17 @@ from repro.analysis.invariants import (
     check_tlbs,
     install_sanitizer,
     uninstall_sanitizer,
+)
+from repro.analysis.conformance import (
+    verify_pmap_class,
+    verify_pmap_conformance,
+)
+from repro.analysis.flow import (
+    AnalysisError,
+    Finding,
+    FlowReport,
+    load_baseline,
+    run_flow_passes,
 )
 from repro.analysis.layering import LintViolation, lint_package, lint_source_tree
 from repro.analysis.race import (
@@ -49,7 +74,10 @@ from repro.analysis.schedules import (
 from repro.analysis.sweeps import SweepResult, run_sweeps
 
 __all__ = [
+    "AnalysisError",
     "ExplorationResult",
+    "Finding",
+    "FlowReport",
     "LintViolation",
     "RaceCellResult",
     "RaceDetector",
@@ -72,8 +100,12 @@ __all__ = [
     "lint_package",
     "lint_source_concurrency",
     "lint_source_tree",
+    "load_baseline",
+    "run_flow_passes",
     "run_race_cell",
     "run_races",
     "run_sweeps",
     "uninstall_sanitizer",
+    "verify_pmap_class",
+    "verify_pmap_conformance",
 ]

@@ -1,0 +1,259 @@
+"""Dataflow pass framework: findings, solver, baseline, runner.
+
+This is the shared machinery behind the four flow passes
+(:mod:`~repro.analysis.lifecycle`, :mod:`~repro.analysis.conformance`,
+:mod:`~repro.analysis.errorpaths`, :mod:`~repro.analysis.determinism`):
+
+* :class:`Finding` — one diagnosed problem, printable in the same
+  ``module:line: [rule] message`` shape as the layering lint's
+  :class:`~repro.analysis.layering.LintViolation`;
+* :class:`AnalysisError` — a pass that *crashed* rather than found;
+  ``repro check`` treats these as failures, never as a clean run;
+* :func:`solve_forward` — a generic forward worklist solver over the
+  CFGs built by :mod:`repro.analysis.cfg`;
+* a reviewed-suppression **baseline** (``flow_baseline.txt`` next to
+  this module): triaged false positives are recorded there with a
+  reason instead of silencing the rule globally;
+* :func:`run_flow_passes` — run every registered pass over the source
+  tree, apply the baseline, and collect findings/errors/suppressions
+  into a :class:`FlowReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.cfg import CFG, ENTRY, CFGNode
+from repro.analysis.layering import _module_name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem diagnosed by a flow pass."""
+
+    pass_name: str      # "lifecycle", "conformance", ...
+    module: str         # dotted module, e.g. "repro.pager.swap"
+    lineno: int
+    rule: str           # e.g. "leak-on-exception-path"
+    where: str          # function qualname (or class name), "" if n/a
+    message: str
+
+    def __str__(self) -> str:
+        loc = f" in {self.where}" if self.where else ""
+        return (f"{self.module}:{self.lineno}: [{self.pass_name}/"
+                f"{self.rule}] {self.message}{loc}")
+
+
+@dataclass(frozen=True)
+class AnalysisError:
+    """A pass that crashed.  Reported, never swallowed."""
+
+    pass_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"analysis error: pass {self.pass_name!r} crashed: " \
+               f"{self.message}"
+
+
+@dataclass
+class FlowReport:
+    """Everything one ``repro check`` analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[AnalysisError] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def lines(self) -> list[str]:
+        out = [str(f) for f in self.findings]
+        out += [str(e) for e in self.errors]
+        return out
+
+
+# -- generic forward worklist solver -------------------------------------
+
+#: transfer(node, state) -> (normal-out state, exceptional-out state)
+Transfer = Callable[[CFGNode, object], tuple[object, object]]
+#: join(a, b) -> merged state
+Join = Callable[[object, object], object]
+
+
+def solve_forward(cfg: CFG, init: object, transfer: Transfer,
+                  join: Join, max_iter: int = 10000) -> dict[int, object]:
+    """Run *transfer* to a fixpoint over *cfg*; returns the map of
+    node id -> state *entering* that node (synthetic EXIT/EXC_EXIT
+    included, holding the states that reach them)."""
+    in_states: dict[int, object] = {ENTRY: init}
+    work = deque([ENTRY])
+    iters = 0
+    while work:
+        iters += 1
+        if iters > max_iter:        # belt and braces; lattices are finite
+            raise RuntimeError(f"dataflow did not converge in {max_iter} "
+                               f"iterations")
+        nid = work.popleft()
+        node = cfg.nodes.get(nid)
+        if node is None:
+            continue
+        out_n, out_e = transfer(node, in_states[nid])
+        for succ, out in [(s, out_n) for s in node.succ] + \
+                         [(s, out_e) for s in node.exc]:
+            if succ in in_states:
+                merged = join(in_states[succ], out)
+                if merged == in_states[succ]:
+                    continue
+                in_states[succ] = merged
+            else:
+                in_states[succ] = out
+            if succ in cfg.nodes:
+                work.append(succ)
+    return in_states
+
+
+# -- source-tree walking --------------------------------------------------
+
+def _source_root(root: Optional[Path]) -> Path:
+    if root is not None:
+        return Path(root)
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_source_modules(root: Optional[Path] = None,
+                        package: str = "repro"
+                        ) -> Iterable[tuple[str, Path, ast.AST]]:
+    """Yield ``(dotted module, path, parsed AST)`` for every source
+    file under *root* (the installed ``repro`` package by default)."""
+    base = _source_root(root)
+    for path in sorted(base.rglob("*.py")):
+        module = _module_name(base, path, package)
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:     # pragma: no cover - tree is valid
+            raise RuntimeError(f"cannot parse {path}: {exc}") from exc
+        yield module, path, tree
+
+
+# -- baseline (reviewed suppressions) ------------------------------------
+
+BASELINE_FILE = Path(__file__).with_name("flow_baseline.txt")
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed suppression: ``rule | module | where | reason``."""
+
+    rule: str
+    module: str
+    where: str        # function qualname, or "*" for the whole module
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (self.rule == f"{finding.pass_name}/{finding.rule}"
+                and self.module == finding.module
+                and (self.where == "*" or self.where == finding.where))
+
+
+def load_baseline(path: Optional[Path] = None) -> list[BaselineEntry]:
+    """Parse the reviewed-suppression baseline file."""
+    path = path or BASELINE_FILE
+    entries: list[BaselineEntry] = []
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4:
+            raise ValueError(f"malformed baseline line: {raw!r} "
+                             f"(want 'rule | module | where | reason')")
+        entries.append(BaselineEntry(*parts))
+    return entries
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: Iterable[BaselineEntry]
+                   ) -> tuple[list[Finding], list[tuple[Finding, str]]]:
+    """Split *findings* into (kept, suppressed-with-reason)."""
+    baseline = list(baseline)
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for finding in findings:
+        for entry in baseline:
+            if entry.matches(finding):
+                suppressed.append((finding, entry.reason))
+                break
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+# -- pass registry + runner ----------------------------------------------
+
+#: A pass takes (root, package) and returns findings.
+FlowPass = Callable[[Optional[Path], str], list[Finding]]
+
+
+def _registered_passes() -> dict[str, FlowPass]:
+    # Imported lazily so a crash importing one pass is reported as an
+    # AnalysisError for that pass, not an ImportError killing check.
+    from repro.analysis import conformance, determinism, errorpaths
+    from repro.analysis import lifecycle
+    return {
+        "lifecycle": lifecycle.run_pass,
+        "conformance": conformance.run_pass,
+        "errorpaths": errorpaths.run_pass,
+        "determinism": determinism.run_pass,
+    }
+
+
+FLOW_PASS_NAMES = ("lifecycle", "conformance", "errorpaths",
+                   "determinism")
+
+
+def run_flow_passes(root: Optional[Path] = None, package: str = "repro",
+                    passes: Optional[Iterable[str]] = None,
+                    baseline: Optional[Path] = None) -> FlowReport:
+    """Run the flow passes over the source tree and apply the baseline.
+
+    A pass that raises is recorded as an :class:`AnalysisError` — the
+    report is then *not* clean, which is what ``repro check``'s exit
+    code keys off.  Findings matching a reviewed baseline entry are
+    moved to ``report.suppressed`` with the recorded reason.
+    """
+    report = FlowReport()
+    try:
+        registry = _registered_passes()
+        entries = load_baseline(baseline)
+    except Exception as exc:
+        report.errors.append(AnalysisError(
+            "flow", f"{type(exc).__name__}: {exc}"))
+        return report
+    names = tuple(passes) if passes is not None else FLOW_PASS_NAMES
+    for name in names:
+        run = registry.get(name)
+        if run is None:
+            report.errors.append(AnalysisError(
+                name, f"unknown pass (known: {sorted(registry)})"))
+            continue
+        try:
+            found = run(root, package)
+        except Exception as exc:
+            tb = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            report.errors.append(AnalysisError(name, tb))
+            continue
+        kept, suppressed = apply_baseline(found, entries)
+        report.findings.extend(kept)
+        report.suppressed.extend(suppressed)
+    report.findings.sort(key=lambda f: (f.module, f.lineno, f.rule))
+    return report

@@ -1,0 +1,76 @@
+"""Wall-clock performance of the simulator itself.
+
+The paper's tables (:mod:`repro.bench.workloads`) report *simulated*
+time off the machine clock; this module instead times the simulator's
+own Python hot paths with :func:`time.perf_counter`, so a regression
+in the fault handler, the pmap layer, or the invariant sweeps shows up
+as real seconds.  ``repro bench --json`` writes the result as a JSON
+document (the repo's ``BENCH_<pr>.json`` series).
+
+Two numbers:
+
+* **fault microbench** — forget/refault churn: every mapping of a
+  warmed region is dropped through :meth:`Pmap.forget` (the "pmap may
+  forget" half of the MD/MI contract) and then rebuilt by fresh
+  faults, timing the whole MI fault path + MD enter path;
+* **invariant-sweep wall-clock** — how long ``repro check``'s runtime
+  sweeps take, the dominant cost of the CI gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.testing import make_spec
+
+
+def _fault_microbench(rounds: int, pages: int) -> dict:
+    from repro.core.kernel import MachKernel
+
+    kernel = MachKernel(make_spec(memory_frames=pages * 4))
+    task = kernel.task_create(name="perf")
+    page = kernel.page_size
+    addr = task.vm_allocate(pages * page)
+    for off in range(0, pages * page, page):
+        task.write(addr + off, b"warm")     # materialize (zero fill)
+
+    faults_before = kernel.stats.faults
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for off in range(0, pages * page, page):
+            task.pmap.forget(addr + off)
+        for off in range(0, pages * page, page):
+            task.read(addr + off, 1)        # refault: rebuild mapping
+    wall_s = time.perf_counter() - start
+    faults = kernel.stats.faults - faults_before
+    return {
+        "rounds": rounds,
+        "pages": pages,
+        "faults": faults,
+        "wall_s": round(wall_s, 6),
+        "faults_per_s": round(faults / wall_s, 1) if wall_s else None,
+    }
+
+
+def _sweep_wallclock(quick: bool) -> dict:
+    from repro.analysis import run_sweeps
+
+    start = time.perf_counter()
+    results = run_sweeps(archs=["generic"] if quick else None)
+    wall_s = time.perf_counter() - start
+    return {
+        "cells": len(results),
+        "ok": all(r.ok for r in results),
+        "wall_s": round(wall_s, 6),
+    }
+
+
+def run_perf_bench(quick: bool = False) -> dict:
+    """Run both wall-clock benchmarks; returns a JSON-ready dict."""
+    rounds, pages = (3, 8) if quick else (20, 32)
+    return {
+        "bench": "simulator-wallclock",
+        "quick": quick,
+        "fault_microbench": _fault_microbench(rounds, pages),
+        "invariant_sweeps": _sweep_wallclock(quick),
+    }

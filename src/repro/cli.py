@@ -7,7 +7,9 @@ Commands:
 * ``demo [--machine NAME]`` — run the core-mechanism walkthrough
   (allocate, fault, COW fork, sharing, statistics) on a chosen machine;
 * ``bench [--table {7-1,7-2}] [--quick]`` — regenerate the paper's
-  evaluation tables;
+  evaluation tables; ``bench --json [--out FILE]`` instead times the
+  simulator's own hot paths (forget/refault fault microbench +
+  invariant-sweep wall-clock) and writes a JSON report;
 * ``fault-trace [--machine NAME]`` — narrate every step of a single
   copy-on-write fault, for teaching (including the event-bus span tree
   of the fault);
@@ -17,9 +19,13 @@ Commands:
   (loadable in Perfetto / ``chrome://tracing``, one lane per simulated
   CPU plus daemon/pager lanes), a derived-metrics summary, or the
   nested span tree with a top-N self-time profile;
-* ``check [--lint-only]`` — run the MD/MI layering lint over the
-  source tree, then the runtime invariant sweeps on all five pmap
-  architectures (see :mod:`repro.analysis`);
+* ``check [--lint-only] [--report FILE]`` — run the static analyses
+  over the source tree (MD/MI layering lint, concurrency lint, and
+  the four dataflow passes: resource lifecycle, pmap MI-contract
+  conformance, error-path completeness, determinism), then the
+  runtime invariant sweeps on all five pmap architectures (see
+  :mod:`repro.analysis`); a crashing analysis is reported as an
+  analysis error, never as a clean tree;
 * ``faultsweep [--quick] [--seed N]`` — the fault-injection survival
   matrix: errant pagers, flaky disks and lossy IPC against every pmap
   architecture (see :mod:`repro.inject`);
@@ -276,7 +282,29 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench``: regenerate evaluation tables."""
+    """``repro bench``: regenerate evaluation tables, or (``--json``)
+    time the simulator's own hot paths."""
+    if args.json:
+        import json
+
+        from repro.bench import run_perf_bench
+
+        payload = run_perf_bench(quick=args.quick)
+        out = args.out or "BENCH_6.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        fault = payload["fault_microbench"]
+        sweep = payload["invariant_sweeps"]
+        print(f"fault microbench: {fault['faults']} faults in "
+              f"{fault['wall_s']:.3f}s "
+              f"({fault['faults_per_s']:.0f} faults/s)")
+        print(f"invariant sweeps: {sweep['cells']} cells in "
+              f"{sweep['wall_s']:.3f}s "
+              f"({'ok' if sweep['ok'] else 'FAILED'})")
+        print(f"wrote {out}")
+        return 0 if sweep["ok"] else 1
+
     from repro.bench import (
         BsdSUT, FORK_TEST_PROGRAM, MachSUT, SunOsSUT,
         THIRTEEN_PROGRAMS, Table, fmt_sys_elapsed, measure_fork,
@@ -339,25 +367,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``repro check``: static lints, then invariant sweeps."""
+    """``repro check``: static analysis, then invariant sweeps."""
     from repro.analysis import (
+        FlowReport,
         lint_source_concurrency,
         lint_source_tree,
+        run_flow_passes,
         run_sweeps,
     )
+    from repro.analysis.flow import FLOW_PASS_NAMES
     from repro.analysis.sweeps import SWEEP_ARCHS
 
+    problems: list[str] = []     # findings + analysis errors (--report)
+
+    def guarded(label, lint):
+        # A crashing analysis is itself a finding: reporting the tree
+        # clean because the checker died would be lying.
+        try:
+            return lint()
+        except Exception as exc:
+            problems.append(f"analysis error: {label} crashed: {exc!r}")
+            return []
+
     print("layering lint: checking the MD/MI import contract ...")
-    violations = lint_source_tree()
+    violations = guarded("layering lint", lint_source_tree)
     print("concurrency lint: may-yield atomicity + guarded-by "
           "contract ...")
-    violations += lint_source_concurrency()
-    if violations:
-        for violation in violations:
-            print(f"  {violation}")
-        print(f"lint: {len(violations)} violation(s)")
+    violations += guarded("concurrency lint", lint_source_concurrency)
+    print("flow passes: " + ", ".join(FLOW_PASS_NAMES) + " ...")
+    try:
+        flow = run_flow_passes()
+    except Exception as exc:
+        problems.append(f"analysis error: flow passes crashed: {exc!r}")
+        flow = FlowReport((), (), ())
+
+    problems += [str(v) for v in violations]
+    problems += [str(f) for f in flow.findings]
+    problems += [f"analysis error: {e.pass_name} pass crashed: "
+                 f"{e.message}" for e in flow.errors]
+    for line in problems:
+        print(f"  {line}")
+    suffix = (f" ({len(flow.suppressed)} reviewed suppression(s))"
+              if flow.suppressed else "")
+    print(f"lint: {len(problems)} problem(s){suffix}" if problems
+          else f"lint: clean{suffix}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(problems) + "\n" if problems else "")
+        print(f"wrote {len(problems)} finding line(s) to {args.report}")
+    if problems:
         return 1
-    print("lint: clean")
     if args.lint_only:
         return 0
 
@@ -490,11 +549,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table", choices=["7-1", "7-2"])
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads")
+    bench.add_argument("--json", action="store_true",
+                       help="time the simulator's own hot paths "
+                            "(fault microbench + sweep wall-clock) "
+                            "and write a JSON report")
+    bench.add_argument("--out",
+                       help="output file for --json "
+                            "(default BENCH_6.json)")
 
     check = sub.add_parser(
-        "check", help="layering lint + runtime invariant sweeps")
+        "check", help="static analysis + runtime invariant sweeps")
     check.add_argument("--lint-only", action="store_true",
-                       help="run only the static import lint")
+                       help="run only the static analyses (no sweeps)")
+    check.add_argument("--report",
+                       help="also write findings/analysis errors to "
+                            "this file (one per line; empty when "
+                            "clean)")
     check.add_argument("--arch", choices=["generic", "vax", "rt_pc",
                                           "sun3", "ns32082"],
                        help="sweep a single pmap architecture")

@@ -222,12 +222,19 @@ def _find_page(kernel, first_object, first_offset: int,
         # (4b) Bottom of the chain: zero fill, in the *first* object so
         # the page is immediately private to it.
         page = vm.resident.allocate(first_object, first_offset, busy=True)
-        vm.pmap_system.zero_page(page.phys_addr)
-        outcome.zero_filled = True
-        kernel.stats.zero_fill_count += 1
-        kernel.events.emit("vm", "zero_fill",
-                           object_id=first_object.object_id,
-                           offset=first_offset)
+        try:
+            vm.pmap_system.zero_page(page.phys_addr)
+            outcome.zero_filled = True
+            kernel.stats.zero_fill_count += 1
+            kernel.events.emit("vm", "zero_fill",
+                               object_id=first_object.object_id,
+                               offset=first_offset)
+        except Exception:
+            # Never strand a busy page off every queue (even for an
+            # errant event subscriber): the frame would be
+            # unreclaimable for the rest of the run.
+            vm.resident.free(page)
+            raise
         return page, 0
 
 
@@ -236,12 +243,18 @@ def _copy_up(kernel, source: VMPage, first_object, first_offset: int):
     "a new page accessible only to the writing task must be allocated
     into which the modifications are placed" (Section 3.4)."""
     vm = kernel.vm
-    new_page = vm.resident.allocate(first_object, first_offset, busy=True)
-    vm.pmap_system.copy_page(source.phys_addr, new_page.phys_addr)
-    new_page.modified = True
     # The source page keeps serving other readers; make sure it is on a
-    # queue appropriate to recent use.
+    # queue appropriate to recent use (done first so a failed copy
+    # below leaves the source properly queued).
     vm.resident.activate(source)
+    new_page = vm.resident.allocate(first_object, first_offset, busy=True)
+    try:
+        vm.pmap_system.copy_page(source.phys_addr, new_page.phys_addr)
+    except Exception:
+        # A failed copy must not strand the busy destination page.
+        vm.resident.free(new_page)
+        raise
+    new_page.modified = True
     return new_page
 
 

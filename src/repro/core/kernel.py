@@ -254,10 +254,16 @@ class MachKernel:
         self.clock.charge(self.machine.costs.syscall_us)
         size = round_page(size, self.page_size)
         obj = self.vm.objects.create_for_pager(pager, offset + size)
-        self._pager_init(pager, obj)
-        return task.vm_map.allocate(size, address=address,
-                                    anywhere=anywhere,
-                                    vm_object=obj, offset=offset)
+        try:
+            self._pager_init(pager, obj)
+            return task.vm_map.allocate(size, address=address,
+                                        anywhere=anywhere,
+                                        vm_object=obj, offset=offset)
+        except Exception:
+            # A failed init/allocate must drop the reference the
+            # object manager handed us, or the object lives forever.
+            self.vm.objects.deallocate(obj)
+            raise
 
     def _pager_init(self, pager, obj) -> None:
         """Table 3-1 ``pager_init``: tell the pager about its object's
@@ -605,11 +611,18 @@ class MachKernel:
                                   is not None):
                 continue
             page = self.vm.resident.allocate(obj, off, busy=True)
-            self.clock.charge(self.machine.costs.copy_cost(page_size))
-            chunk = data[off - base:off - base + page_size]
-            self.machine.physmem.write(page.phys_addr, chunk)
-            page.modified = False
-            page.page_lock = self._pager_lock_value(obj, off)
+            try:
+                self.clock.charge(self.machine.costs.copy_cost(page_size))
+                chunk = data[off - base:off - base + page_size]
+                self.machine.physmem.write(page.phys_addr, chunk)
+                page.modified = False
+                page.page_lock = self._pager_lock_value(obj, off)
+            except Exception:
+                # The pager-lock query goes back to the pager and can
+                # fail; a busy page stranded off every queue would pin
+                # its frame for the rest of the run.
+                self.vm.resident.free(page)
+                raise
             # The fill is complete (the simulation is single-threaded,
             # so the busy window closes before anyone else can look).
             page.busy = False
@@ -714,7 +727,14 @@ class MachKernel:
         for region in message.ool:
             size = round_page(region.size, self.page_size)
             holder = AddressMap(self.vm, 0, size, pmap=None)
-            task.vm_map.copy_region(region.address, size, holder, 0)
+            try:
+                task.vm_map.copy_region(region.address, size, holder, 0)
+            except Exception:
+                # A failed snapshot must tear down the partially built
+                # holding map (and the object references its entries
+                # already took), or they leak un-receivable.
+                holder.destroy()
+                raise
             region.holding = holder
             self._ool_in_flight[id(holder)] = holder
             if region.deallocate:

@@ -40,6 +40,9 @@ class BufferCache:
         while len(self._cache) >= self.nbufs:
             victim, data = self._cache.popitem(last=False)
             if victim in self._dirty:
+                #: no-retry — a failed writeback surfaces to the syscall
+                #: that forced the eviction; the block stays dirty-lost
+                #: like 4.3bsd's bwrite on a bad sector.
                 self.disk.write_block(victim, bytes(data))
                 self._dirty.discard(victim)
                 self.writebacks += 1
@@ -58,6 +61,8 @@ class BufferCache:
         self.misses += 1
         self.machine.events.emit("fs", "cache_miss", block=block,
                                  op="read")
+        #: no-retry — a miss-path medium error propagates to the
+        #: reading syscall; retry policy belongs to the caller.
         data = self.disk.read_block(block)
         self._evict_for_space()
         self._cache[block] = bytearray(data)
@@ -106,6 +111,8 @@ class BufferCache:
         """Flush every dirty buffer; returns the number written."""
         flushed = 0
         for block in sorted(self._dirty):
+            #: no-retry — sync reports the first failure to its caller
+            #: (fsync semantics); unsynced blocks simply stay dirty.
             self.disk.write_block(block, bytes(self._cache[block]))
             flushed += 1
             self.writebacks += 1

@@ -155,6 +155,8 @@ class FileSystem:
             block = inode.bmap(cursor, bs)
             data = self.buffer_cache.peek_dirty(block)
             if data is None:
+                #: no-retry — direct reads feed pager data_request,
+                #: which the kernel's _call_pager funnel retries.
                 data = self.disk.read_block(block)
             in_block = cursor % bs
             take = min(bs - in_block, size - len(out))
@@ -173,12 +175,18 @@ class FileSystem:
             block = inode.bmap(cursor, bs)
             in_block = cursor % bs
             chunk = remaining[:bs - in_block]
+            # write_direct serves pager data_write: a DiskIOError keeps
+            # the page dirty upstream and the kernel's _call_pager
+            # funnel retries the whole pageout, so no retry here.
             if len(chunk) < bs:
-                merged = bytearray(self.buffer_cache.peek_dirty(block)
-                                   or self.disk.read_block(block))
+                merged = bytearray(
+                    self.buffer_cache.peek_dirty(block)
+                    or self.disk.read_block(block))  #: no-retry (funnel)
                 merged[in_block:in_block + len(chunk)] = chunk
+                #: no-retry — pageout retried by the kernel funnel.
                 self.disk.write_block(block, bytes(merged))
             else:
+                #: no-retry — pageout retried by the kernel funnel.
                 self.disk.write_block(block, chunk)
             # The direct write bypassed the buffer cache: drop any
             # (now stale) cached copy so future reads see the disk.

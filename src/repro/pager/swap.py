@@ -42,13 +42,25 @@ class SwapSpace:
         self.machine.clock.wait(costs.disk_seek_us + costs.disk_block_us)
 
     def write_slot(self, data: bytes, slot: Optional[int] = None) -> int:
-        """Store one page; returns its slot (reusing *slot* if given)."""
-        if slot is None:
+        """Store one page; returns its slot (reusing *slot* if given).
+
+        A failed write returns a freshly allocated slot to the free
+        pool (same contract as :meth:`FileBackedSwap.write_slot`):
+        repeated pageout attempts against a faulty disk must not leak
+        swap space.
+        """
+        fresh = slot is None
+        if fresh:
             if not self._free:
                 raise ResourceShortageError("swap space exhausted")
             slot = self._free.pop()
-        self._charge_transfer()
-        self._store[slot] = bytes(data)
+        try:
+            self._charge_transfer()
+            self._store[slot] = bytes(data)
+        except Exception:
+            if fresh:
+                self._free.append(slot)
+            raise
         self.writes += 1
         return slot
 
@@ -101,13 +113,15 @@ class FileBackedSwap(SwapSpace):
         pool — repeated pageout attempts against a faulty disk must
         not leak swap space.
         """
+        # Normalize before allocating: a surprise in the data must not
+        # cost a slot.
+        data = bytes(data)[:self.slot_size]
         fresh = slot is None
         if fresh:
             if not self._free:
                 from repro.core.errors import ResourceShortageError
                 raise ResourceShortageError("swap file full")
             slot = self._free.pop()
-        data = bytes(data)[:self.slot_size]
         try:
             self.fs.write_direct(self.inode, slot * self.slot_size, data)
         except Exception:
@@ -123,5 +137,7 @@ class FileBackedSwap(SwapSpace):
         if slot not in self._store:
             raise KeyError(f"swap slot {slot} not in use")
         self.reads += 1
+        #: no-retry — slot reads serve pagein data_requests, which the
+        #: kernel's _call_pager funnel retries with backoff.
         return self.fs.read_direct(self.inode, slot * self.slot_size,
                                    self.slot_size)

@@ -58,6 +58,8 @@ class VnodePager(PagerProtocol):
         if offset >= self.inode.size:
             return UNAVAILABLE
         self.pageins += 1
+        #: no-retry — data_request sites are retried by the kernel's
+        #: _call_pager funnel; retrying here would compound backoff.
         return self.fs.read_direct(self.inode, offset, length)
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
@@ -68,6 +70,8 @@ class VnodePager(PagerProtocol):
         and retries the pageout later.
         """
         self.pageouts += 1
+        #: no-retry — on failure the kernel keeps the page dirty and
+        #: retries the whole pageout via the _call_pager funnel.
         self.fs.write_direct(self.inode, offset, data)
 
     def has_data(self, obj, offset: int) -> bool:

@@ -16,6 +16,10 @@ The inverted table is shared by every pmap of the machine (kept in
 already mapped by another (pmap, vaddr) *steals* that mapping — the
 loser refaults on its next touch.  ``alias_steals`` counts these events
 for the Section 5.1 ablation benchmark.
+
+Conformance to the MI contract (Tables 3-3/3-4: coverage, signatures,
+shootdown-on-mutation, no reach-around imports) is verified statically
+by ``repro.analysis.conformance`` on every ``repro check`` run.
 """
 
 from __future__ import annotations

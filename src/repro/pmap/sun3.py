@@ -13,6 +13,10 @@ one of the (typically 8) hardware contexts.  A pmap without a context
 has *no* hardware mappings; giving its context to another task wipes its
 translations, so its pages must refault in.  ``context_steals`` counts
 those evictions for the Section 5.1 ablation benchmark.
+
+Conformance to the MI contract (Tables 3-3/3-4: coverage, signatures,
+shootdown-on-mutation, no reach-around imports) is verified statically
+by ``repro.analysis.conformance`` on every ``repro check`` run.
 """
 
 from __future__ import annotations

@@ -23,6 +23,10 @@ VAC discipline:
 Flushes are charged per page on the machine clock and counted in
 ``vac_flushes`` so the overhead is measurable (see
 ``benchmarks/test_ablation_vac.py``).
+
+Conformance to the MI contract (Tables 3-3/3-4: coverage, signatures,
+shootdown-on-mutation, no reach-around imports) is verified statically
+by ``repro.analysis.conformance`` on every ``repro check`` run.
 """
 
 from __future__ import annotations

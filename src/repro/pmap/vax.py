@@ -16,6 +16,10 @@ sparse set of *page-table pages* (128 PTEs each); a PT page exists only
 while it holds at least one valid PTE, and the peak count is exported so
 the space-saving claim can be benchmarked
 (``benchmarks/bench_ablation_vax_ptspace.py``).
+
+Conformance to the MI contract (Tables 3-3/3-4: coverage, signatures,
+shootdown-on-mutation, no reach-around imports) is verified statically
+by ``repro.analysis.conformance`` on every ``repro check`` run.
 """
 
 from __future__ import annotations

@@ -198,11 +198,17 @@ class UnixSystem:
         if program.data_size:
             obj = kernel.vm.objects.create_for_pager(
                 pager, program.image_size)
-            kernel._pager_init(pager, obj)
-            task.vm_map.allocate(
-                program.data_size, address=data_base, anywhere=False,
-                vm_object=obj, offset=program.text_size,
-                needs_copy=True)
+            try:
+                kernel._pager_init(pager, obj)
+                task.vm_map.allocate(
+                    program.data_size, address=data_base, anywhere=False,
+                    vm_object=obj, offset=program.text_size,
+                    needs_copy=True)
+            except Exception:
+                # Failed init/allocate: drop the manager's reference
+                # so the half-built image does not pin the object.
+                kernel.vm.objects.deallocate(obj)
+                raise
             proc.regions["data"] = (data_base, program.data_size)
 
         # Uninitialized data (bss): zero fill.
@@ -261,7 +267,12 @@ class UnixSystem:
         inode = self.fs.lookup(path)
         obj = self.kernel.vm.objects.create_for_pager(
             pager, round_page(max(inode.size, 1), self.page_size))
-        self.kernel._pager_init(pager, obj)
+        try:
+            self.kernel._pager_init(pager, obj)
+        except Exception:
+            # The caller never saw the reference; drop it here.
+            self.kernel.vm.objects.deallocate(obj)
+            raise
         return obj, inode
 
     def read_file(self, proc: UnixProcess, path: str,
@@ -337,13 +348,20 @@ class UnixSystem:
                 if vm_page is None:
                     vm_page = kernel.vm.resident.allocate(
                         obj, page_off, busy=True)
-                    kernel.vm.pmap_system.zero_page(vm_page.phys_addr)
+                    try:
+                        kernel.vm.pmap_system.zero_page(vm_page.phys_addr)
+                    except Exception:
+                        # Do not strand the busy page off every queue.
+                        kernel.vm.resident.free(vm_page)
+                        raise
                 vm_page.busy = False
+                # Queue the page before touching its contents: if the
+                # copy below fails, the page is still reclaimable.
+                kernel.vm.resident.activate(vm_page)
                 kernel.clock.charge(costs.byte_copy_cost(len(chunk)))
                 kernel.machine.physmem.write(
                     vm_page.phys_addr + in_page, chunk)
                 vm_page.modified = True
-                kernel.vm.resident.activate(vm_page)
                 cursor += len(chunk)
                 remaining = remaining[len(chunk):]
             if sync:

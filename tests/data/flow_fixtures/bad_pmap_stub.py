@@ -1,0 +1,28 @@
+"""A deliberately nonconforming pmap for the conformance-pass tests.
+
+Imported live (the conformance verifier inspects real classes), but
+never registered outside the test that loads it.  Three contract
+violations on purpose:
+
+* ``remove`` mutates mappings without ``super().remove()`` or a
+  ``shootdown`` call — the pmap would *lie* to other TLBs;
+* ``protect`` renames the interface's positional parameters;
+* ``enter`` grows an extra parameter with no default, which MI call
+  sites could never supply.
+"""
+
+from repro.pmap.generic import GenericPmap
+
+
+class BadPmap(GenericPmap):
+    def remove(self, start, end, shoot=True):
+        # Drops the mappings behind the MI layer's back: no super()
+        # delegation, no shootdown.  Stale TLB entries survive.
+        for vaddr in range(start, end, self.page_size):
+            self._hw_remove(vaddr)
+
+    def protect(self, begin, finish, prot):
+        return super().protect(begin, finish, prot)
+
+    def enter(self, vaddr, paddr, prot, wired, color):
+        return super().enter(vaddr, paddr, prot, wired)

@@ -1,0 +1,14 @@
+"""Known-bad input for the lifecycle pass: the cleanup handler frees
+the same resident page twice.  Parsed, never imported."""
+
+
+class Cleaner:
+    def clean(self, obj, offset):
+        page = self.vm.resident.allocate(obj, offset, busy=True)
+        try:
+            self.pmap_system.copy_page(page.phys_addr, 0)
+        except Exception:
+            self.vm.resident.free(page)
+            self.vm.resident.free(page)
+            raise
+        self.vm.resident.activate(page)

@@ -1,0 +1,21 @@
+"""Pinned PRE-FIX snapshot of ``repro.pager.swap`` (PR 2's swap-slot
+leak, fixed in PR 3): normalizing the data *after* popping a free slot
+means a surprise in ``bytes(data)`` — or a failed ``write_direct`` —
+drops the freshly allocated slot on the floor.  The lifecycle pass must
+keep reproducing this as a true positive forever.
+
+This file is test data: it is parsed, never imported.
+"""
+
+
+class FileBackedSwap:
+    def write_slot(self, data, slot=None):
+        if slot is None:
+            if not self._free:
+                raise ResourceShortageError("swap file full")
+            slot = self._free.pop()
+        data = bytes(data)[:self.slot_size]
+        self.fs.write_direct(self.inode, slot * self.slot_size, data)
+        self._store[slot] = True
+        self.writes += 1
+        return slot

@@ -1,0 +1,14 @@
+"""Known-bad input for the error-path pass: one transient-raising call
+site with no retry handling and no annotation, and one broad handler
+that swallows the whole failure taxonomy.  Parsed, never imported."""
+
+
+class SloppyPager:
+    def data_request(self, obj, offset, length):
+        return self.fs.read_direct(self.inode, offset, length)
+
+    def drain(self):
+        try:
+            self.fs.write_direct(self.inode, 0, b"")
+        except Exception:
+            pass

@@ -1,0 +1,12 @@
+"""Known-bad input for the determinism pass: wall-clock reads and
+unseeded randomness in what pretends to be simulation code.  Parsed,
+never imported."""
+
+import random
+import time
+
+
+def sample_latency():
+    start = time.perf_counter()
+    jitter = random.random()
+    return start + jitter

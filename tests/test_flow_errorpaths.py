@@ -1,0 +1,90 @@
+"""The error-path completeness pass: transient call sites need the
+retry funnel, a catching try, or a reviewed ``#: no-retry``."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.errorpaths import check_module
+
+FIXTURES = Path(__file__).parent / "data" / "flow_fixtures"
+
+
+def _findings(source: str):
+    source = textwrap.dedent(source)
+    return check_module("inline", ast.parse(source),
+                        source.splitlines())
+
+
+class TestKnownBad:
+    def test_fixture_has_both_rules(self):
+        source = (FIXTURES / "swallowed_transient.py").read_text()
+        findings = check_module("fixture.swallowed_transient",
+                                ast.parse(source), source.splitlines())
+        rules = {(f.rule, f.where) for f in findings}
+        assert ("unhandled-transient",
+                "SloppyPager.data_request") in rules
+        assert ("bare-except", "SloppyPager.drain") in rules
+
+    def test_unprotected_transient_site_flagged(self):
+        findings = _findings("""
+            def pump(fs, inode):
+                return fs.read_direct(inode, 0, 4096)
+        """)
+        assert [f.rule for f in findings] == ["unhandled-transient"]
+        assert "_call_pager" in findings[0].message
+
+
+class TestProtections:
+    def test_catching_try_protects(self):
+        assert _findings("""
+            def pump(fs, inode):
+                try:
+                    return fs.read_direct(inode, 0, 4096)
+                except DiskIOError:
+                    raise
+        """) == []
+
+    def test_call_pager_funnel_protects(self):
+        assert _findings("""
+            def pump(kernel, pager, obj):
+                return kernel._call_pager(
+                    pager, "data_request",
+                    lambda: pager.data_request(obj, 0, 4096))
+        """) == []
+
+    def test_same_line_annotation(self):
+        assert _findings("""
+            def pump(fs, inode):
+                return fs.read_direct(inode, 0, 4096)  #: no-retry x
+        """) == []
+
+    def test_comment_block_annotation(self):
+        assert _findings("""
+            def pump(fs, inode):
+                #: no-retry — the caller owns the retry policy; a
+                #: DiskIOError here surfaces to the faulting syscall.
+                return fs.read_direct(inode, 0, 4096)
+        """) == []
+
+    def test_annotation_does_not_leak_past_code(self):
+        findings = _findings("""
+            def pump(fs, inode):
+                #: no-retry — covers only the next call.
+                first = fs.read_direct(inode, 0, 4096)
+                return fs.read_direct(inode, 4096, 4096)
+        """)
+        assert len(findings) == 1
+        assert findings[0].lineno == 5
+
+    def test_reraising_broad_handler_is_fine(self):
+        assert _findings("""
+            def pump(fs, inode):
+                try:
+                    return fs.read_direct(inode, 0, 4096)
+                except Exception:
+                    fs.log("failed")
+                    raise
+        """) == []

@@ -1,0 +1,120 @@
+"""The flow-pass runner: the shipped tree stays clean, baselines are
+reviewed decisions, and a crashing pass is an analysis error — never a
+silently clean run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.flow import (
+    BaselineEntry, Finding, apply_baseline, load_baseline,
+    run_flow_passes,
+)
+from repro.cli import main
+
+
+class TestCleanTree:
+    def test_shipped_tree_is_clean(self):
+        report = run_flow_passes()
+        assert report.findings == []
+        assert report.errors == []
+        assert report.clean
+
+    def test_suppressions_are_reviewed(self):
+        """Every baseline entry that fires carries a written reason."""
+        report = run_flow_passes()
+        assert report.suppressed        # the two triaged FPs
+        for finding, reason in report.suppressed:
+            assert isinstance(finding, Finding)
+            assert len(reason) > 20
+
+    def test_no_stale_baseline_entries(self):
+        """Entries that no longer match anything should be deleted."""
+        report = run_flow_passes()
+        fired = {(f.pass_name + "/" + f.rule, f.module)
+                 for f, _ in report.suppressed}
+        for entry in load_baseline():
+            assert (entry.rule, entry.module) in fired, \
+                f"stale baseline entry: {entry}"
+
+
+class TestCrashHandling:
+    def test_crashing_pass_becomes_analysis_error(self, monkeypatch):
+        import repro.analysis.lifecycle as lifecycle
+
+        def boom(root=None, package="repro"):
+            raise RuntimeError("pass exploded")
+
+        monkeypatch.setattr(lifecycle, "run_pass", boom)
+        report = run_flow_passes(passes=["lifecycle"])
+        assert not report.clean
+        (err,) = report.errors
+        assert err.pass_name == "lifecycle"
+        assert "pass exploded" in err.message
+
+    def test_unknown_pass_is_an_error(self):
+        report = run_flow_passes(passes=["mystery"])
+        assert not report.clean
+        assert "unknown pass" in report.errors[0].message
+
+    def test_crash_fails_repro_check(self, monkeypatch, capsys):
+        import repro.analysis.lifecycle as lifecycle
+
+        def boom(root=None, package="repro"):
+            raise RuntimeError("pass exploded")
+
+        monkeypatch.setattr(lifecycle, "run_pass", boom)
+        assert main(["check", "--lint-only"]) == 1
+        out = capsys.readouterr().out
+        assert "analysis error" in out
+        assert "lint: clean" not in out
+
+
+class TestBaseline:
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text("rule-without-fields\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(path)
+
+    def test_apply_splits_on_match(self):
+        finding = Finding("lifecycle", "m", 3, "leak-on-return",
+                          "C.f", "leak")
+        other = Finding("lifecycle", "m", 9, "double-release",
+                        "C.g", "boom")
+        entry = BaselineEntry("lifecycle/leak-on-return", "m", "C.f",
+                              "reviewed: fine")
+        kept, suppressed = apply_baseline([finding, other], [entry])
+        assert kept == [other]
+        assert suppressed == [(finding, "reviewed: fine")]
+
+    def test_wildcard_where(self):
+        finding = Finding("determinism", "m", 1, "wall-clock", "f", "x")
+        entry = BaselineEntry("determinism/wall-clock", "m", "*", "ok")
+        kept, suppressed = apply_baseline([finding], [entry])
+        assert kept == [] and len(suppressed) == 1
+
+
+class TestCli:
+    def test_check_report_file_empty_when_clean(self, tmp_path, capsys):
+        report = tmp_path / "findings.txt"
+        assert main(["check", "--lint-only",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+        assert "reviewed suppression" in out
+        assert report.read_text() == ""
+
+    def test_bench_json(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main(["bench", "--json", "--quick",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "simulator-wallclock"
+        assert payload["quick"] is True
+        fault = payload["fault_microbench"]
+        assert fault["faults"] == fault["rounds"] * fault["pages"]
+        assert fault["wall_s"] > 0
+        assert payload["invariant_sweeps"]["ok"] is True
