@@ -47,7 +47,7 @@ PASS_NAME = "conformance"
 #: Methods every pmap must export (Table 3-3 + 3-4 + simulation hooks).
 CONTRACT_METHODS = (
     "reference", "destroy",
-    "enter", "remove", "protect", "extract", "access",
+    "enter", "enter_batch", "remove", "protect", "extract", "access",
     "activate", "deactivate",
     "copy", "pageable",
     "forget", "hw_lookup", "translate_fault_type",
@@ -58,7 +58,7 @@ HW_HOOKS = ("_hw_enter", "_hw_remove", "_hw_protect", "_hw_lookup",
             "_hw_iter")
 
 #: Mutating operations that must invalidate TLBs.
-MUTATORS = ("enter", "remove", "protect", "forget")
+MUTATORS = ("enter", "enter_batch", "remove", "protect", "forget")
 
 #: repro.core submodules a pmap module may import: the shared
 #: vocabulary only (mirrors the layering lint's VOCABULARY).

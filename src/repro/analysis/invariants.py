@@ -352,7 +352,7 @@ def check_tlbs(kernel) -> list[Violation]:
     hw_page = kernel.machine.hw_page_size
     for cpu in kernel.machine.cpus:
         window_open = cpu.has_deferred_flushes
-        for (tag, vpn), entry in list(cpu.tlb._entries.items()):
+        for tag, vpn, entry_paddr, entry_prot in cpu.tlb.snapshot():
             vaddr = vpn * hw_page
             pmap = live.get(tag)
             if pmap is not None and cpu.cpu_id not in pmap.cpus_tainted:
@@ -367,7 +367,7 @@ def check_tlbs(kernel) -> list[Violation]:
                 out.append(Violation(
                     "tlb-orphaned",
                     f"cpu{cpu.cpu_id} holds an entry (va {vaddr:#x}, "
-                    f"{entry.prot!r}) for a pmap that no longer "
+                    f"{entry_prot!r}) for a pmap that no longer "
                     f"exists"))
                 continue
             hit = pmap._hw_lookup(vaddr)
@@ -375,20 +375,20 @@ def check_tlbs(kernel) -> list[Violation]:
                 out.append(Violation(
                     "tlb-stale",
                     f"cpu{cpu.cpu_id} TLB still maps {pmap!r} va "
-                    f"{vaddr:#x} ({entry.prot!r}) after the pmap "
+                    f"{vaddr:#x} ({entry_prot!r}) after the pmap "
                     f"dropped it and the shootdown window closed"))
                 continue
             md_frame, md_prot = hit
-            if entry.paddr != md_frame:
+            if entry_paddr != md_frame:
                 out.append(Violation(
                     "tlb-wrong-frame",
                     f"cpu{cpu.cpu_id} TLB maps {pmap!r} va "
-                    f"{vaddr:#x} -> {entry.paddr:#x} but the pmap "
+                    f"{vaddr:#x} -> {entry_paddr:#x} but the pmap "
                     f"says {md_frame:#x}"))
-            if entry.prot & ~md_prot:
+            if entry_prot & ~md_prot:
                 out.append(Violation(
                     "tlb-too-permissive",
-                    f"cpu{cpu.cpu_id} TLB allows {entry.prot!r} at "
+                    f"cpu{cpu.cpu_id} TLB allows {entry_prot!r} at "
                     f"{pmap!r} va {vaddr:#x} but the pmap allows "
                     f"only {md_prot!r}"))
     return out

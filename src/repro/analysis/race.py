@@ -1161,22 +1161,43 @@ def run_race_cell(arch: str, strategy: ShootdownStrategy,
                           detail=detail)
 
 
+def _run_storm_cell(cell: tuple[str, str, int]) -> RaceCellResult:
+    """One (arch, strategy-value, seed) storm cell — module-level so a
+    process pool can pickle it."""
+    arch, strategy_value, seed = cell
+    return run_race_cell(arch, ShootdownStrategy(strategy_value), seed)
+
+
 def run_races(archs: Optional[Sequence[str]] = None,
               strategies: Optional[Sequence[ShootdownStrategy]] = None,
               seed: int = DEFAULT_SEED, quick: bool = False,
-              verbose: bool = False) -> list[RaceCellResult]:
+              verbose: bool = False,
+              jobs: int | None = None) -> list[RaceCellResult]:
     """The full storm: arch x strategy cells, each printing its replay
     seed.  A correct kernel yields zero races in every cell — DEFERRED
     and LAZY staleness inside open windows is sanctioned, and
-    IMMEDIATE flushes synchronously."""
+    IMMEDIATE flushes synchronously.  Cells are seeded and independent;
+    ``jobs > 1`` fans them out over a process pool (fork), with results
+    returned in matrix order."""
     if archs is None:
         archs = QUICK_ARCHS if quick else tuple(SWEEP_ARCHS)
     if strategies is None:
         strategies = tuple(ShootdownStrategy)
-    results = []
-    for arch in archs:
-        for strategy in strategies:
-            results.append(run_race_cell(arch, strategy, seed))
+    cells = [(arch, strategy.value, seed)
+             for arch in archs for strategy in strategies]
+    results: list[RaceCellResult] = []
+    if jobs is not None and jobs > 1 and len(cells) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(cells))) as pool:
+            for result in pool.imap(_run_storm_cell, cells):
+                results.append(result)
+                if verbose:
+                    print(str(result))
+    else:
+        for cell in cells:
+            results.append(_run_storm_cell(cell))
             if verbose:
                 print(str(results[-1]))
     return results

@@ -159,24 +159,44 @@ WORKLOADS = (
 )
 
 
-def run_sweeps(archs=None, verbose: bool = False) -> list[SweepResult]:
+def _run_cell(cell: tuple[str, str]) -> SweepResult:
+    """Run one (architecture, workload) cell — module-level so a
+    process pool can pickle it.  A cell fails when the sanitizer
+    raises; unexpected exceptions propagate — a crash is a bug in the
+    repo, not a sanitizer finding."""
+    arch, name = cell
+    workload = dict(WORKLOADS)[name]
+    try:
+        workload(arch)
+    except SanitizerError as exc:
+        first = str(exc.violations[0]) if exc.violations else str(exc)
+        return SweepResult(arch, name, False, first)
+    return SweepResult(arch, name, True)
+
+
+def run_sweeps(archs=None, verbose: bool = False,
+               jobs: int | None = None) -> list[SweepResult]:
     """Run every (architecture, workload) cell; returns the results.
 
-    A cell fails when the sanitizer raises; the failure detail carries
-    the first violation.  Unexpected exceptions propagate — a crash is
-    a bug in the repo, not a sanitizer finding.
+    Every cell boots its own kernels and is fully independent, so with
+    ``jobs > 1`` the matrix fans out over a process pool (fork), one
+    cell per task; results come back in matrix order either way.
     """
-    results = []
-    for arch in (archs or SWEEP_ARCHS):
-        for name, workload in WORKLOADS:
-            try:
-                workload(arch)
-            except SanitizerError as exc:
-                first = str(exc.violations[0]) if exc.violations \
-                    else str(exc)
-                results.append(SweepResult(arch, name, False, first))
-            else:
-                results.append(SweepResult(arch, name, True))
+    cells = [(arch, name) for arch in (archs or SWEEP_ARCHS)
+             for name, _ in WORKLOADS]
+    results: list[SweepResult] = []
+    if jobs is not None and jobs > 1 and len(cells) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(cells))) as pool:
+            for result in pool.imap(_run_cell, cells):
+                results.append(result)
+                if verbose:
+                    print(str(result))
+    else:
+        for cell in cells:
+            results.append(_run_cell(cell))
             if verbose:
                 print(str(results[-1]))
     return results

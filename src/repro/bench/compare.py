@@ -1,0 +1,82 @@
+"""Compare two ``repro bench --json`` reports (BENCH_<n>.json series).
+
+Used by ``repro bench --json`` itself (to print the before/after ratio
+against the previous baseline) and by CI (to annotate the uploaded
+artifact with the regression/speedup ratio)::
+
+    python -m repro.bench.compare BENCH_6.json BENCH_7.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_reports(baseline: dict, current: dict) -> dict:
+    """Ratio summary of *current* vs *baseline*.
+
+    ``fault_ratio`` > 1 means the fault microbench got faster;
+    ``sweep_ratio`` > 1 means the invariant sweeps got faster.  Either
+    is ``None`` when a side lacks the number (older baselines predate
+    some fields).
+    """
+    def _throughput(report):
+        bench = report.get("fault_microbench") or {}
+        return bench.get("faults_per_s")
+
+    def _sweep_wall(report):
+        sweeps = report.get("invariant_sweeps") or {}
+        return sweeps.get("wall_s")
+
+    base_fps, cur_fps = _throughput(baseline), _throughput(current)
+    base_wall, cur_wall = _sweep_wall(baseline), _sweep_wall(current)
+    return {
+        "baseline_faults_per_s": base_fps,
+        "current_faults_per_s": cur_fps,
+        "fault_ratio": round(cur_fps / base_fps, 2)
+        if base_fps and cur_fps else None,
+        "baseline_sweep_wall_s": base_wall,
+        "current_sweep_wall_s": cur_wall,
+        "sweep_ratio": round(base_wall / cur_wall, 2)
+        if base_wall and cur_wall else None,
+    }
+
+
+def format_comparison(delta: dict, baseline_name: str = "baseline",
+                      current_name: str = "current") -> str:
+    lines = []
+    if delta["fault_ratio"] is not None:
+        lines.append(
+            f"fault microbench: {delta['baseline_faults_per_s']:.0f} "
+            f"-> {delta['current_faults_per_s']:.0f} faults/s "
+            f"({delta['fault_ratio']:.2f}x {baseline_name} -> "
+            f"{current_name})")
+    if delta["sweep_ratio"] is not None:
+        lines.append(
+            f"invariant sweeps: {delta['baseline_sweep_wall_s']:.3f}s "
+            f"-> {delta['current_sweep_wall_s']:.3f}s "
+            f"({delta['sweep_ratio']:.2f}x)")
+    return "\n".join(lines) if lines else "nothing comparable"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.bench.compare "
+              "BASELINE.json CURRENT.json", file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv
+    delta = compare_reports(load_report(baseline_path),
+                            load_report(current_path))
+    print(format_comparison(delta, baseline_path, current_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,43 +7,101 @@ in the fault handler, the pmap layer, or the invariant sweeps shows up
 as real seconds.  ``repro bench --json`` writes the result as a JSON
 document (the repo's ``BENCH_<pr>.json`` series).
 
-Two numbers:
+The numbers:
 
 * **fault microbench** — forget/refault churn: every mapping of a
   warmed region is dropped through :meth:`Pmap.forget` (the "pmap may
   forget" half of the MD/MI contract) and then rebuilt by fresh
-  faults, timing the whole MI fault path + MD enter path;
+  faults.  The headline number drives the refaults through the batch
+  lane (:meth:`MachKernel.fault_batch`); ``fault_microbench_scalar``
+  reports the same workload page-at-a-time for comparison.  Both
+  resolve the identical `rounds x pages` fault stream;
+* **per-arch fault throughput** — the batch-lane microbench repeated
+  on every registered pmap architecture;
 * **invariant-sweep wall-clock** — how long ``repro check``'s runtime
-  sweeps take, the dominant cost of the CI gate.
+  sweeps take serially, the dominant cost of the CI gate, plus the
+  process-parallel (``--jobs``) wall-clock for the same matrix.
+
+The report records the seed (the forget order is seeded and shuffled),
+the arch list, and per-arch throughput so a regression names exactly
+the configuration that reproduces it.
 """
 
 from __future__ import annotations
 
+import os
+import random
 import time
 
 from repro.bench.testing import make_spec
 
+MB = 1024 * 1024
 
-def _fault_microbench(rounds: int, pages: int) -> dict:
+#: Default seed for the shuffled forget order (any 32-bit value works).
+DEFAULT_SEED = 0xBE7C
+
+#: Machine parameters per benchmarked architecture (mirrors the test
+#: fixtures and the sweep matrix, plus the VAC variant).
+BENCH_ARCHS: dict[str, dict] = {
+    "generic": {},
+    "vax": dict(hw_page_size=512, page_size=4096),
+    "rt_pc": dict(hw_page_size=2048, page_size=4096),
+    "sun3": dict(hw_page_size=8192, page_size=8192, mmu_contexts=8),
+    "sun3_vac": dict(hw_page_size=8192, page_size=8192, mmu_contexts=8),
+    "ns32082": dict(hw_page_size=512, page_size=4096,
+                    va_limit=16 * MB, buggy_rmw_reports_read=True),
+}
+
+#: Quick mode still samples three distinct MMU shapes.
+QUICK_ARCHS = ("generic", "vax", "sun3")
+
+
+def _boot(arch: str, pages: int):
     from repro.core.kernel import MachKernel
 
-    kernel = MachKernel(make_spec(memory_frames=pages * 4))
+    kwargs = dict(BENCH_ARCHS[arch])
+    kwargs["memory_frames"] = pages * 4
+    spec = make_spec(name=f"perf-{arch}", pmap_name=arch, **kwargs)
+    return MachKernel(spec)
+
+
+def _fault_microbench(rounds: int, pages: int, seed: int,
+                      arch: str = "generic", batch: bool = True) -> dict:
+    """Forget/refault churn on one architecture.
+
+    ``batch=True`` resolves each round's refaults through
+    :meth:`MachKernel.fault_batch` (the fast lane); ``batch=False``
+    touches the pages one read at a time through the MMU (the scalar
+    lane).  Identical fault stream either way: ``rounds * pages``
+    faults over the same warmed region, forgotten in the same
+    seed-shuffled order.
+    """
+    from repro.core.constants import FaultType
+
+    kernel = _boot(arch, pages)
     task = kernel.task_create(name="perf")
     page = kernel.page_size
     addr = task.vm_allocate(pages * page)
     for off in range(0, pages * page, page):
         task.write(addr + off, b"warm")     # materialize (zero fill)
+    forget_order = list(range(0, pages * page, page))
+    random.Random(seed).shuffle(forget_order)
 
     faults_before = kernel.stats.faults
     start = time.perf_counter()
     for _ in range(rounds):
-        for off in range(0, pages * page, page):
+        for off in forget_order:
             task.pmap.forget(addr + off)
-        for off in range(0, pages * page, page):
-            task.read(addr + off, 1)        # refault: rebuild mapping
+        if batch:
+            kernel.fault_batch(task, addr, pages, FaultType.READ)
+        else:
+            for off in range(0, pages * page, page):
+                task.read(addr + off, 1)    # refault: rebuild mapping
     wall_s = time.perf_counter() - start
     faults = kernel.stats.faults - faults_before
     return {
+        "arch": arch,
+        "lane": "batch" if batch else "scalar",
         "rounds": rounds,
         "pages": pages,
         "faults": faults,
@@ -52,25 +110,43 @@ def _fault_microbench(rounds: int, pages: int) -> dict:
     }
 
 
-def _sweep_wallclock(quick: bool) -> dict:
+def _sweep_wallclock(quick: bool, jobs: int | None = None) -> dict:
     from repro.analysis import run_sweeps
 
     start = time.perf_counter()
-    results = run_sweeps(archs=["generic"] if quick else None)
+    results = run_sweeps(archs=["generic"] if quick else None, jobs=jobs)
     wall_s = time.perf_counter() - start
     return {
         "cells": len(results),
         "ok": all(r.ok for r in results),
         "wall_s": round(wall_s, 6),
+        "jobs": jobs or 1,
     }
 
 
-def run_perf_bench(quick: bool = False) -> dict:
-    """Run both wall-clock benchmarks; returns a JSON-ready dict."""
+def run_perf_bench(quick: bool = False,
+                   seed: int = DEFAULT_SEED) -> dict:
+    """Run the wall-clock benchmarks; returns a JSON-ready dict."""
     rounds, pages = (3, 8) if quick else (20, 32)
-    return {
+    archs = list(QUICK_ARCHS if quick else BENCH_ARCHS)
+    per_arch = {
+        arch: _fault_microbench(rounds, pages, seed, arch=arch)
+        ["faults_per_s"]
+        for arch in archs
+    }
+    jobs = min(os.cpu_count() or 1, 8)
+    payload = {
         "bench": "simulator-wallclock",
         "quick": quick,
-        "fault_microbench": _fault_microbench(rounds, pages),
+        "seed": seed,
+        "archs": archs,
+        "fault_microbench": _fault_microbench(rounds, pages, seed),
+        "fault_microbench_scalar": _fault_microbench(
+            rounds, pages, seed, batch=False),
+        "per_arch_fault_throughput": per_arch,
         "invariant_sweeps": _sweep_wallclock(quick),
     }
+    if jobs > 1:
+        payload["invariant_sweeps_parallel"] = _sweep_wallclock(
+            quick, jobs=jobs)
+    return payload

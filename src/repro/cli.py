@@ -286,23 +286,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
     time the simulator's own hot paths."""
     if args.json:
         import json
+        import os
 
         from repro.bench import run_perf_bench
+        from repro.bench.compare import compare_reports, \
+            format_comparison, load_report
 
-        payload = run_perf_bench(quick=args.quick)
-        out = args.out or "BENCH_6.json"
+        from repro.bench.perfbench import DEFAULT_SEED
+
+        seed = DEFAULT_SEED if args.seed is None else args.seed
+        payload = run_perf_bench(quick=args.quick, seed=seed)
+        out = args.out or "BENCH_7.json"
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         fault = payload["fault_microbench"]
+        scalar = payload["fault_microbench_scalar"]
         sweep = payload["invariant_sweeps"]
-        print(f"fault microbench: {fault['faults']} faults in "
-              f"{fault['wall_s']:.3f}s "
-              f"({fault['faults_per_s']:.0f} faults/s)")
+        print(f"fault microbench (batch lane): {fault['faults']} "
+              f"faults in {fault['wall_s']:.3f}s "
+              f"({fault['faults_per_s']:.0f} faults/s; scalar lane "
+              f"{scalar['faults_per_s']:.0f} faults/s)")
+        print("per-arch (batch, faults/s): " + ", ".join(
+            f"{arch}={fps:.0f}" for arch, fps in
+            payload["per_arch_fault_throughput"].items()))
         print(f"invariant sweeps: {sweep['cells']} cells in "
-              f"{sweep['wall_s']:.3f}s "
-              f"({'ok' if sweep['ok'] else 'FAILED'})")
+              f"{sweep['wall_s']:.3f}s serial"
+              + (f", {payload['invariant_sweeps_parallel']['wall_s']:.3f}s "
+                 f"with {payload['invariant_sweeps_parallel']['jobs']} "
+                 f"jobs" if "invariant_sweeps_parallel" in payload
+                 else "")
+              + f" ({'ok' if sweep['ok'] else 'FAILED'})")
         print(f"wrote {out}")
+        baseline = args.baseline
+        if baseline and os.path.exists(baseline) \
+                and os.path.abspath(baseline) != os.path.abspath(out):
+            delta = compare_reports(load_report(baseline), payload)
+            print(format_comparison(delta, baseline, out))
         return 0 if sweep["ok"] else 1
 
     from repro.bench import (
@@ -424,7 +444,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     names = ", ".join(archs or SWEEP_ARCHS)
     print(f"\ninvariant sweeps: fork+COW, pageout-pressure, shootdown "
           f"on {names} ...")
-    results = run_sweeps(archs=archs, verbose=True)
+    results = run_sweeps(archs=archs, verbose=True, jobs=args.jobs)
     failed = [r for r in results if not r.ok]
     print(f"\nsweeps: {len(results) - len(failed)}/{len(results)} "
           f"cells passed")
@@ -445,7 +465,7 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     print(f"architectures: {names}\n")
     results = run_faultsweep(archs=archs, scenarios=scenarios,
                              seed=args.seed, quick=args.quick,
-                             verbose=True)
+                             verbose=True, jobs=args.jobs)
     failed = [r for r in results if not r.ok]
     injected = sum(r.injected for r in results)
     absorbed = sum(r.typed_errors for r in results)
@@ -497,7 +517,8 @@ def cmd_races(args: argparse.Namespace) -> int:
           f"{', '.join(s.value for s in (strategies or ShootdownStrategy))}"
           f"\n")
     results = run_races(archs=archs, strategies=strategies,
-                        seed=args.seed, quick=args.quick, verbose=True)
+                        seed=args.seed, quick=args.quick, verbose=True,
+                        jobs=args.jobs)
     failed = [r for r in results if not r.ok]
     races = sum(r.races for r in results)
     events = sum(r.events for r in results)
@@ -555,7 +576,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "and write a JSON report")
     bench.add_argument("--out",
                        help="output file for --json "
-                            "(default BENCH_6.json)")
+                            "(default BENCH_7.json)")
+    bench.add_argument("--seed", type=lambda v: int(v, 0),
+                       default=None,
+                       help="seed for the microbench forget order "
+                            "(recorded in the JSON report)")
+    bench.add_argument("--baseline", default="BENCH_6.json",
+                       help="previous BENCH_<n>.json to print a "
+                            "before/after ratio against (skipped "
+                            "when missing)")
 
     check = sub.add_parser(
         "check", help="static analysis + runtime invariant sweeps")
@@ -568,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--arch", choices=["generic", "vax", "rt_pc",
                                           "sun3", "ns32082"],
                        help="sweep a single pmap architecture")
+    check.add_argument("--jobs", type=int, default=None,
+                       help="run arch x workload sweep cells in N "
+                            "worker processes (default serial)")
 
     fault = sub.add_parser(
         "faultsweep",
@@ -586,6 +618,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "pager-garbage", "disk-error",
                                 "ipc-loss", "pageout-pressure"],
                        help="run a single fault scenario")
+    fault.add_argument("--jobs", type=int, default=None,
+                       help="run arch x scenario cells in N worker "
+                            "processes (default serial)")
 
     races = sub.add_parser(
         "races",
@@ -608,6 +643,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "shootdown workload instead of the storm")
     races.add_argument("--max-schedules", type=int, default=150,
                        help="schedule budget for --explore")
+    races.add_argument("--jobs", type=int, default=None,
+                       help="run arch x strategy storm cells in N "
+                            "worker processes (default serial)")
     return parser
 
 

@@ -24,7 +24,7 @@ from repro.core.errors import (
     PagerStallError,
     PagerTimeoutError,
 )
-from repro.core.fault import resolve_task_fault, vm_fault
+from repro.core.fault import resolve_task_fault, vm_fault, vm_fault_batch
 from repro.core.page import VMPage
 from repro.core.pageout import PageoutDaemon
 from repro.core.resident import ResidentPageTable
@@ -103,6 +103,13 @@ class MachKernel:
         #: guarded-by kernel-funnel
         self.tasks: list[Task] = []
         self.max_fault_retries = 8
+        #: Pluggable page-fault resolver (signature of
+        #: :func:`repro.core.fault.vm_fault`).  The differential-testing
+        #: harness points this at the pinned reference implementation
+        #: (:func:`repro.core.fault_reference.vm_fault_reference`) to
+        #: run it lockstep against the fast lane.
+        #: guarded-by boot-wiring
+        self.fault_resolver = vm_fault
         #: Pager failure policy (Section 4's "errant memory manager"
         #: defense).  A transient pager error is retried up to
         #: ``max_pager_retries`` times, charging ``pager_timeout_us``
@@ -421,19 +428,42 @@ class MachKernel:
     def fault(self, task: Task, vaddr: int, fault_type: FaultType):
         """Resolve one fault directly (without an MMU access) — used by
         tests and by wiring."""
-        result = vm_fault(self, task, vaddr, fault_type)
+        result = self.fault_resolver(self, task, vaddr, fault_type)
         if self.sanitize_hook is not None:
             self.sanitize_hook(self)
         return result
 
+    def fault_batch(self, task: Task, address: int, npages: int,
+                    fault_type: FaultType, wiring: bool = False):
+        """Resolve *npages* consecutive faults starting at the page
+        containing *address* through the fast lane
+        (:func:`repro.core.fault.vm_fault_batch`): one map lookup, one
+        shadow-chain walk and at most one shootdown per object-run.
+
+        When a non-default :attr:`fault_resolver` is installed (the
+        differential harness's pinned reference), the run degrades to
+        page-at-a-time calls through it, so both lanes stay comparable
+        through one entry point.
+        """
+        if self.fault_resolver is vm_fault:
+            results = vm_fault_batch(self, task, address, npages,
+                                     fault_type, wiring=wiring)
+        else:
+            start = address - address % self.page_size
+            results = [self.fault_resolver(
+                self, task, start + index * self.page_size, fault_type,
+                wiring=wiring) for index in range(npages)]
+        if self.sanitize_hook is not None:
+            self.sanitize_hook(self)
+        return results
+
     def wire_range(self, task: Task, address: int, size: int) -> None:
         """Fault in and wire every page of a range (kernel-style wired
-        memory)."""
+        memory) — batched, one object-run at a time."""
         end = round_page(address + size, self.page_size)
-        cursor = address - address % self.page_size
-        while cursor < end:
-            vm_fault(self, task, cursor, FaultType.WRITE, wiring=True)
-            cursor += self.page_size
+        start = address - address % self.page_size
+        self.fault_batch(task, start, (end - start) // self.page_size,
+                         FaultType.WRITE, wiring=True)
 
     def unwire_range(self, task: Task, address: int, size: int) -> None:
         """Release the wiring taken by :meth:`wire_range`; the pages

@@ -82,6 +82,13 @@ class VMObject:
         #: Outstanding pager operations; blocks collapse while nonzero.
         #: guarded-by object-lock
         self.paging_in_progress = 0
+        #: Memoized flattened shadow chain; valid only while
+        #: ``_chain_epoch`` equals the manager's ``chain_epoch`` (bumped
+        #: on every shadow/collapse/bypass/terminate).
+        #: guarded-by object-ref
+        self._chain_memo: Optional[list] = None
+        #: guarded-by object-ref
+        self._chain_epoch = -1
 
     # -- page list maintenance (called by the resident page table) -----
 
@@ -137,6 +144,33 @@ class VMObject:
             yield obj
             obj = obj.shadow
 
+    def shadow_chain(self, manager: "VMObjectManager") -> list:
+        """The flattened shadow chain as ``[(object, cumulative_offset),
+        ...]`` starting at ``(self, 0)``, memoized.
+
+        The fault path walks this on every miss; memoizing it turns the
+        per-fault pointer chase into one dict-free list iteration.  The
+        memo is validated against *manager*'s ``chain_epoch``, which
+        every chain-structure mutation (shadow creation, collapse,
+        bypass, terminate) bumps — a stale memo is recomputed, never
+        served.  ``manager.chain_walks`` counts the recomputations (the
+        perf-guard tests pin "≤ 1 walk per batched object-run" with it).
+        """
+        memo = self._chain_memo
+        if memo is not None and self._chain_epoch == manager.chain_epoch:
+            return memo
+        manager.chain_walks += 1
+        chain = []
+        obj: Optional[VMObject] = self
+        delta = 0
+        while obj is not None:
+            chain.append((obj, delta))
+            delta += obj.shadow_offset
+            obj = obj.shadow
+        self._chain_memo = chain
+        self._chain_epoch = manager.chain_epoch
+        return chain
+
     def __repr__(self) -> str:
         kind = "internal" if self.internal else "external"
         extra = ""
@@ -180,6 +214,19 @@ class VMObjectManager:
         self.bypasses = 0
         self.cache_hits = 0
         self.cache_evictions = 0
+        #: Generation counter for the per-object shadow-chain memo
+        #: (:meth:`VMObject.shadow_chain`).  Bumped by every operation
+        #: that can change any chain's structure; a coarse, manager-wide
+        #: epoch is deliberately conservative — invalidating every memo
+        #: is always safe, serving a stale one never is.
+        self.chain_epoch = 0
+        #: Full chain walks performed (memo misses) — the perf-guard
+        #: tests' "≤ 1 shadow walk per object-run" counter.
+        self.chain_walks = 0
+
+    def invalidate_chains(self) -> None:
+        """Invalidate every memoized shadow chain (epoch bump)."""
+        self.chain_epoch += 1
 
     # ------------------------------------------------------------------
     # Creation
@@ -245,6 +292,7 @@ class VMObjectManager:
         self.clock.charge(self.costs.object_op_us)
         self.objects_created += 1
         self.shadows_created += 1
+        self.invalidate_chains()
         new = VMObject(length, internal=True, temporary=True)
         new.shadow = obj
         new.shadow_offset = offset
@@ -302,6 +350,7 @@ class VMObjectManager:
         if obj.terminated:
             return None
         obj.terminated = True
+        self.invalidate_chains()
         self.objects_destroyed += 1
         for page in obj.iter_resident():
             if page.wired:
@@ -394,6 +443,7 @@ class VMObjectManager:
 
     def _do_collapse(self, obj: VMObject, backing: VMObject) -> None:
         """Merge *backing* (ref_count == 1) up into *obj*."""
+        self.invalidate_chains()
         delta = obj.shadow_offset
         for page in backing.iter_resident():
             new_offset = page.offset - delta
@@ -450,6 +500,7 @@ class VMObjectManager:
 
     def _do_bypass(self, obj: VMObject, backing: VMObject) -> None:
         """Point *obj* past *backing* (which keeps its other refs)."""
+        self.invalidate_chains()
         grand = backing.shadow
         if grand is not None:
             grand.reference()

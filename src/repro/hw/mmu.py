@@ -32,12 +32,23 @@ _ACCESS_PROT = {
     FaultType.EXECUTE: VMProt.EXECUTE,
 }
 
+_WRITE_BIT = int(VMProt.WRITE)
+
 
 class MMU:
     """Translation front-end shared by all CPUs of a machine."""
 
     def __init__(self, machine) -> None:
         self.machine = machine
+        #: (access, rmw) -> required protection as plain int bits; the
+        #: hit path checks permissions with integer masks against
+        #: ``TLBEntry.prot_bits`` instead of IntFlag arithmetic.
+        self._required_bits = {
+            (access, rmw): int(self._required_prot(access, rmw))
+            for access in (FaultType.READ, FaultType.WRITE,
+                           FaultType.EXECUTE)
+            for rmw in (False, True)
+        }
 
     def _required_prot(self, access: FaultType, rmw: bool) -> VMProt:
         prot = _ACCESS_PROT[access]
@@ -77,20 +88,19 @@ class MMU:
         pmap = cpu.active_pmap
         if pmap is None:
             raise RuntimeError(f"cpu {cpu.cpu_id} has no active pmap")
-        required = self._required_prot(access, rmw)
-        costs = self.machine.costs
-        clock = self.machine.clock
+        required_bits = self._required_bits[(access, rmw)]
+        tlb = cpu.tlb
 
-        entry = cpu.tlb.probe(pmap, vaddr)
+        entry = tlb.probe(pmap, vaddr)
         if entry is not None:
-            if entry.prot.allows(required):
+            if entry.prot_bits & required_bits == required_bits:
                 pmap.system.note_access(
-                    entry.paddr, write=bool(required & VMProt.WRITE))
-                return entry.paddr + (vaddr % cpu.tlb.page_size)
+                    entry.paddr, write=bool(required_bits & _WRITE_BIT))
+                return entry.paddr + (vaddr % tlb.page_size)
             # Insufficient permission cached: the hardware traps.  Drop
             # the entry so the retry after fault resolution refills it.
-            cpu.tlb.stats.protection_blocks += 1
-            cpu.tlb.invalidate(pmap, vaddr)
+            tlb.stats.protection_blocks += 1
+            tlb.invalidate(pmap, vaddr)
             raise self._fault(cpu, vaddr, access, rmw)
 
         # TLB miss: walk the machine-dependent structure.
@@ -98,10 +108,12 @@ class MMU:
         if translation is None:
             raise self._fault(cpu, vaddr, access, rmw)
         paddr, prot = translation
-        if not prot.allows(required):
+        if int(prot) & required_bits != required_bits:
             raise self._fault(cpu, vaddr, access, rmw)
-        clock.charge(costs.tlb_fill_us)
-        page_base = vaddr - (vaddr % cpu.tlb.page_size)
-        cpu.tlb.fill(pmap, vaddr, paddr - (vaddr - page_base), prot)
-        pmap.system.note_access(paddr, write=bool(required & VMProt.WRITE))
+        machine = self.machine
+        machine.clock.charge(machine.costs.tlb_fill_us)
+        page_base = vaddr - (vaddr % tlb.page_size)
+        tlb.fill(pmap, vaddr, paddr - (vaddr - page_base), prot)
+        pmap.system.note_access(paddr,
+                                write=bool(required_bits & _WRITE_BIT))
         return paddr

@@ -13,26 +13,43 @@ the stale-entry hazard and each remedy.
 
 Entries are tagged with the owning pmap, modelling a context-tagged TLB;
 ``flush_all`` models untagged designs by dropping everything.
+
+The translation store is a plain insertion-ordered dict keyed by a
+single *tagged VPN* integer — ``(id(pmap) << TAG_SHIFT) | vpn`` — so the
+probe/fill hit path allocates nothing (no key tuples, no OrderedDict
+bookkeeping).  FIFO eviction drops the first-inserted key, which is
+exactly what the old OrderedDict ``popitem(last=False)`` did.
 """
 
 from __future__ import annotations
 
 import warnings
-from collections import OrderedDict
 from typing import Optional
 
 from repro.core.constants import VMProt
 from repro.obs.bus import EventBus
 
+#: Bits reserved for the VPN in a tagged-VPN key.  Virtual addresses in
+#: this simulator stay far below 2**40 even at the smallest hardware
+#: page size, so the pmap tag (``id(pmap)``) occupies the high bits
+#: without collisions.
+TAG_SHIFT = 40
+_VPN_MASK = (1 << TAG_SHIFT) - 1
+
 
 class TLBEntry:
-    """One cached translation: hardware page -> frame, with permissions."""
+    """One cached translation: hardware page -> frame, with permissions.
 
-    __slots__ = ("paddr", "prot")
+    ``prot_bits`` mirrors ``prot`` as a plain int so the MMU hit path
+    checks permissions with integer masks instead of IntFlag operations.
+    """
+
+    __slots__ = ("paddr", "prot", "prot_bits")
 
     def __init__(self, paddr: int, prot: VMProt) -> None:
         self.paddr = paddr
         self.prot = prot
+        self.prot_bits = int(prot)
 
 
 class TLBStats:
@@ -72,7 +89,8 @@ class TLB:
         self.capacity = capacity
         self.cpu_id = cpu_id
         self.events = events if events is not None else EventBus()
-        self._entries: OrderedDict[tuple[int, int], TLBEntry] = OrderedDict()
+        #: tagged-VPN key -> entry; insertion order is FIFO age.
+        self._entries: dict[int, TLBEntry] = {}
         self.stats = TLBStats()
         self._trace_hook = None
         self._hook_adapter = None
@@ -128,19 +146,18 @@ class TLB:
         elif kind == "flush_all":
             hook.tlb_full_flushed()
 
-    def _key(self, pmap, vaddr: int) -> tuple[int, int]:
-        return (id(pmap), vaddr // self.page_size)
-
     def probe(self, pmap, vaddr: int) -> Optional[TLBEntry]:
         """Look up a translation; counts a hit or a miss."""
-        key = self._key(pmap, vaddr)
+        key = (id(pmap) << TAG_SHIFT) | (vaddr // self.page_size)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
-            self.events.emit("tlb", "hit", cpu=self.cpu_id,
-                             tag=key[0], vpn=key[1])
+            if self.events.active:
+                self.events.emit("tlb", "hit", cpu=self.cpu_id,
+                                 tag=key >> TAG_SHIFT,
+                                 vpn=key & _VPN_MASK)
         return entry
 
     def fill(self, pmap, vaddr: int, paddr: int, prot: VMProt) -> None:
@@ -152,24 +169,31 @@ class TLB:
         """
         if self.capacity == 0:
             return
-        key = self._key(pmap, vaddr)
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.events.emit("tlb", "drop", cpu=self.cpu_id,
-                             tag=evicted_key[0], vpn=evicted_key[1])
-        self._entries[key] = TLBEntry(paddr, prot)
+        entries = self._entries
+        key = (id(pmap) << TAG_SHIFT) | (vaddr // self.page_size)
+        if key not in entries and len(entries) >= self.capacity:
+            evicted_key = next(iter(entries))
+            del entries[evicted_key]
+            if self.events.active:
+                self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                 tag=evicted_key >> TAG_SHIFT,
+                                 vpn=evicted_key & _VPN_MASK)
+        entries[key] = TLBEntry(paddr, prot)
         self.stats.fills += 1
-        self.events.emit("tlb", "fill", cpu=self.cpu_id,
-                         tag=key[0], vpn=key[1])
+        if self.events.active:
+            self.events.emit("tlb", "fill", cpu=self.cpu_id,
+                             tag=key >> TAG_SHIFT, vpn=key & _VPN_MASK)
 
     def invalidate(self, pmap, vaddr: int) -> bool:
         """Drop one translation; returns True when it was present."""
-        key = self._key(pmap, vaddr)
+        key = (id(pmap) << TAG_SHIFT) | (vaddr // self.page_size)
         removed = self._entries.pop(key, None)
         if removed is not None:
             self.stats.entry_flushes += 1
-            self.events.emit("tlb", "drop", cpu=self.cpu_id,
-                             tag=key[0], vpn=key[1])
+            if self.events.active:
+                self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                 tag=key >> TAG_SHIFT,
+                                 vpn=key & _VPN_MASK)
         return removed is not None
 
     def invalidate_range(self, pmap, start: int, end: int) -> int:
@@ -177,42 +201,63 @@ class TLB:
         first = start // self.page_size
         last = (end + self.page_size - 1) // self.page_size
         count = 0
-        pmap_tag = id(pmap)
-        for key in list(self._entries):
-            tag, vpn = key
-            if tag == pmap_tag and first <= vpn < last:
-                del self._entries[key]
-                self.events.emit("tlb", "drop", cpu=self.cpu_id,
-                                 tag=tag, vpn=vpn)
+        entries = self._entries
+        base = id(pmap) << TAG_SHIFT
+        active = self.events.active
+        if last - first <= len(entries):
+            # Narrow flush (the common shootdown shape): probe the few
+            # covered pages directly instead of scanning the whole TLB.
+            for vpn in range(first, last):
+                if entries.pop(base | vpn, None) is not None:
+                    if active:
+                        self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                         tag=base >> TAG_SHIFT, vpn=vpn)
+                    count += 1
+        else:
+            for key in [k for k in entries
+                        if k & ~_VPN_MASK == base
+                        and first <= k & _VPN_MASK < last]:
+                del entries[key]
+                if active:
+                    self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                     tag=key >> TAG_SHIFT,
+                                     vpn=key & _VPN_MASK)
                 count += 1
         self.stats.entry_flushes += count
-        self.events.emit("tlb", "flush_range", cpu=self.cpu_id,
-                         tag=pmap_tag, start=start, end=end)
+        if active:
+            self.events.emit("tlb", "flush_range", cpu=self.cpu_id,
+                             tag=base >> TAG_SHIFT, start=start, end=end)
         return count
 
     def invalidate_pmap(self, pmap) -> int:
         """Drop every translation belonging to *pmap*."""
-        pmap_tag = id(pmap)
-        stale = [key for key in self._entries if key[0] == pmap_tag]
+        base = id(pmap) << TAG_SHIFT
+        stale = [key for key in self._entries if key & ~_VPN_MASK == base]
+        active = self.events.active
         for key in stale:
             del self._entries[key]
-            self.events.emit("tlb", "drop", cpu=self.cpu_id,
-                             tag=key[0], vpn=key[1])
+            if active:
+                self.events.emit("tlb", "drop", cpu=self.cpu_id,
+                                 tag=key >> TAG_SHIFT,
+                                 vpn=key & _VPN_MASK)
         self.stats.entry_flushes += len(stale)
-        self.events.emit("tlb", "flush_pmap", cpu=self.cpu_id,
-                         tag=pmap_tag)
+        if active:
+            self.events.emit("tlb", "flush_pmap", cpu=self.cpu_id,
+                             tag=base >> TAG_SHIFT)
         return len(stale)
 
     def flush_all(self) -> int:
         """Drop everything (untagged-TLB context switch, or shootdown)."""
         count = len(self._entries)
         if self.events.active:
-            for tag, vpn in list(self._entries):
+            for key in list(self._entries):
                 self.events.emit("tlb", "drop", cpu=self.cpu_id,
-                                 tag=tag, vpn=vpn)
+                                 tag=key >> TAG_SHIFT,
+                                 vpn=key & _VPN_MASK)
         self._entries.clear()
         self.stats.full_flushes += 1
-        self.events.emit("tlb", "flush_all", cpu=self.cpu_id)
+        if self.events.active:
+            self.events.emit("tlb", "flush_all", cpu=self.cpu_id)
         return count
 
     def __len__(self) -> int:
@@ -220,5 +265,12 @@ class TLB:
 
     def entries_for(self, pmap) -> int:
         """Number of live entries tagged with *pmap* (for tests)."""
-        pmap_tag = id(pmap)
-        return sum(1 for tag, _ in self._entries if tag == pmap_tag)
+        base = id(pmap) << TAG_SHIFT
+        return sum(1 for key in self._entries if key & ~_VPN_MASK == base)
+
+    def snapshot(self) -> list[tuple[int, int, int, VMProt]]:
+        """Decode the live entries as ``(pmap_tag, vpn, paddr, prot)``
+        in FIFO age order — the public view for invariant checkers and
+        the differential harness (the raw key encoding is private)."""
+        return [(key >> TAG_SHIFT, key & _VPN_MASK, entry.paddr,
+                 entry.prot) for key, entry in self._entries.items()]

@@ -353,26 +353,43 @@ def run_cell(arch: str, scenario: str, seed: int,
                       typed_errors=typed_errors)
 
 
+def _run_matrix_cell(cell: tuple[str, str, int, bool]) -> CellResult:
+    """One (arch, scenario, seed, quick) cell — module-level so a
+    process pool can pickle it."""
+    arch, scenario, seed, quick = cell
+    return run_cell_injecting(arch, scenario, seed, quick=quick)
+
+
 def run_faultsweep(archs=None, scenarios=None, seed: int = DEFAULT_SEED,
-                   quick: bool = False,
-                   verbose: bool = False) -> list[CellResult]:
+                   quick: bool = False, verbose: bool = False,
+                   jobs: int | None = None) -> list[CellResult]:
     """Run the full survival matrix; returns one result per cell.
 
     Every cell's seed derives deterministically from *seed* and the
     cell name (see :func:`cell_seed`), so any failure is replayable in
-    isolation via ``run_cell``.
+    isolation via ``run_cell`` — which also makes the cells fully
+    independent: with ``jobs > 1`` the matrix fans out over a process
+    pool (fork), results returned in matrix order.
     """
     if archs is None:
         archs = QUICK_ARCHS if quick else tuple(SWEEP_ARCHS)
     if scenarios is None:
         scenarios = tuple(SCENARIOS)
-    results = []
-    for arch in archs:
-        for scenario in scenarios:
-            result = run_cell_injecting(arch, scenario,
-                                        cell_seed(seed, arch, scenario),
-                                        quick=quick)
-            results.append(result)
+    cells = [(arch, scenario, cell_seed(seed, arch, scenario), quick)
+             for arch in archs for scenario in scenarios]
+    results: list[CellResult] = []
+    if jobs is not None and jobs > 1 and len(cells) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(cells))) as pool:
+            for result in pool.imap(_run_matrix_cell, cells):
+                results.append(result)
+                if verbose:
+                    print(str(result))
+    else:
+        for cell in cells:
+            results.append(_run_matrix_cell(cell))
             if verbose:
-                print(str(result))
+                print(str(results[-1]))
     return results

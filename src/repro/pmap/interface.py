@@ -390,19 +390,71 @@ class Pmap(abc.ABC):
         spans, maintains the pv table, and charges PTE-write costs.
         """
         self.stats.enters += 1
+        events = self.machine.events
+        if events.active:
+            with events.span("pmap", "enter", pmap=self.name,
+                             vaddr=vaddr):
+                self._enter_one(vaddr, paddr, prot, wired)
+        else:
+            self._enter_one(vaddr, paddr, prot, wired)
+
+    def _enter_one(self, vaddr: int, paddr: int, prot: VMProt,
+                   wired: bool) -> None:
+        self.remove(vaddr, vaddr + self.page_size, shoot=True)
+        self._enter_mapping(vaddr, paddr, prot, wired)
+
+    def _enter_mapping(self, vaddr: int, paddr: int, prot: VMProt,
+                       wired: bool) -> None:
+        """Write one Mach page's worth of hardware PTEs and maintain
+        the pv table — the removal-free core shared by :meth:`enter`
+        and :meth:`enter_batch`."""
         costs = self.machine.costs
         clock = self.machine.clock
-        events = self.machine.events
-        with events.span("pmap", "enter", pmap=self.name, vaddr=vaddr):
-            self.remove(vaddr, vaddr + self.page_size, shoot=True)
-            for off in range(0, self.page_size, self.hw_page_size):
-                clock.charge(costs.pte_write_us)
-                self._hw_enter(vaddr + off, paddr + off, prot, wired)
-            self.system.pv_enter(self, vaddr, paddr)
+        for off in range(0, self.page_size, self.hw_page_size):
+            clock.charge(costs.pte_write_us)
+            self._hw_enter(vaddr + off, paddr + off, prot, wired)
+        self.system.pv_enter(self, vaddr, paddr)
 
-    def remove(self, start: int, end: int, shoot: bool = True) -> None:
+    def enter_batch(self, mappings) -> None:
+        """``pmap_enter_batch``: enter a *run* of consecutive Mach-page
+        mappings in one pass.
+
+        *mappings* is a sequence of ``(vaddr, paddr, prot, wired)``
+        tuples for consecutive Mach pages.  Equivalent to calling
+        :meth:`enter` once per tuple, except the whole run costs one
+        removal sweep and — when old mappings were displaced — at most
+        **one** TLB shootdown covering the run, instead of one per
+        page.  This is the pmap half of the fault fast lane
+        (:func:`repro.core.fault.vm_fault_batch`).
+        """
+        if not mappings:
+            return
+        self.stats.enters += len(mappings)
+        start = mappings[0][0]
+        end = mappings[-1][0] + self.page_size
+        events = self.machine.events
+        if events.active:
+            with events.span("pmap", "enter_batch", pmap=self.name,
+                             start=start, end=end,
+                             pages=len(mappings)):
+                self._enter_batch_body(mappings, start, end)
+        else:
+            self._enter_batch_body(mappings, start, end)
+
+    def _enter_batch_body(self, mappings, start: int, end: int) -> None:
+        # One displacement sweep for the whole run; the single
+        # shootdown below covers every page removed here.
+        removed_any = self.remove(start, end, shoot=False)
+        for vaddr, paddr, prot, wired in mappings:
+            self._enter_mapping(vaddr, paddr, prot, wired)
+        if removed_any:
+            self.system.shootdown(self, start, end)
+
+    def remove(self, start: int, end: int, shoot: bool = True) -> bool:
         """``pmap_remove``: remove all mappings in [start, end)
-        ("[Used in memory deallocation]")."""
+        ("[Used in memory deallocation]").  Returns whether any mapping
+        was removed (callers passing ``shoot=False`` owe a shootdown
+        when it returns True)."""
         self.stats.removes += 1
         removed_any = False
         for va in list(self._hw_iter(trunc_page(start, self.hw_page_size),
@@ -416,6 +468,7 @@ class Pmap(abc.ABC):
             self.system.pv_remove(self, mach_va, mach_pa)
         if removed_any and shoot:
             self.system.shootdown(self, start, end)
+        return removed_any
 
     def protect(self, start: int, end: int, prot: VMProt) -> None:
         """``pmap_protect``: restrict protection on [start, end).
@@ -562,6 +615,13 @@ def pmap_enter(pmap: Pmap, v: int, p: int, prot: VMProt,
                wired: bool = False) -> None:
     """Table 3-3 pmap_enter: enter mapping [page fault]."""
     pmap.enter(v, p, prot, wired)
+
+
+def pmap_enter_batch(pmap: Pmap, mappings) -> None:
+    """Fast-lane extension of Table 3-3 pmap_enter: enter a run of
+    consecutive mappings with one removal sweep and at most one
+    shootdown [batched page fault]."""
+    pmap.enter_batch(mappings)
 
 
 def pmap_remove(pmap: Pmap, start: int, end: int) -> None:

@@ -108,7 +108,36 @@ class Sun3VacPmap(Sun3Pmap):
         super().enter(vaddr, paddr, prot, wired)
         self._vac.live_alias[frame] = (self, vaddr)
 
-    def remove(self, start: int, end: int, shoot: bool = True) -> None:
+    def _enter_batch_body(self, mappings, start: int, end: int) -> None:
+        """The batched enter with the alias discipline applied.
+
+        Same rules as :meth:`enter`, adapted to the base class's
+        one-removal-sweep shape: re-entries of a frame's *own* window
+        keep their lines (their records are dropped before the sweep
+        so it does not flush them), and a frame arriving under a
+        *different* window flushes the old alias before its PTEs are
+        written.  Flush totals match the page-at-a-time path.
+        """
+        vac = self._vac
+        for vaddr, paddr, _prot, _wired in mappings:
+            frame = self._frame_of(paddr)
+            if vac.live_alias.get(frame) == (self, vaddr):
+                # Re-entering the same window: the cached lines stay
+                # valid; drop the record so the removal sweep below
+                # does not flush it.
+                del vac.live_alias[frame]
+        removed_any = self.remove(start, end, shoot=False)
+        for vaddr, paddr, prot, wired in mappings:
+            frame = self._frame_of(paddr)
+            live = vac.live_alias.get(frame)
+            if live is not None and live != (self, vaddr):
+                self._flush_alias(frame)
+            self._enter_mapping(vaddr, paddr, prot, wired)
+            vac.live_alias[frame] = (self, vaddr)
+        if removed_any:
+            self.system.shootdown(self, start, end)
+
+    def remove(self, start: int, end: int, shoot: bool = True) -> bool:
         # Write back any live lines for frames mapped in the range
         # before their mappings (and possibly the pages) go away.
         """Remove mappings, flushing live cache windows first."""
@@ -122,7 +151,7 @@ class Sun3VacPmap(Sun3Pmap):
             if self._vac.live_alias.get(frame) == (
                     self, trunc_page(va, self.page_size)):
                 self._flush_alias(frame)
-        super().remove(start, end, shoot)
+        return super().remove(start, end, shoot)
 
     def protect(self, start: int, end: int, prot: VMProt) -> None:
         """Change protection, writing back dirty lines before COW downgrades."""

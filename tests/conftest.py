@@ -83,3 +83,11 @@ def any_pmap_kernel(request) -> MachKernel:
                              **kwargs))
     yield k
     _teardown_sweep(k)
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--difftest-seed", default=None,
+        help="run the differential fault-lane tests with this single "
+             "seed (hex or decimal) instead of the corpus in "
+             "tests/data/difftest_seeds.txt")

@@ -1,0 +1,1 @@
+"""Differential tests: fast fault lane vs the pinned reference resolver."""

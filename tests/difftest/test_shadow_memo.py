@@ -1,0 +1,167 @@
+"""Property tests for the shadow-chain memo.
+
+The fault fast lane memoizes :meth:`VMObject.shadow_chain`, validated
+against the object manager's ``chain_epoch`` (bumped on every
+chain-structure mutation: shadow creation, collapse, bypass,
+terminate).  Correctness rests on two properties, checked here over
+randomized copy / collapse / fork / terminate histories:
+
+* **never stale** — after any operation sequence, ``shadow_chain()``
+  equals a freshly computed pointer walk for every reachable object;
+* **invalidation coverage** — every structural mutation bumps the
+  epoch, so memos created before it are discarded (the cleared set is
+  a superset of the invalidation points; over-invalidation only costs
+  a re-walk, staleness would serve wrong pages).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.testing import make_spec
+from repro.core.kernel import MachKernel
+
+
+def naive_chain(obj) -> list[tuple]:
+    """The unmemoized pointer walk ``shadow_chain`` must agree with."""
+    chain, delta = [], 0
+    node = obj
+    while node is not None:
+        chain.append((node, delta))
+        delta += node.shadow_offset
+        node = node.shadow
+    return chain
+
+
+def reachable_objects(tasks):
+    seen = []
+    for task in tasks:
+        if task.terminated:
+            continue
+        for entry in task.vm_map.entries():
+            submaps = [entry.submap] if entry.submap is not None else []
+            entries = [entry] + [e for sm in submaps
+                                 for e in sm.entries()]
+            for leaf in entries:
+                if leaf.vm_object is None:
+                    continue
+                for obj in leaf.vm_object.chain():
+                    if obj not in seen:
+                        seen.append(obj)
+    return seen
+
+
+def drive(seed: int, nops: int = 60):
+    """A random copy/collapse/fork/terminate history; yields the
+    kernel + live tasks after every operation."""
+    rng = random.Random(seed)
+    kernel = MachKernel(make_spec(name="memo", memory_frames=128))
+    page = kernel.page_size
+    root = kernel.task_create(name="memo0")
+    addr = root.vm_allocate(6 * page)
+    for i in range(6):
+        root.write(addr + i * page, bytes([i + 1]) * 8)
+    tasks = [root]
+    for opno in range(nops):
+        op = rng.choice(["fork", "write", "read", "terminate",
+                         "write", "read"])
+        live = [t for t in tasks if not t.terminated]
+        if op == "fork" and len(live) < 6:
+            parent = rng.choice(live)
+            tasks.append(parent.fork(name=f"memo{len(tasks)}"))
+        elif op == "write":
+            # COW writes create shadows and trigger collapses.
+            task = rng.choice(live)
+            offset = rng.randrange(6) * page
+            task.write(addr + offset, bytes([opno % 255 + 1]) * 4)
+        elif op == "read":
+            task = rng.choice(live)
+            task.read(addr + rng.randrange(6) * page, 4)
+        elif op == "terminate" and len(live) > 1:
+            victim = rng.choice([t for t in live if t is not root])
+            victim.terminate()
+        yield kernel, [t for t in tasks if not t.terminated]
+
+
+@pytest.mark.parametrize("seed", [0x11, 0x22, 0x33, 0x44, 0x55])
+def test_memo_never_stale(seed):
+    """After every op, the memoized chain equals a fresh pointer walk
+    for every object reachable from any live task."""
+    for kernel, tasks in drive(seed):
+        manager = kernel.vm.objects
+        for obj in reachable_objects(tasks):
+            assert obj.shadow_chain(manager) == naive_chain(obj), (
+                f"stale memo on {obj!r} (seed={seed:#x})")
+
+
+@pytest.mark.parametrize("seed", [0x66, 0x77, 0x88])
+def test_memo_is_actually_memoized(seed):
+    """A second lookup with no intervening mutation is a cache hit."""
+    for kernel, tasks in drive(seed, nops=30):
+        manager = kernel.vm.objects
+        for obj in reachable_objects(tasks):
+            first = obj.shadow_chain(manager)
+            walks = manager.chain_walks
+            assert obj.shadow_chain(manager) is first
+            assert manager.chain_walks == walks
+
+
+def test_epoch_bumps_on_every_invalidation_point():
+    """shadow / collapse / bypass / terminate each bump the epoch, so
+    any memo taken before the mutation is discarded."""
+    kernel = MachKernel(make_spec(name="memo-epochs",
+                                  memory_frames=64))
+    manager = kernel.vm.objects
+    page = kernel.page_size
+
+    # shadow: a COW write after fork shadows the child's entry.
+    parent = kernel.task_create(name="ep0")
+    addr = parent.vm_allocate(2 * page)
+    parent.write(addr, b"orig")
+    child = parent.fork(name="ep1")
+    epoch = manager.chain_epoch
+    child.write(addr, b"cow!")            # shadow (and maybe collapse)
+    assert manager.chain_epoch > epoch
+
+    # collapse/bypass: terminating the other sharer lets the chain
+    # collapse on the survivor's next write.
+    epoch = manager.chain_epoch
+    parent.terminate()                    # terminate bumps too
+    assert manager.chain_epoch > epoch
+
+    # terminate: deallocating drops the last reference.
+    epoch = manager.chain_epoch
+    child.vm_deallocate(addr, 2 * page)
+    assert manager.chain_epoch > epoch
+
+    shadows, collapses, bypasses = (manager.shadows_created,
+                                    manager.collapses,
+                                    manager.bypasses)
+    assert shadows >= 1                   # the COW write shadowed
+    # Epoch moved at least once per recorded structural mutation.
+    assert manager.chain_epoch >= shadows + collapses + bypasses
+
+
+def test_memoized_walk_count_is_bounded_per_epoch():
+    """Within one epoch, N objects cost at most N walks no matter how
+    many faults replay the chain (the dict-free hot path)."""
+    kernel = MachKernel(make_spec(name="memo-count",
+                                  memory_frames=64))
+    manager = kernel.vm.objects
+    page = kernel.page_size
+    task = kernel.task_create(name="mc0")
+    addr = task.vm_allocate(4 * page)
+    for i in range(4):
+        task.write(addr + i * page, b"warm")
+    walks_before = manager.chain_walks
+    epoch = manager.chain_epoch
+    for _ in range(5):                    # refault the same pages
+        for i in range(4):
+            task.pmap.forget(addr + i * page)
+            task.read(addr + i * page, 1)
+    assert manager.chain_epoch == epoch, \
+        "re-faulting resident pages must not mutate chain structure"
+    assert manager.chain_walks - walks_before <= 1, \
+        "at most one fresh walk for one object within one epoch"

@@ -108,3 +108,96 @@ class TestReporting:
         assert fmt_min(90_000) == "1:30min"
         m = Measurement(cpu_ms=5200, elapsed_ms=11000)
         assert fmt_sys_elapsed(m) == "5.2/11.0s"
+
+
+class TestFastLanePerfGuards:
+    """Counter-based guards for the fault fast lane (no wall-clock):
+    a batched object-run costs at most one shadow-chain walk and at
+    most one TLB shootdown, and the bench report records what a
+    regression needs (seed, arch list, per-arch throughput)."""
+
+    def _booted(self, pages=16, ncpus=2):
+        from repro.bench.testing import make_spec
+        from repro.core.kernel import MachKernel
+
+        kernel = MachKernel(make_spec(name="fastlane", ncpus=ncpus,
+                                      memory_frames=pages * 4))
+        task = kernel.task_create(name="fl0")
+        addr = task.vm_allocate(pages * kernel.page_size)
+        for off in range(0, pages * kernel.page_size,
+                         kernel.page_size):
+            task.write(addr + off, b"warm")
+        return kernel, task, addr, pages
+
+    def test_batched_run_walks_chain_at_most_once(self):
+        from repro.core.constants import FaultType
+
+        kernel, task, addr, pages = self._booted()
+        page = kernel.page_size
+        for off in range(0, pages * page, page):
+            task.pmap.forget(addr + off)
+        manager = kernel.vm.objects
+        walks_before = manager.chain_walks
+        kernel.fault_batch(task, addr, pages, FaultType.READ)
+        assert manager.chain_walks - walks_before <= 1, \
+            "one object-run must cost at most one shadow-chain walk"
+
+    def test_batched_run_shoots_down_at_most_once(self):
+        from repro.core.constants import FaultType
+
+        kernel, task, addr, pages = self._booted()
+        # Refault over *live* mappings: every page displaces an old
+        # mapping, the worst case for shootdown traffic.
+        before = kernel.pmap_system.shootdowns
+        kernel.fault_batch(task, addr, pages, FaultType.WRITE)
+        issued = kernel.pmap_system.shootdowns - before
+        assert issued <= 1, (
+            f"one displacing object-run issued {issued} shootdowns "
+            f"(scalar would issue {pages})")
+
+    def test_scalar_equivalent_stats_per_page(self):
+        """The batch lane charges exactly one fault (and the same
+        modeled cost) per page — Table 7-x inputs cannot drift."""
+        from repro.core.constants import FaultType
+
+        kernel, task, addr, pages = self._booted()
+        page = kernel.page_size
+        for off in range(0, pages * page, page):
+            task.pmap.forget(addr + off)
+        faults_before = kernel.stats.faults
+        clock_before = kernel.clock.elapsed_us
+        kernel.fault_batch(task, addr, pages, FaultType.READ)
+        assert kernel.stats.faults - faults_before == pages
+        costs = kernel.machine.costs
+        per_fault = costs.fault_trap_us + costs.fault_mi_us
+        assert kernel.clock.elapsed_us - clock_before >= \
+            pages * per_fault
+
+    def test_bench_report_records_repro_inputs(self):
+        from repro.bench import run_perf_bench
+        from repro.bench.perfbench import DEFAULT_SEED, QUICK_ARCHS
+
+        payload = run_perf_bench(quick=True)
+        assert payload["seed"] == DEFAULT_SEED
+        assert payload["archs"] == list(QUICK_ARCHS)
+        per_arch = payload["per_arch_fault_throughput"]
+        assert set(per_arch) == set(QUICK_ARCHS)
+        assert all(v > 0 for v in per_arch.values())
+        assert payload["fault_microbench"]["lane"] == "batch"
+        assert payload["fault_microbench_scalar"]["lane"] == "scalar"
+        # Identical fault stream on both lanes.
+        assert payload["fault_microbench"]["faults"] == \
+            payload["fault_microbench_scalar"]["faults"]
+
+    def test_compare_reports_ratio(self):
+        from repro.bench.compare import compare_reports
+
+        base = {"fault_microbench": {"faults_per_s": 1000.0},
+                "invariant_sweeps": {"wall_s": 2.0}}
+        cur = {"fault_microbench": {"faults_per_s": 3000.0},
+               "invariant_sweeps": {"wall_s": 1.0}}
+        delta = compare_reports(base, cur)
+        assert delta["fault_ratio"] == 3.0
+        assert delta["sweep_ratio"] == 2.0
+        # Missing fields degrade to None, not a crash.
+        assert compare_reports({}, cur)["fault_ratio"] is None
