@@ -1,10 +1,25 @@
 """Compare two ``repro bench --json`` reports (BENCH_<n>.json series).
 
 Used by ``repro bench --json`` itself (to print the before/after ratio
-against the previous baseline) and by CI (to annotate the uploaded
-artifact with the regression/speedup ratio)::
+against the previous baseline) and by CI (to *gate* on the ratio)::
 
-    python -m repro.bench.compare BENCH_6.json BENCH_7.json
+    python -m repro.bench.compare BENCH_7.json BENCH_8.json
+    python -m repro.bench.compare --gate --max-regress 20 \
+        BENCH_7.json bench-quick.json
+
+The BENCH series spans many PRs, so the two reports rarely share an
+identical schema: older baselines predate whole sections (the scalar
+lane, the parallel sweeps, the fault tail-latency percentiles).  Every
+metric here is therefore optional on *both* sides — a missing number
+renders as ``n/a`` and never fails the gate (you cannot regress
+against a baseline that never measured the thing).
+
+``--gate`` promotes the annotation to a CI check: exit 1 when the
+fault microbench throughput regressed more than ``--max-regress``
+percent, or when the deterministic simulated-time latency percentiles
+(p99, per arch) got worse at all beyond rounding.  Wall-clock numbers
+other than the fault microbench stay advisory — CI runners are too
+noisy to gate on sweep seconds.
 """
 
 from __future__ import annotations
@@ -12,10 +27,28 @@ from __future__ import annotations
 import json
 import sys
 
+#: Default gate threshold: fail on >20% throughput regression.
+DEFAULT_MAX_REGRESS_PCT = 20.0
+
+#: Simulated-time percentiles are deterministic for a fixed seed, but
+#: allow a sliver of headroom so an intentional +1-bucket shift in the
+#: log-bucketed histogram (~3% relative error) does not trip the gate.
+LATENCY_SLO_SLACK = 1.05
+
 
 def load_report(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def _get(report: dict, *path):
+    """Walk nested dicts, returning ``None`` on any missing hop."""
+    node = report
+    for key in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(key)
+    return node
 
 
 def compare_reports(baseline: dict, current: dict) -> dict:
@@ -23,19 +56,39 @@ def compare_reports(baseline: dict, current: dict) -> dict:
 
     ``fault_ratio`` > 1 means the fault microbench got faster;
     ``sweep_ratio`` > 1 means the invariant sweeps got faster.  Either
-    is ``None`` when a side lacks the number (older baselines predate
-    some fields).
+    is ``None`` when a side lacks the number (the schema drifts across
+    the BENCH series; missing sections are reported as ``n/a``, never
+    as errors).  ``tail_p99_ratio`` compares the storm's simulated
+    p99 fault latency per shared arch (> 1 means the tail got
+    *longer*), plus ``None`` entries for archs only one side measured.
     """
-    def _throughput(report):
-        bench = report.get("fault_microbench") or {}
-        return bench.get("faults_per_s")
+    base_fps = _get(baseline, "fault_microbench", "faults_per_s")
+    cur_fps = _get(current, "fault_microbench", "faults_per_s")
+    base_wall = _get(baseline, "invariant_sweeps", "wall_s")
+    cur_wall = _get(current, "invariant_sweeps", "wall_s")
 
-    def _sweep_wall(report):
-        sweeps = report.get("invariant_sweeps") or {}
-        return sweeps.get("wall_s")
-
-    base_fps, cur_fps = _throughput(baseline), _throughput(current)
-    base_wall, cur_wall = _sweep_wall(baseline), _sweep_wall(current)
+    base_tail = _get(baseline, "fault_tail_latency", "per_arch") or {}
+    cur_tail = _get(current, "fault_tail_latency", "per_arch") or {}
+    # Percentiles are only commensurable when both storms ran the same
+    # load shape (a quick CI run vs a committed full-mode baseline has
+    # a lighter tail by construction) — on mismatch the values still
+    # print, but every ratio is n/a and the gate skips them.
+    shape = tuple(
+        _get(report, "fault_tail_latency", key)
+        for report in (baseline, current)
+        for key in ("tasks", "pages", "rounds", "seed"))
+    same_shape = shape[:4] == shape[4:] and None not in shape[:4]
+    tail = {}
+    for arch in sorted(set(base_tail) | set(cur_tail)):
+        base_p99 = _get(base_tail, arch, "p99_us")
+        cur_p99 = _get(cur_tail, arch, "p99_us")
+        tail[arch] = {
+            "baseline_p99_us": base_p99,
+            "current_p99_us": cur_p99,
+            "ratio": round(cur_p99 / base_p99, 3)
+            if same_shape and base_p99 and cur_p99 is not None
+            else None,
+        }
     return {
         "baseline_faults_per_s": base_fps,
         "current_faults_per_s": cur_fps,
@@ -45,7 +98,12 @@ def compare_reports(baseline: dict, current: dict) -> dict:
         "current_sweep_wall_s": cur_wall,
         "sweep_ratio": round(base_wall / cur_wall, 2)
         if base_wall and cur_wall else None,
+        "tail_p99_ratio": tail or None,
     }
+
+
+def _fmt(value, spec: str, suffix: str = "") -> str:
+    return f"{value:{spec}}{suffix}" if value is not None else "n/a"
 
 
 def format_comparison(delta: dict, baseline_name: str = "baseline",
@@ -57,24 +115,90 @@ def format_comparison(delta: dict, baseline_name: str = "baseline",
             f"-> {delta['current_faults_per_s']:.0f} faults/s "
             f"({delta['fault_ratio']:.2f}x {baseline_name} -> "
             f"{current_name})")
+    elif delta["current_faults_per_s"] is not None:
+        lines.append(
+            f"fault microbench: n/a -> "
+            f"{delta['current_faults_per_s']:.0f} faults/s "
+            f"(no baseline measurement)")
     if delta["sweep_ratio"] is not None:
         lines.append(
             f"invariant sweeps: {delta['baseline_sweep_wall_s']:.3f}s "
             f"-> {delta['current_sweep_wall_s']:.3f}s "
             f"({delta['sweep_ratio']:.2f}x)")
+    for arch, cell in (delta.get("tail_p99_ratio") or {}).items():
+        lines.append(
+            f"fault p99 ({arch}): "
+            f"{_fmt(cell['baseline_p99_us'], '.0f', 'us')} -> "
+            f"{_fmt(cell['current_p99_us'], '.0f', 'us')} "
+            f"({_fmt(cell['ratio'], '.3f', 'x')})")
     return "\n".join(lines) if lines else "nothing comparable"
+
+
+def gate_failures(delta: dict,
+                  max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT
+                  ) -> list[str]:
+    """SLO check over a :func:`compare_reports` delta.
+
+    Returns the list of violated SLOs (empty means the gate passes):
+
+    * fault microbench throughput down more than *max_regress_pct*
+      percent vs the baseline;
+    * simulated p99 fault latency up more than the histogram's bucket
+      slack on any arch both reports measured.
+
+    Metrics missing from either side are skipped, not failed.
+    """
+    failures = []
+    ratio = delta.get("fault_ratio")
+    floor = 1.0 - max_regress_pct / 100.0
+    if ratio is not None and ratio < floor:
+        failures.append(
+            f"fault microbench throughput {ratio:.2f}x baseline "
+            f"(floor {floor:.2f}x: >{max_regress_pct:.0f}% regression)")
+    for arch, cell in (delta.get("tail_p99_ratio") or {}).items():
+        if cell["ratio"] is not None and cell["ratio"] > LATENCY_SLO_SLACK:
+            failures.append(
+                f"fault p99 latency ({arch}) {cell['ratio']:.3f}x "
+                f"baseline (SLO {LATENCY_SLO_SLACK:.2f}x: "
+                f"{cell['baseline_p99_us']:.0f}us -> "
+                f"{cell['current_p99_us']:.0f}us)")
+    return failures
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2:
+    gate = False
+    max_regress = DEFAULT_MAX_REGRESS_PCT
+    paths = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--gate":
+            gate = True
+        elif arg == "--max-regress":
+            try:
+                max_regress = float(next(it))
+            except (StopIteration, ValueError):
+                print("--max-regress needs a number", file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
         print("usage: python -m repro.bench.compare "
+              "[--gate] [--max-regress PCT] "
               "BASELINE.json CURRENT.json", file=sys.stderr)
         return 2
-    baseline_path, current_path = argv
+    baseline_path, current_path = paths
     delta = compare_reports(load_report(baseline_path),
                             load_report(current_path))
     print(format_comparison(delta, baseline_path, current_path))
+    if gate:
+        failures = gate_failures(delta, max_regress_pct=max_regress)
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"gate ok (max regression {max_regress:.0f}%, "
+              f"latency SLO {LATENCY_SLO_SLACK:.2f}x)")
     return 0
 
 

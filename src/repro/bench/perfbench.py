@@ -20,7 +20,12 @@ The numbers:
   on every registered pmap architecture;
 * **invariant-sweep wall-clock** — how long ``repro check``'s runtime
   sweeps take serially, the dominant cost of the CI gate, plus the
-  process-parallel (``--jobs``) wall-clock for the same matrix.
+  process-parallel (``--jobs``) wall-clock for the same matrix;
+* **fault tail latency** — *simulated*-time percentiles
+  (p50/p99/p999) and per-pipeline-stage attribution from the
+  :mod:`repro.bench.storm` load generator, per architecture.  Unlike
+  the wall-clock numbers these are deterministic for a given seed, so
+  the compare gate can hold them to exact-ratio SLOs.
 
 The report records the seed (the forget order is seeded and shuffled),
 the arch list, and per-arch throughput so a regression names exactly
@@ -149,4 +154,32 @@ def run_perf_bench(quick: bool = False,
     if jobs > 1:
         payload["invariant_sweeps_parallel"] = _sweep_wallclock(
             quick, jobs=jobs)
+    payload["fault_tail_latency"] = _fault_tail_latency(quick)
     return payload
+
+
+def _fault_tail_latency(quick: bool) -> dict:
+    """Per-arch simulated-time latency percentiles from the storm."""
+    from repro.bench.storm import run_storm_matrix
+
+    storm, _ = run_storm_matrix(quick=quick)
+    return {
+        "seed": storm["seed"],
+        "tasks": storm["tasks"],
+        "pages": storm["pages"],
+        "rounds": storm["rounds"],
+        "per_arch": {
+            arch: {
+                "faults": report["faults"],
+                "p50_us": report["p50_us"],
+                "p99_us": report["p99_us"],
+                "p999_us": report["p999_us"],
+                "max_us": report["max_us"],
+                "stage_share": {
+                    stage: info["share"]
+                    for stage, info in report["stages"].items()
+                },
+            }
+            for arch, report in storm["archs"].items()
+        },
+    }

@@ -1,0 +1,183 @@
+"""``repro storm``: a fault-storm load generator for tail latency.
+
+Ramps N concurrent faulting tasks on a deliberately overcommitted
+machine (the pageout-pressure recipe: roughly half the frames the
+working set wants) and reads the resulting fault-latency distribution
+off :class:`~repro.obs.telemetry.FaultTelemetry`.  Each task runs as a
+cooperatively scheduled thread interleaved round-robin with every
+other, so faults from different tasks genuinely contend for the free
+pool, the pageout daemon and the TLBs:
+
+* staggered start — thread *i* idles *i* slices before faulting, so
+  load ramps instead of arriving as one burst;
+* forget/refault churn through the MMU (``mmu_probe`` →
+  ``map_lookup`` → ``shadow_walk`` stages) and one batch-lane
+  resolution per round (``vm/fault`` spans nested in
+  ``vm/fault_batch``, deferred ``pmap/enter_batch`` flushes);
+* copy-on-write children (``copy_up`` stage) on every other task;
+* a pageout thread evicting pages each round, so later refaults page
+  in from the default pager (``pager_wait`` dominating the tail).
+
+Everything is measured in *simulated* microseconds off the machine
+clock and every source of variation is seeded, so a given
+``(arch, tasks, pages, rounds, seed)`` cell reproduces its percentiles
+bit-for-bit — which is what lets CI gate on them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.perfbench import BENCH_ARCHS, QUICK_ARCHS
+from repro.bench.testing import make_spec
+from repro.obs.telemetry import FaultTelemetry
+
+#: Default seed for the per-task page-visit orders.
+STORM_SEED = 0x570A
+
+#: Full-mode load shape: (tasks, pages per task, rounds).
+FULL_LOAD = (8, 6, 3)
+#: Quick-mode load shape (CI smoke).
+QUICK_LOAD = (4, 4, 2)
+
+
+def _boot(arch: str, tasks: int, pages: int):
+    from repro.core.kernel import MachKernel
+
+    kwargs = dict(BENCH_ARCHS[arch])
+    # Overcommit ~2x (the invariant-sweep pageout-pressure recipe):
+    # the combined working set wants tasks * pages frames plus COW
+    # copies; give it about half, so the daemon must steal and the
+    # tail includes real pageins.
+    kwargs["memory_frames"] = max(16, (tasks * pages) // 2)
+    kwargs.setdefault("ncpus", 2)
+    spec = make_spec(name=f"storm-{arch}", pmap_name=arch, **kwargs)
+    return MachKernel(spec)
+
+
+def run_storm(arch: str = "generic", tasks: int = 8, pages: int = 6,
+              rounds: int = 3, seed: int = STORM_SEED,
+              keep_worst: int = 8):
+    """Run one storm cell; returns ``(report, telemetry)``.
+
+    *report* is the JSON-ready dict from
+    :meth:`FaultTelemetry.report` plus the cell parameters; the
+    *telemetry* object is returned too so callers can export the
+    worst-fault Chrome trace.
+    """
+    from repro.core.constants import FaultType
+    from repro.sched.scheduler import Scheduler
+
+    kernel = _boot(arch, tasks, pages)
+    page = kernel.page_size
+    telemetry = FaultTelemetry(keep_worst=keep_worst).attach(kernel)
+    try:
+        sched = Scheduler(kernel)
+        rng = random.Random(seed)
+
+        regions: list[tuple] = []
+        for i in range(tasks):
+            task = kernel.task_create(name=f"storm{i}")
+            base = task.vm_allocate(pages * page)
+            # Warm the region (zero-fill faults count too), then fork
+            # a COW child off every other task.
+            for off in range(0, pages * page, page):
+                task.write(base + off, bytes([off // page % 255 + 1]))
+            child = task.fork() if i % 2 == 0 else None
+            order = list(range(0, pages * page, page))
+            rng.shuffle(order)
+            regions.append((task, child, base, order))
+
+        def faulter(i, task, base, order):
+            def body(ctx):
+                for _ in range(i):
+                    yield               # staggered start: the ramp
+                for round_no in range(rounds):
+                    for off in order:
+                        task.pmap.forget(base + off)
+                    for off in order:
+                        ctx.read(base + off, 1)
+                        yield
+                    # One batch-lane resolution of the whole region.
+                    for off in order:
+                        task.pmap.forget(base + off)
+                    kernel.fault_batch(task, base, pages,
+                                       FaultType.READ)
+                    yield
+                    ctx.write(base + order[round_no % pages], b"w")
+                    yield
+            return body
+
+        def cow_child(child, base, order):
+            def body(ctx):
+                for off in order:
+                    ctx.write(base + off, b"C")   # COW copy-up
+                    yield
+            return body
+
+        def evictor(ctx):
+            for _ in range(rounds):
+                for _ in range(tasks):
+                    yield
+                kernel.pageout_daemon.run()
+                yield
+
+        for i, (task, child, base, order) in enumerate(regions):
+            sched.spawn(task, faulter(i, task, base, order),
+                        name=f"storm{i}-f")
+            if child is not None:
+                sched.spawn(child, cow_child(child, base, order),
+                            name=f"storm{i}-cow")
+        sched.spawn(regions[0][0], evictor, name="storm-evict")
+        sched.run()
+    finally:
+        telemetry.detach()
+
+    report = telemetry.report()
+    report.update({
+        "arch": arch,
+        "tasks": tasks,
+        "pages": pages,
+        "rounds": rounds,
+        "seed": seed,
+    })
+    return report, telemetry
+
+
+def run_storm_matrix(archs=None, quick: bool = False,
+                     tasks: int | None = None,
+                     pages: int | None = None,
+                     rounds: int | None = None,
+                     seed: int = STORM_SEED,
+                     keep_worst: int = 8):
+    """Run the storm across the arch matrix.
+
+    Returns ``(payload, telemetries)``: *payload* is the JSON report
+    (``payload["archs"][arch]`` holds each cell's percentiles and
+    per-stage breakdown), *telemetries* maps arch name to its
+    :class:`FaultTelemetry` for trace export.
+    """
+    shape = QUICK_LOAD if quick else FULL_LOAD
+    tasks = shape[0] if tasks is None else tasks
+    pages = shape[1] if pages is None else pages
+    rounds = shape[2] if rounds is None else rounds
+    if archs is None:
+        archs = list(QUICK_ARCHS) if quick else list(BENCH_ARCHS)
+    payload = {
+        "storm": "fault-tail-latency",
+        "quick": quick,
+        "seed": seed,
+        "tasks": tasks,
+        "pages": pages,
+        "rounds": rounds,
+        "archs": {},
+    }
+    telemetries = {}
+    for arch in archs:
+        report, telemetry = run_storm(arch=arch, tasks=tasks,
+                                      pages=pages, rounds=rounds,
+                                      seed=seed,
+                                      keep_worst=keep_worst)
+        payload["archs"][arch] = report
+        telemetries[arch] = telemetry
+    return payload, telemetries

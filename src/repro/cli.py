@@ -19,6 +19,14 @@ Commands:
   (loadable in Perfetto / ``chrome://tracing``, one lane per simulated
   CPU plus daemon/pager lanes), a derived-metrics summary, or the
   nested span tree with a top-N self-time profile;
+* ``storm [--arch NAME] [--tasks N] [--pages N] [--rounds N]
+  [--seed N] [--quick] [--json] [--out FILE] [--trace-out FILE]`` —
+  the fault-storm load generator: ramp N concurrent faulting tasks on
+  an overcommitted machine across the pmap arch matrix and report the
+  fault-latency distribution (p50/p95/p99/p999) with per-pipeline-
+  stage attribution from :class:`repro.obs.FaultTelemetry`;
+  ``--trace-out`` exports the worst-percentile faults as Chrome
+  trace_event JSON;
 * ``check [--lint-only] [--report FILE]`` — run the static analyses
   over the source tree (MD/MI layering lint, concurrency lint, and
   the four dataflow passes: resource lifecycle, pmap MI-contract
@@ -296,7 +304,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         seed = DEFAULT_SEED if args.seed is None else args.seed
         payload = run_perf_bench(quick=args.quick, seed=seed)
-        out = args.out or "BENCH_7.json"
+        out = args.out or "BENCH_8.json"
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -317,6 +325,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                  f"jobs" if "invariant_sweeps_parallel" in payload
                  else "")
               + f" ({'ok' if sweep['ok'] else 'FAILED'})")
+        tail = payload["fault_tail_latency"]["per_arch"]
+        print("fault tail latency (simulated, p99 us): " + ", ".join(
+            f"{arch}={cell['p99_us']:.0f}" for arch, cell in
+            tail.items()))
         print(f"wrote {out}")
         baseline = args.baseline
         if baseline and os.path.exists(baseline) \
@@ -383,6 +395,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for table in tables:
         print(table.render())
         print()
+    return 0
+
+
+def cmd_storm(args: argparse.Namespace) -> int:
+    """``repro storm``: the fault-storm load generator — tail-latency
+    percentiles with per-stage attribution across the arch matrix."""
+    import json
+
+    from repro.bench.storm import STORM_SEED, run_storm_matrix
+    from repro.obs import validate_chrome_trace
+    from repro.obs.telemetry import format_latency_report
+
+    seed = STORM_SEED if args.seed is None else args.seed
+    archs = [args.arch] if args.arch else None
+    payload, telemetries = run_storm_matrix(
+        archs=archs, quick=args.quick, tasks=args.tasks,
+        pages=args.pages, rounds=args.rounds, seed=seed)
+
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    else:
+        print(f"fault storm (seed={seed:#x}): "
+              f"{payload['tasks']} tasks x {payload['pages']} pages "
+              f"x {payload['rounds']} rounds, ~2x overcommit")
+        for arch, report in payload["archs"].items():
+            print(f"\n{arch}:")
+            print(format_latency_report(report))
+
+    if args.trace_out:
+        # The worst-percentile faults of the first arch in the run
+        # (narrow with --arch to trace a specific architecture).
+        first = next(iter(telemetries))
+        trace = telemetries[first].worst_chrome_trace(
+            process_name=f"repro-storm-{first}")
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(trace, separators=(",", ":")))
+            handle.write("\n")
+        print(f"wrote worst-fault trace ({first}) to "
+              f"{args.trace_out}")
     return 0
 
 
@@ -576,15 +638,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "and write a JSON report")
     bench.add_argument("--out",
                        help="output file for --json "
-                            "(default BENCH_7.json)")
+                            "(default BENCH_8.json)")
     bench.add_argument("--seed", type=lambda v: int(v, 0),
                        default=None,
                        help="seed for the microbench forget order "
                             "(recorded in the JSON report)")
-    bench.add_argument("--baseline", default="BENCH_6.json",
+    bench.add_argument("--baseline", default="BENCH_7.json",
                        help="previous BENCH_<n>.json to print a "
                             "before/after ratio against (skipped "
                             "when missing)")
+
+    storm = sub.add_parser(
+        "storm",
+        help="fault-storm load generator: tail-latency percentiles "
+             "(p50/p95/p99/p999) with per-pipeline-stage attribution")
+    storm.add_argument("--arch", choices=["generic", "vax", "rt_pc",
+                                          "sun3", "sun3_vac",
+                                          "ns32082"],
+                       help="storm a single pmap architecture "
+                            "(default: the whole matrix)")
+    storm.add_argument("--tasks", type=int, default=None,
+                       help="concurrent faulting tasks (default 8, "
+                            "quick 4)")
+    storm.add_argument("--pages", type=int, default=None,
+                       help="pages per task working set (default 6, "
+                            "quick 4)")
+    storm.add_argument("--rounds", type=int, default=None,
+                       help="forget/refault rounds per task "
+                            "(default 3, quick 2)")
+    storm.add_argument("--seed", type=lambda v: int(v, 0),
+                       default=None,
+                       help="seed for per-task page-visit orders "
+                            "(recorded in the report)")
+    storm.add_argument("--quick", action="store_true",
+                       help="3 architectures, smaller load (CI smoke)")
+    storm.add_argument("--json", action="store_true",
+                       help="emit the JSON latency report instead of "
+                            "the per-arch tables")
+    storm.add_argument("--out", help="output file for --json")
+    storm.add_argument("--trace-out",
+                       help="also export the worst-percentile faults "
+                            "of the first arch as Chrome trace_event "
+                            "JSON")
 
     check = sub.add_parser(
         "check", help="static analysis + runtime invariant sweeps")
@@ -659,6 +754,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "show": cmd_show,
         "bench": cmd_bench,
+        "storm": cmd_storm,
         "check": cmd_check,
         "faultsweep": cmd_faultsweep,
         "races": cmd_races,

@@ -88,7 +88,7 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     vm = kernel.vm
     page_addr = vaddr & -vm.page_size
     vm_map = task.vm_map
-    result = vm_map.lookup(page_addr, fault_type)
+    result = _lookup_staged(kernel, vm_map, page_addr, fault_type)
     writing = bool(int(fault_type) & _WRITE_BIT)
     outcome = FaultOutcome(page=None)  # type: ignore[arg-type]
     result = _prepare_entry(kernel, vm_map, result, page_addr,
@@ -102,8 +102,8 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     # faulting task — never a hang, never silently wrong data (the
     # paper's Section 4 concern about errant user-state managers).
     try:
-        page, level = _find_page(kernel, first_object, first_offset,
-                                 outcome)
+        page, level = _find_page_staged(kernel, first_object,
+                                        first_offset, outcome)
     except (MemoryObjectError, DiskIOError):
         kernel.stats.fault_errors += 1
         raise
@@ -139,6 +139,32 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     return outcome
 
 
+def _lookup_staged(kernel, vm_map, page_addr: int,
+                   fault_type: FaultType):
+    """An address-map lookup wrapped in a ``stage/map_lookup`` span
+    when the bus has subscribers (the telemetry layer attributes the
+    entry-scan time to the ``map_lookup`` pipeline stage)."""
+    events = kernel.events
+    if events.active:
+        with events.span("stage", "map_lookup"):
+            return vm_map.lookup(page_addr, fault_type)
+    return vm_map.lookup(page_addr, fault_type)
+
+
+def _find_page_staged(kernel, first_object, first_offset: int,
+                      outcome: FaultOutcome):
+    """:func:`_find_page` wrapped in a ``stage/shadow_walk`` span when
+    the bus has subscribers.  Pager calls and the zero fill open their
+    own stage spans inside it, so the walk's *self* time is the chain
+    descent alone."""
+    events = kernel.events
+    if events.active:
+        with events.span("stage", "shadow_walk"):
+            return _find_page(kernel, first_object, first_offset,
+                              outcome)
+    return _find_page(kernel, first_object, first_offset, outcome)
+
+
 def _prepare_entry(kernel, vm_map, result, page_addr: int,
                    fault_type: FaultType, writing: bool,
                    outcome: FaultOutcome):
@@ -156,7 +182,7 @@ def _prepare_entry(kernel, vm_map, result, page_addr: int,
     if entry.vm_object is None:
         entry.vm_object = vm.objects.create_internal(entry.size)
         entry.offset = 0
-        result = vm_map.lookup(page_addr, fault_type)
+        result = _lookup_staged(kernel, vm_map, page_addr, fault_type)
         entry = result.leaf_entry
 
     # (3) Shadow a needs-copy entry before letting a write through.
@@ -187,7 +213,7 @@ def _prepare_entry(kernel, vm_map, result, page_addr: int,
             for page in old_object.iter_resident():
                 if lo <= page.offset < hi:
                     vm.pmap_system.remove_all(page.phys_addr)
-        result = vm_map.lookup(page_addr, fault_type)
+        result = _lookup_staged(kernel, vm_map, page_addr, fault_type)
     return result
 
 
@@ -217,7 +243,13 @@ def _finish_page(kernel, result, page, level: int, first_object,
     # (5) Copy-on-write copy when a write found its data in a backing
     # object.
     if page.vm_object is not first_object and writing:
-        page = _copy_up(kernel, page, first_object, first_offset)
+        events = kernel.events
+        if events.active:
+            with events.span("stage", "copy_up"):
+                page = _copy_up(kernel, page, first_object,
+                                first_offset)
+        else:
+            page = _copy_up(kernel, page, first_object, first_offset)
         outcome.cow_copied = True
         kernel.stats.cow_faults += 1
         kernel.events.emit("vm", "cow",
@@ -286,7 +318,12 @@ def _find_page(kernel, first_object, first_offset: int,
     # the page is immediately private to it.
     page = vm.resident.allocate(first_object, first_offset, busy=True)
     try:
-        vm.pmap_system.zero_page(page.phys_addr)
+        events = kernel.events
+        if events.active:
+            with events.span("stage", "zero_fill"):
+                vm.pmap_system.zero_page(page.phys_addr)
+        else:
+            vm.pmap_system.zero_page(page.phys_addr)
         outcome.zero_filled = True
         kernel.stats.zero_fill_count += 1
         kernel.events.emit("vm", "zero_fill",
@@ -433,7 +470,7 @@ def _resolve_batch(kernel, task, start: int, npages: int,
             # New run: flush the finished one, re-resolve the map and
             # prepare the entry (materialize / shadow) exactly once.
             flush()
-            result = vm_map.lookup(cursor, fault_type)
+            result = _lookup_staged(kernel, vm_map, cursor, fault_type)
             prep_outcome = FaultOutcome(page=None)  # type: ignore
             result = _prepare_entry(kernel, vm_map, result, cursor,
                                     fault_type, writing, prep_outcome)
@@ -502,8 +539,8 @@ def _resolve_batch_page(kernel, result, run_base: int, page_addr: int,
     first_object = result.leaf_entry.vm_object
     first_offset = result.offset + (page_addr - run_base)
     try:
-        page, level = _find_page(kernel, first_object, first_offset,
-                                 outcome)
+        page, level = _find_page_staged(kernel, first_object,
+                                        first_offset, outcome)
     except (MemoryObjectError, DiskIOError):
         kernel.stats.fault_errors += 1
         raise

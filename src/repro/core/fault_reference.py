@@ -54,7 +54,8 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     vm = kernel.vm
     page_addr = trunc_page(vaddr, vm.page_size)
     vm_map = task.vm_map
-    result = vm_map.lookup(page_addr, fault_type)
+    with kernel.events.span("stage", "map_lookup"):
+        result = vm_map.lookup(page_addr, fault_type)
     entry = result.leaf_entry
     outcome = FaultOutcome(page=None)  # type: ignore[arg-type]
 
@@ -63,7 +64,8 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     if entry.vm_object is None:
         entry.vm_object = vm.objects.create_internal(entry.size)
         entry.offset = 0
-        result = vm_map.lookup(page_addr, fault_type)
+        with kernel.events.span("stage", "map_lookup"):
+            result = vm_map.lookup(page_addr, fault_type)
         entry = result.leaf_entry
 
     # (3) Shadow a needs-copy entry before letting a write through.
@@ -95,7 +97,8 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
             for page in old_object.iter_resident():
                 if lo <= page.offset < hi:
                     vm.pmap_system.remove_all(page.phys_addr)
-        result = vm_map.lookup(page_addr, fault_type)
+        with kernel.events.span("stage", "map_lookup"):
+            result = vm_map.lookup(page_addr, fault_type)
         entry = result.leaf_entry
 
     first_object = entry.vm_object
@@ -106,8 +109,9 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     # faulting task — never a hang, never silently wrong data (the
     # paper's Section 4 concern about errant user-state managers).
     try:
-        page, level = _find_page(kernel, first_object, first_offset,
-                                 outcome)
+        with kernel.events.span("stage", "shadow_walk"):
+            page, level = _find_page(kernel, first_object,
+                                     first_offset, outcome)
     except (MemoryObjectError, DiskIOError):
         kernel.stats.fault_errors += 1
         raise
@@ -128,7 +132,8 @@ def _resolve_fault(kernel, task, vaddr: int, fault_type: FaultType,
     # (5) Copy-on-write copy when a write found its data in a backing
     # object.
     if page.vm_object is not first_object and writing:
-        page = _copy_up(kernel, page, first_object, first_offset)
+        with kernel.events.span("stage", "copy_up"):
+            page = _copy_up(kernel, page, first_object, first_offset)
         outcome.cow_copied = True
         kernel.stats.cow_faults += 1
         kernel.events.emit("vm", "cow",
@@ -219,7 +224,8 @@ def _find_page(kernel, first_object, first_offset: int,
         # the page is immediately private to it.
         page = vm.resident.allocate(first_object, first_offset, busy=True)
         try:
-            vm.pmap_system.zero_page(page.phys_addr)
+            with kernel.events.span("stage", "zero_fill"):
+                vm.pmap_system.zero_page(page.phys_addr)
             outcome.zero_filled = True
             kernel.stats.zero_fill_count += 1
             kernel.events.emit("vm", "zero_fill",

@@ -182,6 +182,17 @@ class MachKernel:
         self.events.current_cpu = cpu_id
 
     def _low_memory(self) -> None:
+        # The stage span marks the synchronous-reclamation stall on the
+        # *allocating* track (the daemon's own events land on the
+        # "daemon" track), so fault telemetry can attribute the stall
+        # to ``reclaim`` instead of the stage that allocated.
+        if self.events.active:
+            with self.events.span("stage", "reclaim"):
+                self._reclaim_now()
+        else:
+            self._reclaim_now()
+
+    def _reclaim_now(self) -> None:
         self.pageout_daemon.run()
         if self.vm.resident.free_count == 0:
             # Last resort: drop cached objects and their pages.

@@ -19,6 +19,8 @@ from repro.obs.export import (chrome_trace, chrome_trace_json,
                               validate_chrome_trace)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.spans import Span, build_spans, profile, render_spans
+from repro.obs.telemetry import (STAGES, FaultTelemetry,
+                                 format_latency_report)
 
 __all__ = [
     "Event",
@@ -27,6 +29,9 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "FaultTelemetry",
+    "STAGES",
+    "format_latency_report",
     "Span",
     "build_spans",
     "profile",

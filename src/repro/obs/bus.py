@@ -145,19 +145,20 @@ class EventBus:
         self.current_cpu = 0
         self._subscribers: List[Callable[[Event], None]] = []
         self._track_stack: List[str] = []
+        #: True when at least one subscriber is attached.  Emit sites
+        #: with non-trivial payload preparation guard on this; it is a
+        #: plain attribute (maintained by subscribe/unsubscribe), not a
+        #: property, so the disabled check really is one attribute load
+        #: — a property call would dominate the untraced fault path.
+        self.active = False
 
     # -- subscription ------------------------------------------------
-
-    @property
-    def active(self) -> bool:
-        """True when at least one subscriber is attached.  Emit sites
-        with non-trivial payload preparation guard on this."""
-        return bool(self._subscribers)
 
     def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
         """Register *fn* to receive every event.  Idempotent."""
         if fn not in self._subscribers:
             self._subscribers.append(fn)
+        self.active = True
         return fn
 
     def unsubscribe(self, fn: Callable[[Event], None]) -> None:
@@ -166,6 +167,7 @@ class EventBus:
             self._subscribers.remove(fn)
         except ValueError:
             pass
+        self.active = bool(self._subscribers)
 
     # -- track overrides ---------------------------------------------
 

@@ -279,22 +279,36 @@ class PmapSystem:
                 strategy=strategy, declared=self.strategy, forced=force,
                 actions=tuple((cpu.cpu_id, action)
                               for cpu, action in plan))
-        for cpu, action in plan:
+        def execute() -> None:
+            for cpu, action in plan:
 
-            def flush(cpu=cpu, pmap=pmap, start=start, end=end) -> None:
-                clock.charge(costs.tlb_flush_entry_us)
-                cpu.tlb.invalidate_range(pmap, start, end)
+                def flush(cpu=cpu, pmap=pmap, start=start,
+                          end=end) -> None:
+                    clock.charge(costs.tlb_flush_entry_us)
+                    cpu.tlb.invalidate_range(pmap, start, end)
 
-            if action == "local":
-                flush()
-            elif action == "ipi":
-                self.ipis_sent += 1
-                cpu.deliver_ipi(flush)
-            elif action == "deferred":
-                self.deferred_flushes += 1
-                cpu.defer_flush(flush)
-            # LAZY: temporary inconsistency is allowed; the entry dies
-            # whenever that CPU next switches pmaps or takes a flush.
+                if action == "local":
+                    flush()
+                elif action == "ipi":
+                    self.ipis_sent += 1
+                    cpu.deliver_ipi(flush)
+                elif action == "deferred":
+                    self.deferred_flushes += 1
+                    cpu.defer_flush(flush)
+                # LAZY: temporary inconsistency is allowed; the entry
+                # dies whenever that CPU next switches pmaps or takes
+                # a flush.
+
+        if self.events.active:
+            # The stage span covers plan *execution* only (the
+            # synchronous flush/IPI cost); the ``pmap/shootdown``
+            # instant above stays first — the race detector's window
+            # must open before any flush lands.
+            with self.events.span("stage", "shootdown",
+                                  cpus=len(plan)):
+                execute()
+        else:
+            execute()
         if self.debug_hook is not None:
             self.debug_hook()
 

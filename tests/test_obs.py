@@ -243,9 +243,14 @@ class TestExport:
         faults = [s for s in roots if s.name == "vm/fault"]
         assert faults, "no fault span reconstructed"
         fault = faults[0]
-        pager_calls = [c for c in fault.children
+        # The pager call nests under the fault's stage/shadow_walk
+        # stage span (the telemetry layer's pipeline-stage taxonomy).
+        walks = [c for c in fault.children
+                 if c.name == "stage/shadow_walk"]
+        assert walks, "fault span has no nested stage/shadow_walk"
+        pager_calls = [c for c in walks[0].children
                        if c.name == "pager/call"]
-        assert pager_calls, "fault span has no nested pager/call"
+        assert pager_calls, "shadow walk has no nested pager/call"
         disk_reads = [g for g in pager_calls[0].children
                       if g.name == "disk/read"]
         assert disk_reads, "pager/call span has no nested disk/read"
