@@ -1,0 +1,152 @@
+"""Incremental analysis cache: content-hash keyed, summary-aware.
+
+``repro check`` is a hard CI gate, and the flow passes re-parse and
+re-analyze every module from scratch on every run.  This store makes
+the common case — nothing changed, or one module changed — cheap:
+
+* **whole-tree fast path** — ``tree.json`` records a digest over every
+  module's source plus every pass version.  When it matches, all
+  cached per-module results (and the whole-tree conformance result)
+  are served with *zero* analysis work: no parsing, no call graph, no
+  summary fixpoint.
+
+* **per-module keys** — when the tree digest misses, each module's key
+  is ``sha256(source + pass versions + own summary digest + each
+  dependency's summary digest)``, where dependencies are the modules
+  containing any resolved callee (call-graph edges, not imports).
+  Editing module A re-analyzes A and exactly the modules whose
+  summaries A's change reaches — the reverse-dependency cone, pruned
+  further when A's exported summaries are in fact unchanged (a
+  comment-only edit invalidates nothing downstream; summaries carry
+  no line numbers).
+
+Cached values are *raw* findings, before baseline suppression, so
+editing ``flow_baseline.txt`` changes reported output without
+invalidating anything.  A module whose analysis crashed is never
+stored — the next run retries it.
+
+Layout under the cache directory (default ``.repro-cache/``)::
+
+    tree.json             whole-tree digest + conformance findings
+    modules/<dotted>.json per-module key + per-pass findings
+    stats.json            last run's analyzed/cached counters
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Bumped when the on-disk format changes; part of every digest.
+CACHE_FORMAT = "1"
+
+DEFAULT_DIR = Path(".repro-cache")
+
+
+def _sha(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def tree_digest(sources: dict[str, str], versions: dict[str, str]) -> str:
+    """Digest over every module's source and every pass version."""
+    parts = [CACHE_FORMAT]
+    parts += [f"{m}\n{src}" for m, src in sorted(sources.items())]
+    parts += [f"{name}={ver}" for name, ver in sorted(versions.items())]
+    return _sha(parts)
+
+
+def module_key(source: str, versions: dict[str, str],
+               own_digest: str, dep_digests: dict[str, str]) -> str:
+    """Cache key for one module's per-module pass results."""
+    parts = [CACHE_FORMAT, source]
+    parts += [f"{name}={ver}" for name, ver in sorted(versions.items())]
+    parts.append(f"self={own_digest}")
+    parts += [f"{dep}={d}" for dep, d in sorted(dep_digests.items())]
+    return _sha(parts)
+
+
+class AnalysisCache:
+    """Content-addressed store under one directory (see module doc)."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.dir = Path(directory) if directory is not None \
+            else DEFAULT_DIR
+        self.modules_dir = self.dir / "modules"
+
+    # -- low-level json io --------------------------------------------------
+
+    @staticmethod
+    def _read(path: Path) -> Optional[dict]:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _write(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(path)
+
+    # -- whole-tree section ---------------------------------------------------
+
+    def load_tree(self, digest: str) -> Optional[dict]:
+        """The tree.json payload, when its digest matches."""
+        payload = self._read(self.dir / "tree.json")
+        if payload is not None and payload.get("digest") == digest:
+            return payload
+        return None
+
+    def store_tree(self, digest: str, payload: dict) -> None:
+        payload = dict(payload)
+        payload["digest"] = digest
+        self._write(self.dir / "tree.json", payload)
+
+    # -- per-module section ---------------------------------------------------
+
+    def load_module(self, module: str, key: str) -> Optional[dict]:
+        """The module's per-pass findings, when its key matches."""
+        payload = self._read(self.modules_dir / f"{module}.json")
+        if payload is not None and payload.get("key") == key:
+            return payload
+        return None
+
+    def load_module_unchecked(self, module: str) -> Optional[dict]:
+        """The module's stored payload regardless of key (the
+        whole-tree fast path has already proven freshness)."""
+        return self._read(self.modules_dir / f"{module}.json")
+
+    def store_module(self, module: str, key: str,
+                     findings_by_pass: dict[str, list[dict]]) -> None:
+        self._write(self.modules_dir / f"{module}.json",
+                    {"key": key, "passes": findings_by_pass})
+
+    # -- lint section -----------------------------------------------------------
+
+    def load_lint(self, digest: str) -> Optional[dict]:
+        """The cached layering/concurrency lint results (as strings),
+        when their tree digest matches."""
+        payload = self._read(self.dir / "lint.json")
+        if payload is not None and payload.get("digest") == digest:
+            return payload
+        return None
+
+    def store_lint(self, digest: str, violations: list[str]) -> None:
+        self._write(self.dir / "lint.json",
+                    {"digest": digest, "violations": violations})
+
+    # -- stats -----------------------------------------------------------------
+
+    def write_stats(self, stats: dict) -> None:
+        self._write(self.dir / "stats.json", stats)
+
+    def read_stats(self) -> Optional[dict]:
+        return self._read(self.dir / "stats.json")

@@ -44,6 +44,9 @@ from repro.analysis.flow import Finding
 
 PASS_NAME = "conformance"
 
+#: Part of the incremental-cache key: bump on any behavior change.
+PASS_VERSION = "1"
+
 #: Methods every pmap must export (Table 3-3 + 3-4 + simulation hooks).
 CONTRACT_METHODS = (
     "reference", "destroy",

@@ -30,6 +30,9 @@ from repro.analysis.layering import _strip
 
 PASS_NAME = "determinism"
 
+#: Part of the incremental-cache key: bump on any behavior change.
+PASS_VERSION = "1"
+
 #: Top-level repro subpackages outside the replayed simulation.
 EXEMPT = ("bench", "cli", "analysis", "viz", "__main__")
 
@@ -158,15 +161,20 @@ def check_module(module: str, tree: ast.AST) -> list[Finding]:
     return checker.findings
 
 
+def in_scope(module: str, package: str = "repro") -> bool:
+    """Determinism applies to the replayed simulation modules."""
+    inner = _strip(module, package)
+    if inner is None or inner == "":
+        return False
+    return inner.split(".")[0] not in EXEMPT
+
+
 def run_pass(root: Optional[Path] = None,
              package: str = "repro") -> list[Finding]:
     """Determinism-lint every simulation module in the tree."""
     findings: list[Finding] = []
     for module, _path, tree in iter_source_modules(root, package):
-        inner = _strip(module, package)
-        if inner is None or inner == "":
-            continue
-        if inner.split(".")[0] in EXEMPT:
+        if not in_scope(module, package):
             continue
         findings += check_module(module, tree)
     return findings

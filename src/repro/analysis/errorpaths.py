@@ -39,6 +39,9 @@ from repro.analysis.layering import _strip
 
 PASS_NAME = "errorpaths"
 
+#: Part of the incremental-cache key: bump on any behavior change.
+PASS_VERSION = "2"
+
 #: Packages whose code counts as kernel paths.
 SCOPE = ("core", "pager", "ipc", "fs")
 
@@ -95,6 +98,24 @@ def _call_tail(call: ast.Call) -> Optional[str]:
     return None
 
 
+def _takes_thread_context(func: ast.AST) -> bool:
+    """True for scheduler thread bodies: a parameter named ``ctx`` or
+    annotated ``ThreadContext`` (the same convention the race pass
+    uses to find preemption points)."""
+    for arg in (list(func.args.posonlyargs) + list(func.args.args)
+                + list(func.args.kwonlyargs)):
+        ann = arg.annotation
+        if arg.arg == "ctx" \
+                or (isinstance(ann, ast.Name)
+                    and ann.id == "ThreadContext") \
+                or (isinstance(ann, ast.Attribute)
+                    and ann.attr == "ThreadContext") \
+                or (isinstance(ann, ast.Constant)
+                    and ann.value == "ThreadContext"):
+            return True
+    return False
+
+
 def _annotated(lines: list[str], lineno: int) -> bool:
     """True when the call line, or the contiguous comment block
     directly above it, carries the ``#: no-retry`` annotation."""
@@ -112,12 +133,15 @@ def _annotated(lines: list[str], lineno: int) -> bool:
 
 
 class _ModuleChecker(ast.NodeVisitor):
-    def __init__(self, module: str, source_lines: list[str]) -> None:
+    def __init__(self, module: str, source_lines: list[str],
+                 ctx=None) -> None:
         self.module = module
         self.lines = source_lines
+        self.ctx = ctx            # typestate.AnalysisContext or None
         self.findings: list[Finding] = []
         self._protected = 0       # depth of try-with-catcher / funnel
         self._scope: list[str] = []
+        self._thread_body: list[bool] = []
 
     @property
     def _where(self) -> str:
@@ -127,7 +151,9 @@ class _ModuleChecker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._scope.append(node.name)
+        self._thread_body.append(_takes_thread_context(node))
         self.generic_visit(node)
+        self._thread_body.pop()
         self._scope.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
@@ -186,15 +212,52 @@ class _ModuleChecker(ast.NodeVisitor):
                 f"it; route it through _call_pager, catch the "
                 f"transient types, or annotate '#: no-retry <reason>' "
                 f"if the caller retries"))
+        elif tail not in TRANSIENT_OPS and self._protected == 0 \
+                and self._thread_body and self._thread_body[-1] \
+                and not _annotated(self.lines, node.lineno) \
+                and self._callee_propagates(node):
+            # The interprocedural half: the callee's summary says a
+            # transient can escape it ('#: no-retry' somewhere inside
+            # defers retrying to callers).  Propagating further is
+            # fine in ordinary kernel code — the syscall boundary
+            # surfaces errors to the simulated user like an errno —
+            # but a *thread body* is where the scheduler's call chain
+            # ends: a transient escaping here kills the thread with
+            # nobody left to retry.
+            self.findings.append(Finding(
+                PASS_NAME, self.module, node.lineno,
+                "unhandled-transient-propagated", self._where,
+                f"{tail}() lets a transient PagerStallError/"
+                f"DiskIOError escape and this is a thread body — the "
+                f"end of the scheduler's call chain, so nothing above "
+                f"will retry; catch the transient types here or "
+                f"route the operation through _call_pager"))
         self.generic_visit(node)
+
+    def _callee_propagates(self, call: ast.Call) -> bool:
+        if self.ctx is None:
+            return False
+        info = self.ctx.caller_info(self.module, self._where)
+        if info is None:
+            return False
+        return any(summary.propagates_transient
+                   for _fid, summary in self.ctx.lookup(call, info))
 
 
 def check_module(module: str, tree: ast.AST,
-                 source_lines: list[str]) -> list[Finding]:
-    """Run both error-path rules over one parsed module."""
-    checker = _ModuleChecker(module, source_lines)
+                 source_lines: list[str], ctx=None) -> list[Finding]:
+    """Run the error-path rules over one parsed module.  With a
+    :class:`repro.analysis.typestate.AnalysisContext`, calls to
+    functions whose summaries propagate transients are checked too."""
+    checker = _ModuleChecker(module, source_lines, ctx)
     checker.visit(tree)
     return checker.findings
+
+
+def in_scope(module: str, package: str = "repro") -> bool:
+    """Error paths apply to kernel-path packages only."""
+    inner = _strip(module, package)
+    return inner is not None and inner.split(".")[0] in SCOPE
 
 
 def run_pass(root: Optional[Path] = None,
@@ -202,8 +265,7 @@ def run_pass(root: Optional[Path] = None,
     """Error-path-check every kernel-path module in the tree."""
     findings: list[Finding] = []
     for module, path, tree in iter_source_modules(root, package):
-        inner = _strip(module, package)
-        if inner is None or not inner.split(".")[0] in SCOPE:
+        if not in_scope(module, package):
             continue
         lines = path.read_text().splitlines()
         findings += check_module(module, tree, lines)

@@ -1,8 +1,9 @@
 """Dataflow pass framework: findings, solver, baseline, runner.
 
-This is the shared machinery behind the four flow passes
+This is the shared machinery behind the five flow passes
 (:mod:`~repro.analysis.lifecycle`, :mod:`~repro.analysis.conformance`,
-:mod:`~repro.analysis.errorpaths`, :mod:`~repro.analysis.determinism`):
+:mod:`~repro.analysis.errorpaths`, :mod:`~repro.analysis.determinism`,
+:mod:`~repro.analysis.typestate`):
 
 * :class:`Finding` — one diagnosed problem, printable in the same
   ``module:line: [rule] message`` shape as the layering lint's
@@ -68,6 +69,11 @@ class FlowReport:
     findings: list[Finding] = field(default_factory=list)
     errors: list[AnalysisError] = field(default_factory=list)
     suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    #: Module names actually analyzed this run ("#conformance" stands
+    #: for the whole-tree conformance pass).
+    analyzed: list[str] = field(default_factory=list)
+    #: Module names served from the incremental cache.
+    cached: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -156,6 +162,7 @@ class BaselineEntry:
     module: str
     where: str        # function qualname, or "*" for the whole module
     reason: str
+    lineno: int = 0   # line in the baseline file (0 = synthesized)
 
     def matches(self, finding: Finding) -> bool:
         return (self.rule == f"{finding.pass_name}/{finding.rule}"
@@ -169,7 +176,7 @@ def load_baseline(path: Optional[Path] = None) -> list[BaselineEntry]:
     entries: list[BaselineEntry] = []
     if not path.exists():
         return entries
-    for raw in path.read_text().splitlines():
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -177,7 +184,7 @@ def load_baseline(path: Optional[Path] = None) -> list[BaselineEntry]:
         if len(parts) != 4:
             raise ValueError(f"malformed baseline line: {raw!r} "
                              f"(want 'rule | module | where | reason')")
-        entries.append(BaselineEntry(*parts))
+        entries.append(BaselineEntry(*parts, lineno=lineno))
     return entries
 
 
@@ -204,56 +211,298 @@ def apply_baseline(findings: Iterable[Finding],
 FlowPass = Callable[[Optional[Path], str], list[Finding]]
 
 
-def _registered_passes() -> dict[str, FlowPass]:
+@dataclass(frozen=True)
+class _ModulePass:
+    """One per-module pass: cache-key version, scope, and runner
+    (``run(module, tree, lines, ctx) -> findings``)."""
+
+    version: str
+    in_scope: Callable[[str, str], bool]
+    run: Callable[[str, ast.AST, list, object], list[Finding]]
+
+
+def _module_pass_registry() -> dict[str, _ModulePass]:
     # Imported lazily so a crash importing one pass is reported as an
     # AnalysisError for that pass, not an ImportError killing check.
-    from repro.analysis import conformance, determinism, errorpaths
-    from repro.analysis import lifecycle
+    from repro.analysis import determinism, errorpaths, lifecycle
+    from repro.analysis import typestate
     return {
-        "lifecycle": lifecycle.run_pass,
-        "conformance": conformance.run_pass,
-        "errorpaths": errorpaths.run_pass,
-        "determinism": determinism.run_pass,
+        "lifecycle": _ModulePass(
+            lifecycle.PASS_VERSION, lifecycle.in_scope,
+            lambda module, tree, lines, ctx:
+                lifecycle.check_module(module, tree, ctx)),
+        "errorpaths": _ModulePass(
+            errorpaths.PASS_VERSION, errorpaths.in_scope,
+            lambda module, tree, lines, ctx:
+                errorpaths.check_module(module, tree, lines, ctx)),
+        "determinism": _ModulePass(
+            determinism.PASS_VERSION, determinism.in_scope,
+            lambda module, tree, lines, ctx:
+                determinism.check_module(module, tree)),
+        "typestate": _ModulePass(
+            typestate.PASS_VERSION, typestate.in_scope,
+            lambda module, tree, lines, ctx:
+                typestate.check_module(module, tree, ctx)),
     }
 
 
 FLOW_PASS_NAMES = ("lifecycle", "conformance", "errorpaths",
-                   "determinism")
+                   "determinism", "typestate")
+
+#: Pseudo-module name for the whole-tree conformance result.
+CONFORMANCE_KEY = "#conformance"
+
+
+def _finding_dicts(findings: Iterable[Finding]) -> list[dict]:
+    return [{"pass_name": f.pass_name, "module": f.module,
+             "lineno": f.lineno, "rule": f.rule, "where": f.where,
+             "message": f.message} for f in findings]
+
+
+def _findings_from(dicts: Iterable[dict]) -> list[Finding]:
+    return [Finding(**d) for d in dicts]
+
+
+def _analyze_module(module: str, tree: ast.AST, lines: list,
+                    names: tuple, registry: dict, ctx: object,
+                    package: str) -> tuple[dict, list]:
+    """Run every in-scope requested pass over one module.  Returns
+    (per-pass finding dicts, error strings); a pass that crashed is
+    an error string and its result is never cached."""
+    by_pass: dict[str, list[dict]] = {}
+    errors: list[tuple[str, str]] = []
+    for name in names:
+        mp = registry[name]
+        if not mp.in_scope(module, package):
+            continue
+        try:
+            found = mp.run(module, tree, lines, ctx)
+        except Exception as exc:
+            tb = traceback.format_exception_only(type(exc),
+                                                 exc)[-1].strip()
+            errors.append((name, f"{module}: {tb}"))
+            continue
+        by_pass[name] = _finding_dicts(found)
+    return by_pass, errors
+
+
+#: Pre-fork state for the --jobs pool (fork inherits it copy-on-write;
+#: only the module name and the result dicts cross the pipe).
+_POOL_STATE: Optional[tuple] = None
+
+
+def _pool_analyze(module: str) -> tuple[str, dict, list]:
+    names, registry, ctx, data, package = _POOL_STATE
+    tree, lines = data[module]
+    by_pass, errors = _analyze_module(module, tree, lines, names,
+                                      registry, ctx, package)
+    return module, by_pass, errors
+
+
+def _run_conformance() -> list[Finding]:
+    from repro.analysis import conformance
+    return conformance.run_pass()
+
+
+def _tree_fast_path(cache, digest: str, names: tuple,
+                    modules: list) -> Optional[tuple[dict, list]]:
+    """Serve the whole run from cache when the tree digest matches:
+    no parsing, no call graph, no summaries.  Returns (raw findings
+    by source, cached names) or None when anything is missing."""
+    tree_payload = cache.load_tree(digest)
+    if tree_payload is None:
+        return None
+    covered = set(tree_payload.get("passes", ()))
+    if not covered >= set(names):
+        return None
+    raw: dict[str, list[Finding]] = {}
+    cached: list[str] = []
+    for module in modules:
+        payload = cache.load_module_unchecked(module)
+        if payload is None:
+            return None
+        found: list[Finding] = []
+        for name in names:
+            found += _findings_from(payload.get("passes", {})
+                                    .get(name, ()))
+        raw[module] = found
+        cached.append(module)
+    if "conformance" in names:
+        raw[CONFORMANCE_KEY] = _findings_from(
+            tree_payload.get("conformance", ()))
+        cached.append(CONFORMANCE_KEY)
+    return raw, cached
 
 
 def run_flow_passes(root: Optional[Path] = None, package: str = "repro",
                     passes: Optional[Iterable[str]] = None,
-                    baseline: Optional[Path] = None) -> FlowReport:
+                    baseline: Optional[Path] = None,
+                    cache_dir: Optional[Path] = None,
+                    jobs: Optional[int] = None) -> FlowReport:
     """Run the flow passes over the source tree and apply the baseline.
 
     A pass that raises is recorded as an :class:`AnalysisError` — the
     report is then *not* clean, which is what ``repro check``'s exit
     code keys off.  Findings matching a reviewed baseline entry are
     moved to ``report.suppressed`` with the recorded reason.
+
+    With *cache_dir*, results are served incrementally from an
+    :class:`repro.analysis.cache.AnalysisCache`: an unchanged tree is
+    a zero-analysis run, and a changed module re-analyzes only itself
+    plus the modules whose summary dependencies it reaches (see the
+    cache module docs).  ``report.analyzed`` / ``report.cached`` say
+    which modules went which way.  *jobs* fans cold modules out over a
+    fork pool (the sweeps idiom); cached values are raw findings, so
+    the baseline always applies fresh.
     """
+    global _POOL_STATE
     report = FlowReport()
+    names = tuple(passes) if passes is not None else FLOW_PASS_NAMES
     try:
-        registry = _registered_passes()
+        registry = _module_pass_registry()
         entries = load_baseline(baseline)
     except Exception as exc:
         report.errors.append(AnalysisError(
             "flow", f"{type(exc).__name__}: {exc}"))
         return report
-    names = tuple(passes) if passes is not None else FLOW_PASS_NAMES
+    module_names = tuple(n for n in names if n in registry)
     for name in names:
-        run = registry.get(name)
-        if run is None:
+        if name not in registry and name != "conformance":
             report.errors.append(AnalysisError(
-                name, f"unknown pass (known: {sorted(registry)})"))
-            continue
+                name, f"unknown pass (known: "
+                      f"{sorted(registry) + ['conformance']})"))
+
+    try:
+        modules = list(iter_source_modules(root, package))
+        sources = {m: path.read_text() for m, path, _tree in modules}
+    except Exception as exc:
+        report.errors.append(AnalysisError(
+            "flow", f"{type(exc).__name__}: {exc}"))
+        return report
+
+    versions = {n: mp.version for n, mp in registry.items()}
+    if "conformance" in names:
+        from repro.analysis import conformance
+        versions["conformance"] = conformance.PASS_VERSION
+
+    cache = None
+    digest = ""
+    if cache_dir is not None:
+        from repro.analysis.cache import AnalysisCache, tree_digest
+        cache = AnalysisCache(cache_dir)
+        digest = tree_digest(sources, versions)
+        served = _tree_fast_path(cache, digest, names,
+                                 [m for m, _p, _t in modules])
+        if served is not None:
+            raw_by_source, report.cached = served
+            _finish_report(report, raw_by_source, entries)
+            return report
+
+    # Cold or partially-warm: build the interprocedural context (call
+    # graph + summaries) — also the source of cache dependency edges.
+    try:
+        from repro.analysis import typestate
+        ctx = typestate.build_context(
+            (m, tree, sources[m].splitlines())
+            for m, _path, tree in modules)
+    except Exception as exc:
+        tb = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        report.errors.append(AnalysisError("callgraph", tb))
+        return report
+
+    keys: dict[str, str] = {}
+    if cache is not None:
+        from repro.analysis.cache import module_key
+        own = {m: ctx.summary_digest(m) for m, _p, _t in modules}
+        mod_versions = {n: registry[n].version for n in registry}
+        for m, _path, _tree in modules:
+            deps = {d: own[d] for d in ctx.dependencies(m) if d in own}
+            keys[m] = module_key(sources[m], mod_versions, own[m], deps)
+
+    raw_by_source: dict[str, list[Finding]] = {}
+    to_analyze: list[str] = []
+    data = {m: (tree, sources[m].splitlines())
+            for m, _path, tree in modules}
+    for m, _path, _tree in modules:
+        payload = cache.load_module(m, keys[m]) if cache is not None \
+            else None
+        if payload is not None and all(
+                n in payload.get("passes", {})
+                or not registry[n].in_scope(m, package)
+                for n in module_names):
+            found: list[Finding] = []
+            for n in module_names:
+                found += _findings_from(payload["passes"].get(n, ()))
+            raw_by_source[m] = found
+            report.cached.append(m)
+        else:
+            to_analyze.append(m)
+
+    results: dict[str, dict] = {}
+    if to_analyze and jobs and jobs > 1:
+        import multiprocessing
+        _POOL_STATE = (module_names, registry, ctx, data, package)
         try:
-            found = run(root, package)
+            mp_ctx = multiprocessing.get_context("fork")
+            with mp_ctx.Pool(min(jobs, len(to_analyze))) as pool:
+                for module, by_pass, errors in pool.imap(
+                        _pool_analyze, to_analyze):
+                    results[module] = by_pass
+                    for name, msg in errors:
+                        report.errors.append(AnalysisError(name, msg))
+        finally:
+            _POOL_STATE = None
+    else:
+        for m in to_analyze:
+            tree, lines = data[m]
+            by_pass, errors = _analyze_module(
+                m, tree, lines, module_names, registry, ctx, package)
+            results[m] = by_pass
+            for name, msg in errors:
+                report.errors.append(AnalysisError(name, msg))
+
+    errored_modules = {e.message.split(":", 1)[0]
+                       for e in report.errors}
+    for m in to_analyze:
+        by_pass = results[m]
+        raw_by_source[m] = _findings_from(
+            f for found in by_pass.values() for f in found)
+        report.analyzed.append(m)
+        if cache is not None and m not in errored_modules:
+            cache.store_module(m, keys[m], by_pass)
+
+    if "conformance" in names:
+        try:
+            conf = _run_conformance()
+            raw_by_source[CONFORMANCE_KEY] = conf
+            report.analyzed.append(CONFORMANCE_KEY)
         except Exception as exc:
-            tb = traceback.format_exception_only(type(exc), exc)[-1].strip()
-            report.errors.append(AnalysisError(name, tb))
-            continue
-        kept, suppressed = apply_baseline(found, entries)
-        report.findings.extend(kept)
-        report.suppressed.extend(suppressed)
-    report.findings.sort(key=lambda f: (f.module, f.lineno, f.rule))
+            tb = traceback.format_exception_only(type(exc),
+                                                 exc)[-1].strip()
+            report.errors.append(AnalysisError("conformance", tb))
+            conf = None
+        if cache is not None and conf is not None \
+                and not report.errors:
+            cache.store_tree(digest, {
+                "passes": sorted(names),
+                "conformance": _finding_dicts(conf)})
+    elif cache is not None and not report.errors:
+        cache.store_tree(digest, {"passes": sorted(names)})
+
+    _finish_report(report, raw_by_source, entries)
     return report
+
+
+def _finish_report(report: FlowReport,
+                   raw_by_source: dict[str, list[Finding]],
+                   entries: list[BaselineEntry]) -> None:
+    """Apply the baseline (always fresh — cached values are raw) and
+    sort deterministically."""
+    all_raw = [f for _m, found in sorted(raw_by_source.items())
+               for f in found]
+    kept, suppressed = apply_baseline(all_raw, entries)
+    report.findings.extend(kept)
+    report.suppressed.extend(suppressed)
+    report.findings.sort(key=lambda f: (f.module, f.lineno, f.rule))
+    report.analyzed.sort()
+    report.cached.sort()

@@ -85,6 +85,10 @@ UPPER_LAYERS = ("pager", "ipc", "fs", "unix", "bench", "baseline",
                 "trace", "cli")
 
 
+#: Part of the lint cache key: bump on any rule/behavior change.
+LINT_VERSION = "1"
+
+
 @dataclass(frozen=True)
 class LintViolation:
     """One broken layering rule at one import site."""

@@ -51,6 +51,9 @@ from repro.analysis.flow import Finding, iter_source_modules, solve_forward
 
 PASS_NAME = "lifecycle"
 
+#: Part of the incremental-cache key: bump on any behavior change.
+PASS_VERSION = "2"
+
 # -- resource-kind table --------------------------------------------------
 
 #: kind -> report a still-ACQUIRED resource at the *normal* exit too?
@@ -233,8 +236,9 @@ def _names_under(expr: ast.AST) -> list[str]:
             if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)]
 
 
-def _stmt_events(node: CFGNode) -> tuple[list[_Event],
-                                         Optional[tuple[str, str, int]]]:
+def _stmt_events(node: CFGNode, summary_events=None
+                 ) -> tuple[list[_Event],
+                            Optional[tuple[str, str, int]]]:
     """(ordered events, optional (var, kind, line) acquisition)."""
     stmt = node.stmt
     events: list[_Event] = []
@@ -247,7 +251,13 @@ def _stmt_events(node: CFGNode) -> tuple[list[_Event],
         # does `obj.reference()` leave its new reference in obj's
         # hands (a nested `f(x=obj.reference())` hands it to f).
         standalone = isinstance(stmt, ast.Expr) and call is stmt.value
-        events += _call_events(call, standalone)
+        direct = _call_events(call, standalone)
+        events += direct
+        if summary_events is not None:
+            # Callee-summary effects apply only to arguments the
+            # syntactic table did not already handle, so the same
+            # release is never applied twice.
+            events += summary_events(call, {ev.var for ev in direct})
 
     if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
         target = stmt.targets[0]
@@ -293,12 +303,63 @@ def _stmt_events(node: CFGNode) -> tuple[list[_Event],
 
 # -- the pass itself ------------------------------------------------------
 
+#: callee must-exit states that mean "the callee released this
+#: argument for you" (interprocedural generalization of the
+#: syntactic release table above).
+_SUMMARY_RELEASES = {"page:free": "resident-page",
+                     "vmobject:deallocated": "vm-object-ref"}
+
+
 class _FunctionChecker:
-    def __init__(self, module: str, qualname: str, func: ast.AST) -> None:
+    def __init__(self, module: str, qualname: str, func: ast.AST,
+                 ctx=None, info=None) -> None:
         self.module = module
         self.qualname = qualname
         self.func = func
+        self.ctx = ctx       # typestate.AnalysisContext or None
+        self.info = info     # callgraph.FunctionInfo or None
         self.findings: dict[tuple, Finding] = {}
+
+    def _summary_events(self, call: ast.Call,
+                        direct_vars: set[str]) -> list[_Event]:
+        """Ownership effects the callee's summary proves: arguments
+        it escapes stop being tracked (handoff), arguments it always
+        releases count as released here.  This replaces the old
+        per-function handoff special cases — a helper that stores or
+        frees its parameter is now recognized wherever it is called.
+        """
+        if self.ctx is None or self.info is None:
+            return []
+        pairs = self.ctx.lookup(call, self.info)
+        if not pairs:
+            return []
+        from repro.analysis.callgraph import _attr_chain as _cg_chain
+        chain = _cg_chain(call.func)
+        receiver_var = chain[0] if len(chain) == 2 else None
+        events: list[_Event] = []
+        must_release: dict[str, set] = {}
+        seen: dict[str, int] = {}
+        for fid, summary in pairs:
+            bound = self.ctx.graph.bind_args(fid, call, receiver_var)
+            for param, var in bound.items():
+                if var in direct_vars:
+                    continue
+                # Escaping is a may-fact: ending tracking can only
+                # hide a leak, never invent one (the borrow rule's
+                # direction of safety).
+                if param in summary.escapes:
+                    events.append(_Event("escape", var,
+                                         line=call.lineno))
+                kind = _SUMMARY_RELEASES.get(
+                    summary.must_exit_state(param) or "")
+                if kind is not None:
+                    must_release.setdefault(var, set()).add(kind)
+                    seen[var] = seen.get(var, 0) + 1
+        for var, kinds in sorted(must_release.items()):
+            if len(kinds) == 1 and seen[var] == len(pairs):
+                events.append(_Event("release", var, kinds.pop(),
+                                     call.lineno))
+        return events
 
     def _report(self, rule: str, line: int, message: str) -> None:
         key = (rule, line, message)
@@ -307,7 +368,7 @@ class _FunctionChecker:
 
     def _transfer(self, node: CFGNode,
                   state: _State) -> tuple[_State, _State]:
-        events, acquire = _stmt_events(node)
+        events, acquire = _stmt_events(node, self._summary_events)
         after = dict(state)
         receiver_acqs: list[_Event] = []
         for ev in events:
@@ -393,12 +454,24 @@ class _FunctionChecker:
         return list(self.findings.values())
 
 
-def check_module(module: str, tree: ast.AST) -> list[Finding]:
-    """Run the lifecycle discipline over one parsed module."""
+def check_module(module: str, tree: ast.AST, ctx=None) -> list[Finding]:
+    """Run the lifecycle discipline over one parsed module.  With a
+    :class:`repro.analysis.typestate.AnalysisContext`, callee
+    summaries supply interprocedural ownership handoffs (escapes and
+    must-releases); without one the syntactic tables stand alone."""
     findings: list[Finding] = []
     for qualname, func in iter_functions(tree):
-        findings += _FunctionChecker(module, qualname, func).check()
+        info = ctx.caller_info(module, qualname) if ctx is not None \
+            else None
+        findings += _FunctionChecker(module, qualname, func,
+                                     ctx, info).check()
     return findings
+
+
+def in_scope(module: str, package: str = "repro") -> bool:
+    """Lifecycle applies to the whole package."""
+    del package
+    return True
 
 
 def run_pass(root: Optional[Path] = None,

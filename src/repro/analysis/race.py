@@ -45,8 +45,8 @@ dispatcher to ``kernel.events`` and consumes the ``tlb/*``,
 ``cpu/tick``, ``pmap/shootdown`` and ``sched/slice`` events the checked
 layers publish — those layers never import this package.  (The old
 duck-typed hooks — ``TLB.trace_hook``, ``CPU.tick_hook``,
-``PmapSystem.race_hook``, ``Scheduler.race_hook`` — survive as
-deprecation shims that forward bus events to legacy observers.)
+``PmapSystem.race_hook``, ``Scheduler.race_hook`` — are gone; the bus
+is the only attachment point.)
 
 Run the storm via ``python -m repro races`` (arch x strategy matrix,
 replay seed per cell) or ``--explore`` for bounded DFS over schedules.
@@ -649,6 +649,10 @@ def lint_concurrency(root: Path, package: str = "repro"
     violations.extend(lint_atomicity(root, package))
     violations.sort(key=lambda v: (v.module, v.lineno, v.rule))
     return violations
+
+
+#: Part of the lint cache key: bump on any rule/behavior change.
+LINT_VERSION = "1"
 
 
 def lint_source_concurrency() -> list[LintViolation]:

@@ -161,9 +161,11 @@ WORKLOADS = (
 
 def _run_cell(cell: tuple[str, str]) -> SweepResult:
     """Run one (architecture, workload) cell — module-level so a
-    process pool can pickle it.  A cell fails when the sanitizer
-    raises; unexpected exceptions propagate — a crash is a bug in the
-    repo, not a sanitizer finding."""
+    process pool can pickle it.  A sanitizer violation fails the cell
+    with its first finding; any other exception also fails the cell
+    (naming the crash) rather than escaping — a crash inside a pool
+    worker must never strand the parent's ``imap`` iteration or let
+    the sweep report clean."""
     arch, name = cell
     workload = dict(WORKLOADS)[name]
     try:
@@ -171,6 +173,9 @@ def _run_cell(cell: tuple[str, str]) -> SweepResult:
     except SanitizerError as exc:
         first = str(exc.violations[0]) if exc.violations else str(exc)
         return SweepResult(arch, name, False, first)
+    except Exception as exc:
+        return SweepResult(arch, name, False,
+                           f"cell crashed: {type(exc).__name__}: {exc}")
     return SweepResult(arch, name, True)
 
 

@@ -27,12 +27,15 @@ Commands:
   stage attribution from :class:`repro.obs.FaultTelemetry`;
   ``--trace-out`` exports the worst-percentile faults as Chrome
   trace_event JSON;
-* ``check [--lint-only] [--report FILE]`` — run the static analyses
-  over the source tree (MD/MI layering lint, concurrency lint, and
-  the four dataflow passes: resource lifecycle, pmap MI-contract
-  conformance, error-path completeness, determinism), then the
-  runtime invariant sweeps on all five pmap architectures (see
-  :mod:`repro.analysis`); a crashing analysis is reported as an
+* ``check [--lint-only] [--report FILE] [--no-cache]`` — run the
+  static analyses over the source tree (MD/MI layering lint,
+  concurrency lint, and the five dataflow passes: resource lifecycle,
+  pmap MI-contract conformance, error-path completeness, determinism,
+  interprocedural typestate), then the runtime invariant sweeps on
+  all five pmap architectures (see :mod:`repro.analysis`); results
+  are cached under ``.repro-cache/`` so unchanged modules are not
+  re-analyzed (``--no-cache`` disables); ``--report`` writes a
+  versioned JSON report; a crashing analysis is reported as an
   analysis error, never as a clean tree;
 * ``faultsweep [--quick] [--seed N]`` — the fault-injection survival
   matrix: errant pagers, flaky disks and lossy IPC against every pmap
@@ -448,8 +451,34 @@ def cmd_storm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_tree_digest():
+    """Digest of every source file plus the lint versions — the key
+    under which the layering/concurrency lint results are cached.
+    None (cache miss) when anything goes wrong; the lints then just
+    run."""
+    try:
+        from repro.analysis.cache import tree_digest
+        from repro.analysis.flow import _source_root
+        from repro.analysis.layering import (
+            LINT_VERSION as LAYERING_VERSION,
+            _module_name,
+        )
+        from repro.analysis.race import LINT_VERSION as RACE_VERSION
+
+        base = _source_root(None)
+        sources = {_module_name(base, path, "repro"): path.read_text()
+                   for path in sorted(base.rglob("*.py"))}
+        return tree_digest(sources,
+                           {"lint:layering": LAYERING_VERSION,
+                            "lint:race": RACE_VERSION})
+    except Exception:
+        return None
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: static analysis, then invariant sweeps."""
+    from time import perf_counter
+
     from repro.analysis import (
         FlowReport,
         lint_source_concurrency,
@@ -457,9 +486,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         run_flow_passes,
         run_sweeps,
     )
+    from repro.analysis.cache import DEFAULT_DIR, AnalysisCache
     from repro.analysis.flow import FLOW_PASS_NAMES
+    from repro.analysis.report import render_report
     from repro.analysis.sweeps import SWEEP_ARCHS
 
+    cache_dir = None if args.no_cache else DEFAULT_DIR
+    started = perf_counter()
     problems: list[str] = []     # findings + analysis errors (--report)
 
     def guarded(label, lint):
@@ -471,32 +504,72 @@ def cmd_check(args: argparse.Namespace) -> int:
             problems.append(f"analysis error: {label} crashed: {exc!r}")
             return []
 
-    print("layering lint: checking the MD/MI import contract ...")
-    violations = guarded("layering lint", lint_source_tree)
-    print("concurrency lint: may-yield atomicity + guarded-by "
-          "contract ...")
-    violations += guarded("concurrency lint", lint_source_concurrency)
+    lint_cache = AnalysisCache(cache_dir) if cache_dir is not None \
+        else None
+    lint_digest = _lint_tree_digest() if lint_cache is not None \
+        else None
+    cached_lint = lint_cache.load_lint(lint_digest) \
+        if lint_digest is not None else None
+    if cached_lint is not None:
+        print("layering + concurrency lints: unchanged tree, served "
+              "from cache")
+        lint_lines = [str(v) for v in cached_lint.get("violations", [])]
+    else:
+        print("layering lint: checking the MD/MI import contract ...")
+        violations = guarded("layering lint", lint_source_tree)
+        print("concurrency lint: may-yield atomicity + guarded-by "
+              "contract ...")
+        violations += guarded("concurrency lint",
+                              lint_source_concurrency)
+        lint_lines = [str(v) for v in violations]
+        # Never cache a run where a lint crashed (problems non-empty
+        # here can only mean a crash) — the next run must retry it.
+        if lint_cache is not None and lint_digest is not None \
+                and not problems:
+            try:
+                lint_cache.store_lint(lint_digest, lint_lines)
+            except OSError:
+                pass
     print("flow passes: " + ", ".join(FLOW_PASS_NAMES) + " ...")
     try:
-        flow = run_flow_passes()
+        flow = run_flow_passes(cache_dir=cache_dir, jobs=args.jobs)
     except Exception as exc:
         problems.append(f"analysis error: flow passes crashed: {exc!r}")
         flow = FlowReport((), (), ())
 
-    problems += [str(v) for v in violations]
+    problems += lint_lines
     problems += [str(f) for f in flow.findings]
     problems += [f"analysis error: {e.pass_name} pass crashed: "
                  f"{e.message}" for e in flow.errors]
     for line in problems:
         print(f"  {line}")
+    wall = perf_counter() - started
+    print(f"flow passes: analyzed {len(flow.analyzed)} module(s), "
+          f"{len(flow.cached)} cached ({wall:.2f}s)")
     suffix = (f" ({len(flow.suppressed)} reviewed suppression(s))"
               if flow.suppressed else "")
     print(f"lint: {len(problems)} problem(s){suffix}" if problems
           else f"lint: clean{suffix}")
+    if cache_dir is not None:
+        try:
+            AnalysisCache(cache_dir).write_stats({
+                "analyzed": len(flow.analyzed),
+                "cached": len(flow.cached),
+                "wall_s": round(wall, 3),
+            })
+        except OSError as exc:
+            print(f"warning: could not write cache stats: {exc}",
+                  file=sys.stderr)
     if args.report:
+        text = render_report(
+            problems, list(flow.findings), list(flow.errors),
+            suppressed=len(flow.suppressed),
+            analyzed=len(flow.analyzed), cached=len(flow.cached),
+            wall_s=wall)
         with open(args.report, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(problems) + "\n" if problems else "")
-        print(f"wrote {len(problems)} finding line(s) to {args.report}")
+            handle.write(text)
+        print(f"wrote report ({len(problems)} problem(s)) to "
+              f"{args.report}")
     if problems:
         return 1
     if args.lint_only:
@@ -686,9 +759,13 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--lint-only", action="store_true",
                        help="run only the static analyses (no sweeps)")
     check.add_argument("--report",
-                       help="also write findings/analysis errors to "
-                            "this file (one per line; empty when "
-                            "clean)")
+                       help="also write a versioned JSON report "
+                            "(schema_version, findings sorted by "
+                            "file/line/rule, analysis errors) to "
+                            "this file")
+    check.add_argument("--no-cache", action="store_true",
+                       help="ignore and don't write the incremental "
+                            "analysis cache (.repro-cache/)")
     check.add_argument("--arch", choices=["generic", "vax", "rt_pc",
                                           "sun3", "ns32082"],
                        help="sweep a single pmap architecture")

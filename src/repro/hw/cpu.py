@@ -15,7 +15,6 @@ strategies rely on (Section 5.2):
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Optional
 
 
@@ -33,45 +32,11 @@ class CPU:
         self._deferred_flushes: list[Callable[[], None]] = []
         self.ipi_count = 0
         self.timer_ticks = 0
-        self._tick_hook: Optional[Callable[[], None]] = None
-        self._tick_adapter = None
 
     @property
     def events(self):
         """The machine's event bus (``cpu/...`` events go there)."""
         return self.machine.events
-
-    @property
-    def tick_hook(self) -> Optional[Callable[[], None]]:
-        """Deprecated duck-typed tick observer.
-
-        Superseded by the event bus: subscribe to ``machine.events``
-        and watch ``cpu/tick`` events (emitted *after* the deferred
-        flush queue drains, so an observer sees the shootdown window
-        close even when the flush thunks were lost).  Assigning a
-        callable still works via a forwarding bus subscriber, but emits
-        a :class:`DeprecationWarning`.
-        """
-        return self._tick_hook
-
-    @tick_hook.setter
-    def tick_hook(self, hook: Optional[Callable[[], None]]) -> None:
-        warnings.warn(
-            "CPU.tick_hook is deprecated; subscribe to the machine's "
-            "event bus and watch cpu/tick events instead",
-            DeprecationWarning, stacklevel=2)
-        if self._tick_adapter is not None:
-            self.events.unsubscribe(self._tick_adapter)
-            self._tick_adapter = None
-        self._tick_hook = hook
-        if hook is not None:
-            def adapter(event, _cpu=self.cpu_id):
-                if (event.subsystem == "cpu" and event.kind == "tick"
-                        and event.cpu == _cpu
-                        and self._tick_hook is not None):
-                    self._tick_hook()
-            self._tick_adapter = adapter
-            self.events.subscribe(adapter)
 
     def deliver_ipi(self, flush: Callable[[], None]) -> None:
         """Take an inter-processor interrupt and run *flush* now."""

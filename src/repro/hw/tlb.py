@@ -23,7 +23,6 @@ exactly what the old OrderedDict ``popitem(last=False)`` did.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 from repro.core.constants import VMProt
@@ -92,59 +91,6 @@ class TLB:
         #: tagged-VPN key -> entry; insertion order is FIFO age.
         self._entries: dict[int, TLBEntry] = {}
         self.stats = TLBStats()
-        self._trace_hook = None
-        self._hook_adapter = None
-
-    @property
-    def trace_hook(self):
-        """Deprecated duck-typed tracing hook.
-
-        Superseded by the event bus: subscribe to ``self.events`` and
-        watch ``tlb/...`` events instead.  Assigning an object with the
-        old ``tlb_hit``/``tlb_fill``/``tlb_drop``/``tlb_range_flushed``/
-        ``tlb_pmap_flushed``/``tlb_full_flushed`` methods still works —
-        a bus subscriber forwards this TLB's events to it — but emits a
-        :class:`DeprecationWarning`.
-        """
-        return self._trace_hook
-
-    @trace_hook.setter
-    def trace_hook(self, hook) -> None:
-        warnings.warn(
-            "TLB.trace_hook is deprecated; subscribe to the machine's "
-            "event bus (tlb.events) instead", DeprecationWarning,
-            stacklevel=2)
-        if self._hook_adapter is not None:
-            self.events.unsubscribe(self._hook_adapter)
-            self._hook_adapter = None
-        self._trace_hook = hook
-        if hook is not None:
-            self._hook_adapter = self._forward_to_hook
-            self.events.subscribe(self._hook_adapter)
-
-    def _forward_to_hook(self, event) -> None:
-        """Bus subscriber replaying ``tlb/...`` events into the legacy
-        trace_hook method vocabulary."""
-        if event.subsystem != "tlb" or event.cpu != self.cpu_id:
-            return
-        hook = self._trace_hook
-        if hook is None:
-            return
-        data = event.data
-        kind = event.kind
-        if kind == "hit":
-            hook.tlb_hit(data["tag"], data["vpn"])
-        elif kind == "fill":
-            hook.tlb_fill(data["tag"], data["vpn"])
-        elif kind == "drop":
-            hook.tlb_drop(data["tag"], data["vpn"])
-        elif kind == "flush_range":
-            hook.tlb_range_flushed(data["tag"], data["start"],
-                                   data["end"])
-        elif kind == "flush_pmap":
-            hook.tlb_pmap_flushed(data["tag"])
-        elif kind == "flush_all":
-            hook.tlb_full_flushed()
 
     def probe(self, pmap, vaddr: int) -> Optional[TLBEntry]:
         """Look up a translation; counts a hit or a miss."""

@@ -27,7 +27,6 @@ from __future__ import annotations
 import abc
 import enum
 import itertools
-import warnings
 from typing import Optional
 
 from repro.core.constants import FaultType, VMProt, trunc_page
@@ -107,44 +106,6 @@ class PmapSystem:
         #: happens-before checker sees the invalidation window open
         #: first.
         self.events = machine.events
-        self._race_hook = None
-        self._race_adapter = None
-
-    @property
-    def race_hook(self):
-        """Deprecated shootdown observer.
-
-        Superseded by the event bus: subscribe to ``self.events`` and
-        watch ``pmap/shootdown`` events (whose data carries ``pmap``,
-        ``start``, ``end``, the *effective* ``strategy``, ``forced``
-        and the per-CPU ``actions`` plan).  Assigning a callable with
-        the old ``race_hook(pmap, start, end, strategy, force,
-        actions)`` signature still works via a forwarding subscriber,
-        but emits a :class:`DeprecationWarning`.
-        """
-        return self._race_hook
-
-    @race_hook.setter
-    def race_hook(self, hook) -> None:
-        warnings.warn(
-            "PmapSystem.race_hook is deprecated; subscribe to the "
-            "machine's event bus and watch pmap/shootdown events "
-            "instead", DeprecationWarning, stacklevel=2)
-        if self._race_adapter is not None:
-            self.events.unsubscribe(self._race_adapter)
-            self._race_adapter = None
-        self._race_hook = hook
-        if hook is not None:
-            def adapter(event):
-                if (event.subsystem == "pmap"
-                        and event.kind == "shootdown"
-                        and self._race_hook is not None):
-                    data = event.data
-                    self._race_hook(data["pmap"], data["start"],
-                                    data["end"], data["strategy"],
-                                    data["forced"], data["actions"])
-            self._race_adapter = adapter
-            self.events.subscribe(adapter)
 
     # ------------------------------------------------------------------
     # Reference / modify bits (maintained by the simulated MMU)

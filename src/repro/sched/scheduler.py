@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import warnings
 from collections import deque
 from typing import Callable, Generator, Optional
 
@@ -148,41 +147,6 @@ class Scheduler:
         #: The kernel's instrumentation bus; each slice publishes a
         #: ``sched/slice`` event just before placement.
         self.events = kernel.events
-        self._race_hook = None
-        self._race_adapter = None
-
-    @property
-    def race_hook(self):
-        """Deprecated duck-typed slice observer.
-
-        Superseded by the event bus: subscribe to ``kernel.events`` and
-        watch ``sched/slice`` events (whose data carries the
-        ``sched_thread`` about to run and the destination ``cpu`` —
-        emitted before placement, so an observer still sees the CPU the
-        thread last ran on).  Assigning a callable with the old
-        ``race_hook(sched_thread, cpu_id)`` signature still works via a
-        forwarding subscriber, but emits a :class:`DeprecationWarning`.
-        """
-        return self._race_hook
-
-    @race_hook.setter
-    def race_hook(self, hook) -> None:
-        warnings.warn(
-            "Scheduler.race_hook is deprecated; subscribe to the "
-            "kernel's event bus and watch sched/slice events instead",
-            DeprecationWarning, stacklevel=2)
-        if self._race_adapter is not None:
-            self.events.unsubscribe(self._race_adapter)
-            self._race_adapter = None
-        self._race_hook = hook
-        if hook is not None:
-            def adapter(event):
-                if (event.subsystem == "sched" and event.kind == "slice"
-                        and self._race_hook is not None):
-                    self._race_hook(event.data["sched_thread"],
-                                    event.data["to_cpu"])
-            self._race_adapter = adapter
-            self.events.subscribe(adapter)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Sanctioned idioms the typestate pass must NOT flag.
+
+These are the real shipped patterns: conditional shootdown covering a
+``shoot=False`` removal before any yield, teardown reads of an
+unlinked entry, and the allocate/use/free happy path.
+"""
+
+
+class ConditionalShootdown:
+    """interface.py's remove(): shoot only when something was removed,
+    with no yield in between — the join degrades to unknown, which is
+    never reported."""
+
+    def run(self, pmap, ctx, start, end):
+        removed = pmap.remove(start, end, shoot=False)
+        if removed:
+            self.system.shootdown(pmap, start, end)
+        ctx.read(start)
+
+
+class TeardownRead:
+    """delete_range/destroy read an unlinked entry's bounds while
+    releasing its target — reads of a dead entry are legal, only
+    writes and map structure ops are crimes."""
+
+    def run(self, entry):
+        self._unlink(entry)
+        size = entry.end - entry.start
+        return size
+
+
+class HappyPath:
+    def run(self):
+        page = self.resident.allocate()
+        self.resident.activate(page)
+        self.resident.deactivate(page)
+        self.resident.free(page)
+
+
+class GeneratorHelper:
+    """A generator's yields are iteration, not preemption: the dirty
+    window here never crosses a scheduler yield."""
+
+    def _spans(self, start, end):
+        yield start
+        yield end
+
+    def run(self, pmap, start, end):
+        removed = pmap.remove(start, end, shoot=False)
+        for _ in self._spans(start, end):
+            pass
+        if removed:
+            self.system.shootdown(pmap, start, end)

@@ -1,0 +1,165 @@
+"""The incremental analysis cache: warm runs re-analyze nothing,
+edits re-analyze exactly the edited module's reverse-dependency cone,
+and cached runs report the same findings as cold ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import (
+    AnalysisCache, module_key, tree_digest,
+)
+from repro.analysis.flow import run_flow_passes
+
+PKG = "pkg"
+
+#: Three-module tree: ``b`` calls into ``a`` (a cross-module edge the
+#: call graph resolves), ``c`` is independent.  The package module
+#: itself has no calls, so its cone is just itself.
+A_SRC = '''\
+class Helper:
+    def drop(self, resident, page):
+        resident.deactivate(page)
+'''
+
+A_EDITED = '''\
+class Helper:
+    def drop(self, resident, page):
+        resident.free(page)
+'''
+
+B_SRC = '''\
+from pkg.a import Helper
+
+class Caller:
+    def run(self, resident):
+        page = resident.allocate()
+        helper = Helper()
+        helper.drop(resident, page)
+        resident.free(page)
+'''
+
+C_SRC = '''\
+class Standalone:
+    def spin(self, resident):
+        page = resident.allocate()
+        resident.free(page)
+'''
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / PKG
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(A_SRC)
+    (pkg / "b.py").write_text(B_SRC)
+    (pkg / "c.py").write_text(C_SRC)
+    return pkg
+
+
+def _run(tree, cache_dir):
+    return run_flow_passes(root=tree, package=PKG,
+                           baseline=[], cache_dir=cache_dir)
+
+
+def _mods(names):
+    """Real modules only ("#conformance" stands for the whole-tree
+    conformance pass, which isn't a module)."""
+    return sorted(n for n in names if not n.startswith("#"))
+
+
+class TestWarmRun:
+    def test_second_run_analyzes_zero_modules(self, tree, tmp_path):
+        cache = tmp_path / "cache"
+        cold = _run(tree, cache)
+        assert _mods(cold.analyzed) == [
+            "pkg", "pkg.a", "pkg.b", "pkg.c"]
+        assert cold.cached == []
+
+        warm = _run(tree, cache)
+        assert warm.analyzed == []
+        assert _mods(warm.cached) == [
+            "pkg", "pkg.a", "pkg.b", "pkg.c"]
+
+    def test_warm_findings_match_cold(self, tree, tmp_path):
+        cache = tmp_path / "cache"
+        cold = _run(tree, cache)
+        warm = _run(tree, cache)
+        assert warm.findings == cold.findings
+        assert warm.errors == cold.errors == []
+
+    def test_real_tree_warm_run(self, tmp_path):
+        """The shipped tree itself: cold populates, warm serves
+        everything from cache and stays clean."""
+        cache = tmp_path / "cache"
+        cold = run_flow_passes(cache_dir=cache)
+        assert cold.clean and cold.analyzed
+        warm = run_flow_passes(cache_dir=cache)
+        assert warm.clean
+        assert warm.analyzed == []
+        assert len(warm.cached) == \
+            len(cold.analyzed) + len(cold.cached)
+
+
+class TestReverseDependencyCone:
+    def test_edit_reanalyzes_exactly_the_cone(self, tree, tmp_path):
+        """Editing ``a`` must re-analyze ``a`` and its caller ``b``
+        (whose cached result depended on a's summary) — and nothing
+        else."""
+        cache = tmp_path / "cache"
+        _run(tree, cache)
+        (tree / "a.py").write_text(A_EDITED)
+
+        report = _run(tree, cache)
+        assert _mods(report.analyzed) == ["pkg.a", "pkg.b"]
+        assert _mods(report.cached) == ["pkg", "pkg.c"]
+        # The edit made Helper.drop free the page, so b's
+        # allocate/drop/free path is now a cross-call double free —
+        # the re-analysis of the cone surfaces it.
+        rules = {(f.module, f.rule) for f in report.findings}
+        assert ("pkg.b", "page-double-free") in rules
+
+    def test_comment_only_edit_reanalyzes_only_the_module(
+            self, tree, tmp_path):
+        """A's summary is unchanged by a comment, so b's cache entry
+        (keyed on a's summary digest, not its text) stays valid."""
+        cache = tmp_path / "cache"
+        _run(tree, cache)
+        (tree / "a.py").write_text("# prologue\n" + A_SRC)
+
+        report = _run(tree, cache)
+        assert _mods(report.analyzed) == ["pkg.a"]
+        assert _mods(report.cached) == ["pkg", "pkg.b", "pkg.c"]
+
+
+class TestKeying:
+    def test_module_key_covers_all_inputs(self):
+        deps = {"pkg.a": "d1"}
+        base = module_key("src", {"p": "1"}, "own", deps)
+        assert base != module_key("src2", {"p": "1"}, "own", deps)
+        assert base != module_key("src", {"p": "2"}, "own", deps)
+        assert base != module_key("src", {"p": "1"}, "own2", deps)
+        assert base != module_key("src", {"p": "1"}, "own",
+                                  {"pkg.a": "d2"})
+        assert base == module_key("src", {"p": "1"}, "own", deps)
+
+    def test_tree_digest_orders_canonically(self):
+        one = tree_digest({"a": "1", "b": "2"}, {"p": "1"})
+        two = tree_digest({"b": "2", "a": "1"}, {"p": "1"})
+        assert one == two
+        assert one != tree_digest({"a": "1"}, {"p": "1"})
+
+    def test_store_is_atomic_and_reloadable(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "c")
+        cache.store_module("m", "key1", {"typestate": []})
+        assert cache.load_module("m", "key1") == {
+            "key": "key1", "passes": {"typestate": []}}
+        assert cache.load_module("m", "other-key") is None
+        assert cache.load_module("never-stored", "key1") is None
+
+    def test_stats_roundtrip(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "c")
+        cache.write_stats({"analyzed": 3, "cached": 91})
+        assert cache.read_stats() == {"analyzed": 3, "cached": 91}
+        assert AnalysisCache(tmp_path / "empty").read_stats() is None

@@ -88,3 +88,84 @@ class TestProtections:
                     fs.log("failed")
                     raise
         """) == []
+
+
+def _interprocedural(*parts: str):
+    from repro.analysis.typestate import build_context
+
+    source = "\n".join(textwrap.dedent(p) for p in parts)
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    ctx = build_context([("inline", tree, lines)])
+    return check_module("inline", tree, lines, ctx)
+
+
+#: A helper whose ``#: no-retry`` defers retrying to its callers —
+#: its summary says a transient can escape it.
+_PROPAGATOR = """
+    def fetch(fs, inode):
+        #: no-retry — callers own the retry policy.
+        return fs.read_direct(inode, 0, 4096)
+"""
+
+
+class TestInterprocedural:
+    def test_transient_escaping_thread_body_flagged(self):
+        findings = _interprocedural(_PROPAGATOR, """
+            def worker(ctx, fs, inode):
+                fetch(fs, inode)
+        """)
+        assert [(f.rule, f.where) for f in findings] == [
+            ("unhandled-transient-propagated", "worker")]
+        assert "thread body" in findings[0].message
+
+    def test_ordinary_kernel_code_may_propagate(self):
+        """Outside a thread body the syscall boundary surfaces the
+        error like an errno — propagating further up is the idiom,
+        not a bug."""
+        assert _interprocedural(_PROPAGATOR, """
+            def vm_read(fs, inode):
+                return fetch(fs, inode)
+        """) == []
+
+    def test_catching_thread_body_is_fine(self):
+        assert _interprocedural(_PROPAGATOR, """
+            def worker(ctx, fs, inode):
+                try:
+                    fetch(fs, inode)
+                except DiskIOError:
+                    ctx.backoff()
+        """) == []
+
+    def test_annotated_thread_body_call_is_fine(self):
+        assert _interprocedural(_PROPAGATOR, """
+            def worker(ctx, fs, inode):
+                fetch(fs, inode)  #: no-retry — loop retries
+        """) == []
+
+    def test_retrying_helper_does_not_taint_callers(self):
+        """A helper that handles its own transients has a clean
+        summary; thread bodies may call it bare."""
+        assert _interprocedural("""
+            def fetch(fs, inode):
+                try:
+                    return fs.read_direct(inode, 0, 4096)
+                except DiskIOError:
+                    return None
+
+            def worker(ctx, fs, inode):
+                fetch(fs, inode)
+        """) == []
+
+    def test_propagation_is_transitive(self):
+        """fetch leaks a transient, relay calls fetch unprotected, a
+        thread body calls relay: the summary chain reaches it."""
+        findings = _interprocedural(_PROPAGATOR, """
+            def relay(fs, inode):
+                return fetch(fs, inode)
+
+            def worker(ctx, fs, inode):
+                relay(fs, inode)
+        """)
+        assert [(f.rule, f.where) for f in findings] == [
+            ("unhandled-transient-propagated", "worker")]

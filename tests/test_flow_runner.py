@@ -31,42 +31,78 @@ class TestCleanTree:
             assert len(reason) > 20
 
     def test_no_stale_baseline_entries(self):
-        """Entries that no longer match anything should be deleted."""
+        """An entry that no longer suppresses any current finding is
+        suppression rot: the test names the stale file line so it can
+        be deleted (not just which entry, but where)."""
         report = run_flow_passes()
-        fired = {(f.pass_name + "/" + f.rule, f.module)
-                 for f, _ in report.suppressed}
-        for entry in load_baseline():
-            assert (entry.rule, entry.module) in fired, \
-                f"stale baseline entry: {entry}"
+        stale = [entry for entry in load_baseline()
+                 if not any(entry.matches(f)
+                            for f, _ in report.suppressed)]
+        assert not stale, "\n".join(
+            f"stale baseline entry at "
+            f"analysis/flow_baseline.txt:{entry.lineno}: "
+            f"{entry.rule} | {entry.module} | {entry.where} — no "
+            f"current finding matches; delete the line"
+            for entry in stale)
+
+    def test_stale_entry_detection_fires(self):
+        """The staleness check itself must be able to go red."""
+        entries = load_baseline()
+        ghost = BaselineEntry("typestate/page-double-free",
+                              "repro.no.such.module", "*",
+                              "reviewed: never fires", lineno=999)
+        report = run_flow_passes()
+        stale = [entry for entry in entries + [ghost]
+                 if not any(entry.matches(f)
+                            for f, _ in report.suppressed)]
+        assert stale == [ghost]
 
 
 class TestCrashHandling:
     def test_crashing_pass_becomes_analysis_error(self, monkeypatch):
         import repro.analysis.lifecycle as lifecycle
 
-        def boom(root=None, package="repro"):
+        def boom(module, tree, ctx=None):
             raise RuntimeError("pass exploded")
 
-        monkeypatch.setattr(lifecycle, "run_pass", boom)
+        monkeypatch.setattr(lifecycle, "check_module", boom)
         report = run_flow_passes(passes=["lifecycle"])
         assert not report.clean
-        (err,) = report.errors
-        assert err.pass_name == "lifecycle"
-        assert "pass exploded" in err.message
+        assert report.errors
+        assert report.errors[0].pass_name == "lifecycle"
+        assert "pass exploded" in report.errors[0].message
 
     def test_unknown_pass_is_an_error(self):
         report = run_flow_passes(passes=["mystery"])
         assert not report.clean
         assert "unknown pass" in report.errors[0].message
 
+    def test_crashed_module_is_never_cached(self, monkeypatch,
+                                            tmp_path):
+        """A crash must be retried next run, not served from cache."""
+        import repro.analysis.determinism as determinism
+
+        def boom(module, tree):
+            raise RuntimeError("pass exploded")
+
+        monkeypatch.setattr(determinism, "check_module", boom)
+        report = run_flow_passes(passes=["determinism"],
+                                 cache_dir=tmp_path / "cache")
+        assert not report.clean
+        monkeypatch.undo()
+        report = run_flow_passes(passes=["determinism"],
+                                 cache_dir=tmp_path / "cache")
+        assert report.clean
+        assert report.analyzed        # the crashed modules re-ran
+
     def test_crash_fails_repro_check(self, monkeypatch, capsys):
         import repro.analysis.lifecycle as lifecycle
 
-        def boom(root=None, package="repro"):
+        def boom(module, tree, ctx=None):
             raise RuntimeError("pass exploded")
 
-        monkeypatch.setattr(lifecycle, "run_pass", boom)
-        assert main(["check", "--lint-only"]) == 1
+        monkeypatch.setattr(lifecycle, "check_module", boom)
+        assert main(["check", "--lint-only", "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "analysis error" in out
         assert "lint: clean" not in out
@@ -98,14 +134,52 @@ class TestBaseline:
 
 
 class TestCli:
-    def test_check_report_file_empty_when_clean(self, tmp_path, capsys):
-        report = tmp_path / "findings.txt"
-        assert main(["check", "--lint-only",
+    def test_check_report_is_versioned_json(self, tmp_path, capsys):
+        from repro.analysis.report import SCHEMA_VERSION, load_report
+
+        report = tmp_path / "findings.json"
+        assert main(["check", "--lint-only", "--no-cache",
                      "--report", str(report)]) == 0
         out = capsys.readouterr().out
         assert "lint: clean" in out
         assert "reviewed suppression" in out
-        assert report.read_text() == ""
+        payload = load_report(report)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["problems"] == []
+        assert payload["suppressed"] == 2
+
+    def test_report_is_deterministic(self, tmp_path):
+        """Two clean runs produce byte-identical reports — findings
+        sorted by (file, line, rule), keys sorted, no timestamps."""
+        import json
+
+        from repro.analysis.report import render_report
+
+        one = render_report(["p"], [], [], 2, 10, 85)
+        two = render_report(["p"], [], [], 2, 10, 85)
+        assert one == two
+        assert "wall_s" not in json.loads(one)   # opt-in only
+
+    def test_consumer_tolerates_legacy_and_future(self, tmp_path):
+        from repro.analysis.report import load_report
+
+        legacy = tmp_path / "old.txt"
+        legacy.write_text("lifecycle/leak | m | C.f | leak\n")
+        payload = load_report(legacy)
+        assert payload["schema_version"] == 0
+        assert payload["problems"] == [
+            "lifecycle/leak | m | C.f | leak"]
+        assert payload["clean"] is False
+
+        future = tmp_path / "new.json"
+        future.write_text('{"schema_version": 9, "novel_field": 1}')
+        payload = load_report(future)
+        assert payload["schema_version"] == 9
+        assert payload["novel_field"] == 1      # passed through
+        assert payload["findings"] == []
+        assert payload["problems"] == []
 
     def test_bench_json(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"

@@ -274,72 +274,17 @@ class TestExport:
 
 
 # ---------------------------------------------------------------------
-# Deprecation shims for the retired duck-typed hooks
+# Analysis observers attach through the bus (the retired duck-typed
+# hooks — trace_hook / tick_hook / race_hook — no longer exist)
 # ---------------------------------------------------------------------
 
-class _TLBHook:
-    def __init__(self):
-        self.fills = []
-        self.hits = []
+class TestBusAttachment:
 
-    def tlb_fill(self, tag, vpn):
-        self.fills.append((tag, vpn))
-
-    def tlb_hit(self, tag, vpn):
-        self.hits.append((tag, vpn))
-
-    def tlb_drop(self, tag, vpn):
-        pass
-
-    def tlb_range_flushed(self, tag, start, end):
-        pass
-
-    def tlb_pmap_flushed(self, tag):
-        pass
-
-    def tlb_full_flushed(self):
-        pass
-
-
-class TestDeprecatedHookShims:
-
-    def test_tlb_trace_hook_warns_and_forwards(self, kernel):
-        tlb = kernel.machine.boot_cpu.tlb
-        hook = _TLBHook()
-        with pytest.warns(DeprecationWarning):
-            tlb.trace_hook = hook
-        task = kernel.task_create(name="hooked")
-        addr = task.vm_allocate(kernel.page_size)
-        task.write(addr, b"x")
-        task.read(addr, 1)
-        assert hook.fills, "legacy tlb_fill never forwarded"
-        assert tlb.trace_hook is hook
-        with pytest.warns(DeprecationWarning):
-            tlb.trace_hook = None
-        assert tlb.trace_hook is None
-
-    def test_cpu_tick_hook_warns_and_forwards(self, kernel):
-        cpu = kernel.machine.boot_cpu
-        ticks = []
-        with pytest.warns(DeprecationWarning):
-            cpu.tick_hook = lambda: ticks.append(1)
-        kernel.machine.tick_all_timers()
-        assert ticks, "legacy tick_hook never forwarded"
-
-    def test_pmap_race_hook_warns_and_forwards(self, smp_kernel):
-        kernel = smp_kernel
-        shootdowns = []
-
-        def hook(pmap, start, end, strategy, force, actions):
-            shootdowns.append((pmap, start, end))
-
-        with pytest.warns(DeprecationWarning):
-            kernel.pmap_system.race_hook = hook
-        task = kernel.task_create(name="shooter")
-        addr = task.vm_allocate(kernel.page_size)
-        task.write(addr, b"x")
-        task.vm_protect(addr, kernel.page_size, False, VMProt.READ)
-        assert shootdowns, "legacy race_hook never forwarded"
+    def test_hook_attributes_are_gone(self, smp_kernel):
+        cpu = smp_kernel.machine.boot_cpu
+        assert not hasattr(type(cpu.tlb), "trace_hook")
+        assert not hasattr(type(cpu), "tick_hook")
+        assert not hasattr(type(smp_kernel.pmap_system), "race_hook")
 
     def test_race_detector_rides_the_bus(self, smp_kernel):
         from repro.analysis.race import RaceDetector

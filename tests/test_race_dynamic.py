@@ -200,16 +200,14 @@ class TestInvalidationWindows:
         with pytest.raises(AssertionError, match="race: cpu1"):
             cpu1.tlb.probe(task.pmap, addr)
 
-    def test_uninstall_disarms_every_hook(self):
+    def test_uninstall_leaves_the_bus_silent(self):
         kernel = MachKernel(_spec("generic", ncpus=2))
         sched = Scheduler(kernel)
+        baseline = list(kernel.events._subscribers)
         det = RaceDetector(kernel, sched).install()
+        assert det._on_event in kernel.events._subscribers
         det.uninstall()
-        assert kernel.pmap_system.race_hook is None
-        assert sched.race_hook is None
-        for cpu in kernel.machine.cpus:
-            assert cpu.tlb.trace_hook is None
-            assert cpu.tick_hook is None
+        assert kernel.events._subscribers == baseline
 
 
 # ======================================================================

@@ -1,0 +1,64 @@
+"""The invariant-sweep harness itself: a crashing workload cell must
+fail its (arch, workload) cell — naming both — instead of escaping the
+worker, hanging the pool, or letting the sweep report clean."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.analysis.sweeps as sweeps
+from repro.analysis.sweeps import SweepResult, run_sweeps
+
+
+def _crashing(arch: str) -> None:
+    raise RuntimeError(f"workload exploded on {arch}")
+
+
+@pytest.fixture
+def crashing_workload(monkeypatch):
+    """Replace the fork+COW workload with one that raises outright
+    (not a SanitizerError — an unexpected crash)."""
+    monkeypatch.setattr(
+        sweeps, "WORKLOADS",
+        (("fork+COW", _crashing),) + tuple(sweeps.WORKLOADS[1:]))
+
+
+def _cells(results: list[SweepResult]):
+    return {(r.arch, r.workload): r for r in results}
+
+
+class TestFailurePropagation:
+    def test_serial_crash_fails_the_cell(self, crashing_workload):
+        results = run_sweeps(archs=["generic"])
+        cell = _cells(results)[("generic", "fork+COW")]
+        assert not cell.ok
+        assert "cell crashed" in cell.detail
+        assert "workload exploded on generic" in cell.detail
+        # The crash names its cell in the printed form too.
+        assert "generic" in str(cell) and "fork+COW" in str(cell)
+
+    def test_pool_crash_fails_the_cell_without_hanging(
+            self, crashing_workload):
+        """--jobs path: the worker returns a failing result; the other
+        cells still run and report (no hang, no lost results)."""
+        results = run_sweeps(archs=["generic"], jobs=2)
+        by_cell = _cells(results)
+        assert len(results) == len(sweeps.WORKLOADS)
+        crashed = by_cell[("generic", "fork+COW")]
+        assert not crashed.ok
+        assert "RuntimeError" in crashed.detail
+        for name in ("pageout-pressure", "shootdown"):
+            assert by_cell[("generic", name)].ok
+
+    def test_crash_does_not_taint_the_report(self, crashing_workload):
+        """Exactly the crashed cell fails — a clean report with a
+        crashed worker would be lying."""
+        results = run_sweeps(archs=["generic"])
+        assert [r.ok for r in results] == [False, True, True]
+
+
+class TestHealthySweep:
+    def test_generic_matrix_is_clean(self):
+        results = run_sweeps(archs=["generic"])
+        assert all(r.ok for r in results)
+        assert len(results) == len(sweeps.WORKLOADS)
