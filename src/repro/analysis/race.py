@@ -118,6 +118,12 @@ DISCIPLINES: dict[str, tuple[str, ...]] = {
     "debug-hook": ("analysis",),
     #: Wired once at kernel boot, never retargeted afterwards.
     "boot-wiring": ("core.kernel",),
+    #: The kernel's scheduler back-pointer: attached once by the
+    #: scheduler's own constructor, never retargeted mid-run.
+    "sched-wiring": ("core.kernel", "sched.scheduler"),
+    #: Pager policy knobs: set while single-threaded, before load is
+    #: driven — benches configure them per cell.
+    "pager-tuning": ("bench",),
     #: Kernel-task state mutated only inside the kernel funnel itself.
     "kernel-funnel": (),
 }

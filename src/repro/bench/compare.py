@@ -35,6 +35,12 @@ DEFAULT_MAX_REGRESS_PCT = 20.0
 #: log-bucketed histogram (~3% relative error) does not trip the gate.
 LATENCY_SLO_SLACK = 1.05
 
+#: Pager-stall storm SLO: the v2 serving path's p99 fault latency must
+#: not be worse than the serialized pre-v2 control on the same shape
+#: and seed (each report carries its own control, so this gate needs
+#: no baseline).
+PAGER_SERIALIZED_SLO = 1.0
+
 
 def load_report(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
@@ -49,6 +55,30 @@ def _get(report: dict, *path):
             return None
         node = node.get(key)
     return node
+
+
+def _pager_storm_section(report: dict):
+    """Normalize the pager-stall storm numbers out of a report.
+
+    Accepts either a full bench report (``report["pager_storm"]``, the
+    BENCH series) or a raw ``repro storm --pager --json`` payload
+    (``report["storm"] == "pager-stall"``).  Returns
+    ``(shape, per_arch)`` where *shape* is the
+    ``(tasks, pages, rounds, seed)`` tuple and *per_arch* maps arch to
+    its cell, or ``(None, {})`` when the report has no pager storm.
+    """
+    section = _get(report, "pager_storm")
+    if isinstance(section, dict):
+        per_arch = section.get("per_arch") or {}
+        shape = tuple(section.get(k)
+                      for k in ("tasks", "pages", "rounds", "seed"))
+        return shape, per_arch
+    if report.get("storm") == "pager-stall":
+        per_arch = report.get("archs") or {}
+        shape = tuple(report.get(k)
+                      for k in ("tasks", "pages", "rounds", "seed"))
+        return shape, per_arch
+    return None, {}
 
 
 def compare_reports(baseline: dict, current: dict) -> dict:
@@ -89,6 +119,26 @@ def compare_reports(baseline: dict, current: dict) -> dict:
             if same_shape and base_p99 and cur_p99 is not None
             else None,
         }
+    base_shape, base_pager = _pager_storm_section(baseline)
+    cur_shape, cur_pager = _pager_storm_section(current)
+    pager_same_shape = (base_shape == cur_shape
+                        and base_shape is not None
+                        and None not in base_shape)
+    pager = {}
+    for arch in sorted(set(base_pager) | set(cur_pager)):
+        base_p99 = _get(base_pager, arch, "p99_us")
+        cur_p99 = _get(cur_pager, arch, "p99_us")
+        pager[arch] = {
+            "baseline_p99_us": base_p99,
+            "current_p99_us": cur_p99,
+            "ratio": round(cur_p99 / base_p99, 3)
+            if pager_same_shape and base_p99 and cur_p99 is not None
+            else None,
+            # Self-contained SLO: every pager-storm cell carries its
+            # own serialized (pre-v2) control, so this ratio is
+            # commensurable regardless of the baseline's shape.
+            "vs_serialized": _get(cur_pager, arch, "p99_vs_serialized"),
+        }
     return {
         "baseline_faults_per_s": base_fps,
         "current_faults_per_s": cur_fps,
@@ -99,6 +149,7 @@ def compare_reports(baseline: dict, current: dict) -> dict:
         "sweep_ratio": round(base_wall / cur_wall, 2)
         if base_wall and cur_wall else None,
         "tail_p99_ratio": tail or None,
+        "pager_p99_ratio": pager or None,
     }
 
 
@@ -131,6 +182,13 @@ def format_comparison(delta: dict, baseline_name: str = "baseline",
             f"{_fmt(cell['baseline_p99_us'], '.0f', 'us')} -> "
             f"{_fmt(cell['current_p99_us'], '.0f', 'us')} "
             f"({_fmt(cell['ratio'], '.3f', 'x')})")
+    for arch, cell in (delta.get("pager_p99_ratio") or {}).items():
+        lines.append(
+            f"pager-storm p99 ({arch}): "
+            f"{_fmt(cell['baseline_p99_us'], '.0f', 'us')} -> "
+            f"{_fmt(cell['current_p99_us'], '.0f', 'us')} "
+            f"({_fmt(cell['ratio'], '.3f', 'x')}, "
+            f"vs serialized {_fmt(cell['vs_serialized'], '.3f', 'x')})")
     return "\n".join(lines) if lines else "nothing comparable"
 
 
@@ -144,7 +202,10 @@ def gate_failures(delta: dict,
     * fault microbench throughput down more than *max_regress_pct*
       percent vs the baseline;
     * simulated p99 fault latency up more than the histogram's bucket
-      slack on any arch both reports measured.
+      slack on any arch both reports measured;
+    * pager-storm p99 up more than the bucket slack vs the baseline on
+      any shared arch, or worse than the serialized pre-v2 control
+      (the self-contained ``vs_serialized`` SLO) on any current arch.
 
     Metrics missing from either side are skipped, not failed.
     """
@@ -162,6 +223,19 @@ def gate_failures(delta: dict,
                 f"baseline (SLO {LATENCY_SLO_SLACK:.2f}x: "
                 f"{cell['baseline_p99_us']:.0f}us -> "
                 f"{cell['current_p99_us']:.0f}us)")
+    for arch, cell in (delta.get("pager_p99_ratio") or {}).items():
+        if cell["ratio"] is not None and cell["ratio"] > LATENCY_SLO_SLACK:
+            failures.append(
+                f"pager-storm p99 latency ({arch}) {cell['ratio']:.3f}x "
+                f"baseline (SLO {LATENCY_SLO_SLACK:.2f}x: "
+                f"{cell['baseline_p99_us']:.0f}us -> "
+                f"{cell['current_p99_us']:.0f}us)")
+        vs = cell.get("vs_serialized")
+        if vs is not None and vs > PAGER_SERIALIZED_SLO:
+            failures.append(
+                f"pager-storm p99 ({arch}) {vs:.3f}x the serialized "
+                f"control (SLO {PAGER_SERIALIZED_SLO:.2f}x: the v2 "
+                f"serving path must not lose to blocking backoff)")
     return failures
 
 

@@ -25,7 +25,11 @@ The numbers:
   (p50/p99/p999) and per-pipeline-stage attribution from the
   :mod:`repro.bench.storm` load generator, per architecture.  Unlike
   the wall-clock numbers these are deterministic for a given seed, so
-  the compare gate can hold them to exact-ratio SLOs.
+  the compare gate can hold them to exact-ratio SLOs;
+* **pager-stall storm** — the protocol-v2 serving path under injected
+  pager stalls, per architecture, each cell paired with a serialized
+  pre-v2 control on the same shape and seed (``p99_vs_serialized`` < 1
+  means batching + borrowed-CPU backoff waits beat the blocking path).
 
 The report records the seed (the forget order is seeded and shuffled),
 the arch list, and per-arch throughput so a regression names exactly
@@ -155,6 +159,7 @@ def run_perf_bench(quick: bool = False,
         payload["invariant_sweeps_parallel"] = _sweep_wallclock(
             quick, jobs=jobs)
     payload["fault_tail_latency"] = _fault_tail_latency(quick)
+    payload["pager_storm"] = _pager_storm_latency(quick)
     return payload
 
 
@@ -181,5 +186,45 @@ def _fault_tail_latency(quick: bool) -> dict:
                 },
             }
             for arch, report in storm["archs"].items()
+        },
+    }
+
+
+def _pager_storm_latency(quick: bool) -> dict:
+    """Pager-stall storm: v2 serving path vs the serialized control.
+
+    Each arch cell carries the v2 percentiles, the pager-protocol-v2
+    counters, and the same numbers for the pre-v2 serialized control on
+    the identical shape and seed, so the ``p99_vs_serialized`` ratio is
+    self-contained (< 1 means the v2 path is better).
+    """
+    from repro.bench.storm import PAGER_STALL_RATE, run_pager_storm_matrix
+
+    storm, _ = run_pager_storm_matrix(quick=quick)
+    return {
+        "seed": storm["seed"],
+        "tasks": storm["tasks"],
+        "pages": storm["pages"],
+        "rounds": storm["rounds"],
+        "stall_rate": PAGER_STALL_RATE,
+        "per_arch": {
+            arch: {
+                "faults": cell["faults"],
+                "p50_us": cell["p50_us"],
+                "p99_us": cell["p99_us"],
+                "p999_us": cell["p999_us"],
+                "max_us": cell["max_us"],
+                "elapsed_us": cell["elapsed_us"],
+                "stalls_injected": cell["stalls_injected"],
+                "fault_errors": cell["fault_errors"],
+                "tasks_completed_during_pager_wait":
+                    cell["tasks_completed_during_pager_wait"],
+                "faults_parked": cell["faults_parked"],
+                "readahead_pageins": cell["readahead_pageins"],
+                "serialized": cell["serialized"],
+                "p99_vs_serialized": cell["p99_vs_serialized"],
+                "elapsed_vs_serialized": cell["elapsed_vs_serialized"],
+            }
+            for arch, cell in storm["archs"].items()
         },
     }

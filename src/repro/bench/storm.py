@@ -40,16 +40,31 @@ FULL_LOAD = (8, 6, 3)
 #: Quick-mode load shape (CI smoke).
 QUICK_LOAD = (4, 4, 2)
 
+#: Pager-stall storm: probability an injected pager operation stalls
+#: (transient — the kernel retries with backoff).  Chosen so stalls
+#: sit *between* the two serving paths' exposure: the serialized
+#: one-page path makes one stall-prone round trip per page (stalled
+#: faults land well above the 1% tail), while v2's scatter-gather
+#: batching covers a whole readahead cluster per round trip, pushing
+#: stalls past the p99 quantile.
+PAGER_STALL_RATE = 0.05
+#: Readahead window (pages) the v2 serving path advertises to the
+#: storm's store pagers.
+PAGER_STORM_READAHEAD = 4
 
-def _boot(arch: str, tasks: int, pages: int):
+
+def _boot(arch: str, tasks: int, pages: int,
+          frames: int | None = None):
     from repro.core.kernel import MachKernel
 
     kwargs = dict(BENCH_ARCHS[arch])
-    # Overcommit ~2x (the invariant-sweep pageout-pressure recipe):
-    # the combined working set wants tasks * pages frames plus COW
-    # copies; give it about half, so the daemon must steal and the
-    # tail includes real pageins.
-    kwargs["memory_frames"] = max(16, (tasks * pages) // 2)
+    if frames is None:
+        # Overcommit ~2x (the invariant-sweep pageout-pressure
+        # recipe): the combined working set wants tasks * pages frames
+        # plus COW copies; give it about half, so the daemon must
+        # steal and the tail includes real pageins.
+        frames = max(16, (tasks * pages) // 2)
+    kwargs["memory_frames"] = frames
     kwargs.setdefault("ncpus", 2)
     spec = make_spec(name=f"storm-{arch}", pmap_name=arch, **kwargs)
     return MachKernel(spec)
@@ -142,6 +157,190 @@ def run_storm(arch: str = "generic", tasks: int = 8, pages: int = 6,
         "seed": seed,
     })
     return report, telemetry
+
+
+def run_pager_storm(arch: str = "generic", tasks: int = 8,
+                    pages: int = 6, rounds: int = 3,
+                    seed: int = STORM_SEED, keep_worst: int = 8,
+                    serialize: bool = False):
+    """Run one pager-stall storm cell; returns ``(report, telemetry)``.
+
+    Every region is served by an external-style store pager wrapped in
+    :class:`~repro.inject.pagers.FaultyPager`, with injected transient
+    stalls forcing the kernel's retry/backoff path on a fifth of pager
+    operations.  Alongside the stalling readers run short zero-fill
+    filler tasks — the unrelated work a stalled pager used to
+    serialize.
+
+    With the protocol-v2 serving path (the default) the kernel passes
+    readahead hints (scatter-gather multi-page replies) and lends the
+    stalled thread's CPU to the fillers during each backoff
+    (``tasks_completed_during_pager_wait``).  ``serialize=True``
+    reproduces the pre-v2 path for comparison: no readahead, and every
+    backoff idles the machine.
+
+    The report is :meth:`FaultTelemetry.report` plus the cell
+    parameters, the injector's stall count, the v2 counters, and the
+    total simulated ``elapsed_us``.
+    """
+    from repro.inject.injector import FaultConfig, FaultInjector
+    from repro.inject.pagers import FaultyPager, StoreBackedPager
+    from repro.sched.scheduler import Scheduler
+
+    # Unlike the pageout-pressure storm, the pager storm gets ample
+    # frames: its tail should be dominated by injected pager stalls,
+    # not incidental reclaim churn while installing readahead
+    # clusters.
+    kernel = _boot(arch, tasks, pages,
+                   frames=tasks * pages * 2 + 16)
+    page = kernel.page_size
+    size = pages * page
+    telemetry = FaultTelemetry(keep_worst=keep_worst).attach(kernel)
+    try:
+        # serialize=True is the pre-v2 serving path: blocking backoff
+        # (no CPU lending), one page per request.
+        sched = Scheduler(kernel, lend_pager_waits=not serialize)
+        if not serialize:
+            kernel.readahead_pages = PAGER_STORM_READAHEAD
+        injector = FaultInjector(seed,
+                                 FaultConfig(pager_stall=PAGER_STALL_RATE))
+        rng = random.Random(seed)
+        fault_errors = 0
+
+        readers = []
+        for i in range(tasks):
+            task = kernel.task_create(name=f"pstorm{i}")
+            content = bytes((off // page) % 251 + 1
+                            for off in range(size))
+            pager = FaultyPager(StoreBackedPager(content), injector)
+            order = list(range(0, size, page))
+            rng.shuffle(order)
+            readers.append((task, pager, order))
+
+        def reader(i, task, pager, order):
+            def body(ctx):
+                nonlocal fault_errors
+                for _ in range(i):
+                    yield               # staggered start: the ramp
+                for _ in range(rounds):
+                    # A fresh mapping per round: the previous round's
+                    # object is terminated on unmap, so every read
+                    # faults through the (stalling) pager again.
+                    base = kernel.vm_allocate_with_pager(task, size,
+                                                         pager)
+                    for off in order:
+                        try:
+                            ctx.read(base + off, 1)
+                        except Exception:
+                            # A retry budget exhausted under the seeded
+                            # stall storm (pager declared dead) — the
+                            # storm keeps going; later reads get the
+                            # degraded zero-fill policy.
+                            fault_errors += 1
+                        yield
+                    kernel.vm_deallocate(task, base, size)
+                    yield
+            return body
+
+        def filler(j, task):
+            def body(ctx):
+                for _ in range(j):
+                    yield               # staggered: spread the fleet
+                addr = task.vm_allocate(2 * page)
+                for off in range(0, 2 * page, page):
+                    ctx.write(addr + off, b"f")
+                    yield
+            return body
+
+        for i, (task, pager, order) in enumerate(readers):
+            sched.spawn(task, reader(i, task, pager, order),
+                        name=f"pstorm{i}-r")
+        # A fleet of short zero-fill fillers staggered across the whole
+        # run, so any pager backoff window has unrelated work pending —
+        # the work the serialized path idles away and the v2 path
+        # retires on borrowed CPU time.
+        for j in range(tasks * rounds):
+            task = kernel.task_create(name=f"pfill{j}")
+            sched.spawn(task, filler(j, task), name=f"pfill{j}")
+        sched.run(raise_on_failure=False)
+    finally:
+        telemetry.detach()
+
+    stalls = sum(1 for site, _ in injector.injected
+                 if site == "pager-stall")
+    report = telemetry.report()
+    report.update({
+        "arch": arch,
+        "tasks": tasks,
+        "pages": pages,
+        "rounds": rounds,
+        "seed": seed,
+        "serialized": serialize,
+        "stalls_injected": stalls,
+        "fault_errors": fault_errors,
+        "elapsed_us": round(kernel.clock.now_us, 3),
+        "tasks_completed_during_pager_wait":
+            kernel.stats.tasks_completed_during_pager_wait,
+        "faults_parked": kernel.stats.faults_parked,
+        "readahead_pageins": kernel.stats.readahead_pageins,
+    })
+    return report, telemetry
+
+
+def run_pager_storm_matrix(archs=None, quick: bool = False,
+                           tasks: int | None = None,
+                           pages: int | None = None,
+                           rounds: int | None = None,
+                           seed: int = STORM_SEED,
+                           keep_worst: int = 8):
+    """Run the pager-stall storm across the arch matrix.
+
+    Each cell runs twice — the v2 serving path and the serialized
+    pre-v2 path on the same shape and seed — so the report carries its
+    own control: ``payload["archs"][arch]`` is the v2 report plus a
+    ``serialized`` sub-dict and ``p99_vs_serialized`` /
+    ``elapsed_vs_serialized`` ratios (< 1 means v2 is better).
+    """
+    shape = QUICK_LOAD if quick else FULL_LOAD
+    tasks = shape[0] if tasks is None else tasks
+    pages = shape[1] if pages is None else pages
+    rounds = shape[2] if rounds is None else rounds
+    if archs is None:
+        archs = list(QUICK_ARCHS) if quick else list(BENCH_ARCHS)
+    payload = {
+        "storm": "pager-stall",
+        "quick": quick,
+        "seed": seed,
+        "tasks": tasks,
+        "pages": pages,
+        "rounds": rounds,
+        "stall_rate": PAGER_STALL_RATE,
+        "archs": {},
+    }
+    telemetries = {}
+    for arch in archs:
+        cell, telemetry = run_pager_storm(
+            arch=arch, tasks=tasks, pages=pages, rounds=rounds,
+            seed=seed, keep_worst=keep_worst)
+        control, _ = run_pager_storm(
+            arch=arch, tasks=tasks, pages=pages, rounds=rounds,
+            seed=seed, keep_worst=keep_worst, serialize=True)
+        cell["serialized"] = {
+            key: control[key]
+            for key in ("p50_us", "p99_us", "p999_us", "max_us",
+                        "elapsed_us", "stalls_injected",
+                        "fault_errors",
+                        "tasks_completed_during_pager_wait")
+        }
+        cell["p99_vs_serialized"] = (
+            round(cell["p99_us"] / control["p99_us"], 3)
+            if control["p99_us"] else None)
+        cell["elapsed_vs_serialized"] = (
+            round(cell["elapsed_us"] / control["elapsed_us"], 3)
+            if control["elapsed_us"] else None)
+        payload["archs"][arch] = cell
+        telemetries[arch] = telemetry
+    return payload, telemetries
 
 
 def run_storm_matrix(archs=None, quick: bool = False,

@@ -307,7 +307,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         seed = DEFAULT_SEED if args.seed is None else args.seed
         payload = run_perf_bench(quick=args.quick, seed=seed)
-        out = args.out or "BENCH_8.json"
+        out = args.out or "BENCH_9.json"
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -332,6 +332,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("fault tail latency (simulated, p99 us): " + ", ".join(
             f"{arch}={cell['p99_us']:.0f}" for arch, cell in
             tail.items()))
+        pager = payload["pager_storm"]["per_arch"]
+        print("pager-stall storm (p99 vs serialized control): "
+              + ", ".join(
+                  f"{arch}={cell['p99_vs_serialized']:.3f}x"
+                  for arch, cell in pager.items()))
+        print("  tasks completed during pager waits: " + ", ".join(
+            f"{arch}={cell['tasks_completed_during_pager_wait']}"
+            for arch, cell in pager.items()))
         print(f"wrote {out}")
         baseline = args.baseline
         if baseline and os.path.exists(baseline) \
@@ -406,13 +414,16 @@ def cmd_storm(args: argparse.Namespace) -> int:
     percentiles with per-stage attribution across the arch matrix."""
     import json
 
-    from repro.bench.storm import STORM_SEED, run_storm_matrix
+    from repro.bench.storm import (
+        STORM_SEED, run_pager_storm_matrix, run_storm_matrix,
+    )
     from repro.obs import validate_chrome_trace
     from repro.obs.telemetry import format_latency_report
 
     seed = STORM_SEED if args.seed is None else args.seed
     archs = [args.arch] if args.arch else None
-    payload, telemetries = run_storm_matrix(
+    runner = run_pager_storm_matrix if args.pager else run_storm_matrix
+    payload, telemetries = runner(
         archs=archs, quick=args.quick, tasks=args.tasks,
         pages=args.pages, rounds=args.rounds, seed=seed)
 
@@ -424,6 +435,20 @@ def cmd_storm(args: argparse.Namespace) -> int:
             print(f"wrote {args.out}")
         else:
             print(text)
+    elif args.pager:
+        print(f"pager-stall storm (seed={seed:#x}): "
+              f"{payload['tasks']} tasks x {payload['pages']} pages "
+              f"x {payload['rounds']} rounds, stall rate "
+              f"{payload['stall_rate']:.0%}")
+        for arch, cell in payload["archs"].items():
+            control = cell["serialized"]
+            print(f"\n{arch}: p99 {cell['p99_us']:.0f}us vs "
+                  f"{control['p99_us']:.0f}us serialized "
+                  f"({cell['p99_vs_serialized']:.3f}x), elapsed "
+                  f"{cell['elapsed_vs_serialized']:.3f}x, "
+                  f"{cell['tasks_completed_during_pager_wait']} tasks "
+                  f"completed during pager waits, "
+                  f"{cell['readahead_pageins']} readahead pageins")
     else:
         print(f"fault storm (seed={seed:#x}): "
               f"{payload['tasks']} tasks x {payload['pages']} pages "
@@ -711,12 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "and write a JSON report")
     bench.add_argument("--out",
                        help="output file for --json "
-                            "(default BENCH_8.json)")
+                            "(default BENCH_9.json)")
     bench.add_argument("--seed", type=lambda v: int(v, 0),
                        default=None,
                        help="seed for the microbench forget order "
                             "(recorded in the JSON report)")
-    bench.add_argument("--baseline", default="BENCH_7.json",
+    bench.add_argument("--baseline", default="BENCH_8.json",
                        help="previous BENCH_<n>.json to print a "
                             "before/after ratio against (skipped "
                             "when missing)")
@@ -743,6 +768,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="seed for per-task page-visit orders "
                             "(recorded in the report)")
+    storm.add_argument("--pager", action="store_true",
+                       help="pager-stall storm: external-style store "
+                            "pagers with injected transient stalls, "
+                            "each cell paired with a serialized "
+                            "pre-v2 control")
     storm.add_argument("--quick", action="store_true",
                        help="3 architectures, smaller load (CI smoke)")
     storm.add_argument("--json", action="store_true",

@@ -203,7 +203,7 @@ def _find_page(kernel, first_object, first_offset: int,
             vm.resident.free(page)
 
         if obj.pager is not None and kernel.pager_has_data(obj, offset):
-            page = kernel.request_object_data(obj, offset)
+            page = kernel.request_object_data_v1(obj, offset)
             if page is not None:
                 outcome.paged_in = True
                 kernel.stats.pageins += 1

@@ -36,7 +36,8 @@ from repro.ipc.kernel_server import KernelServer
 from repro.ipc.message import Message
 from repro.ipc.port import DeadPortError, Port
 from repro.pager.default_pager import DefaultPager
-from repro.pager.protocol import UNAVAILABLE
+from repro.pager.protocol import UNAVAILABLE, capabilities_for, \
+    normalize_reply, one_page_request
 from repro.pager.swap import SwapSpace
 from repro.pmap.interface import PmapSystem, ShootdownStrategy
 from repro.pmap.registry import pmap_class_for
@@ -121,6 +122,24 @@ class MachKernel:
         self.pager_timeout_us = 20_000.0
         self.max_pager_retries = 3
         self.dead_pager_zero_fill = False
+        #: Protocol v2 readahead policy: advisory extra pages offered
+        #: to readahead-capable pagers with each ``data_request`` (0 =
+        #: off; every pre-v2 workload is bit-identical at 0).
+        #: guarded-by pager-tuning
+        self.readahead_pages = 0
+        #: The cooperative scheduler driving this kernel, when one is
+        #: attached (set by ``Scheduler.__init__``).  During pager
+        #: retry backoffs the kernel lends the waiting thread's CPU to
+        #: other ready threads through it — a parked fault no longer
+        #: serializes unrelated tasks.
+        #: guarded-by sched-wiring
+        self.scheduler = None
+        #: Per-object queues of faults parked on an in-flight pager
+        #: request: object_id -> [{offset, parked_at}].  Entries resume
+        #: (and leave the queue) when the pager replies, the backoff
+        #: deadline passes, or the pager is declared dead.
+        #: guarded-by kernel-funnel
+        self.pending_faults: dict[int, list] = {}
         #: Debug hook (``repro.analysis.invariants``): called with the
         #: kernel after faults, task lifecycle events and pageout
         #: passes.  None (the default) costs nothing.
@@ -288,9 +307,8 @@ class MachKernel:
         ports the first time the object is mapped."""
         if obj.pager_initialized:
             return
-        init = getattr(pager, "pager_init", None)
-        if init is not None:
-            init(obj)
+        if capabilities_for(pager).pager_init:
+            pager.pager_init(obj)
         obj.pager_initialized = True
 
     def vm_deallocate(self, task: Task, address: int, size: int) -> None:
@@ -495,11 +513,15 @@ class MachKernel:
     # ------------------------------------------------------------------
 
     def pager_has_data(self, obj, offset: int) -> bool:
-        """Ask the object's pager whether it holds data here."""
-        probe = getattr(obj.pager, "has_data", None)
-        if probe is None:
+        """Ask the object's pager whether it holds data here.
+
+        Pagers whose capabilities do not declare ``has_data`` are
+        assumed to potentially hold data anywhere — absence of the
+        hook must never silently mean "no data".
+        """
+        if not capabilities_for(obj.pager).has_data:
             return True
-        return probe(obj, offset)
+        return obj.pager.has_data(obj, offset)
 
     def declare_pager_dead(self, obj, cause: Exception) -> None:
         """The object's managing task is errant (crashed, wedged, or
@@ -515,6 +537,9 @@ class MachKernel:
         obj.pager_dead = True
         obj.pager_dead_cause = cause
         self.stats.pagers_declared_dead += 1
+        # Faults parked on the dead pager resume through their raising
+        # _call_pager frames; the queue itself is void.
+        self.pending_faults.pop(obj.object_id, None)
         self.events.emit("pager", "declared_dead",
                          object_id=obj.object_id, cause=str(cause))
 
@@ -534,10 +559,9 @@ class MachKernel:
         if old is not None:
             if self.vm.objects._by_pager.get(old) is obj:
                 del self.vm.objects._by_pager[old]
-            release = getattr(old, "release_object", None)
-            if release is not None:
+            if capabilities_for(old).release_object:
                 try:
-                    release(obj)
+                    old.release_object(obj)
                 except Exception:
                     pass  # the pager is dead; a failing release is moot
         # The shared default pager backs many objects, so it never
@@ -556,11 +580,14 @@ class MachKernel:
 
         Transient errors (``PagerStallError``, ``DiskIOError``) are
         retried with exponential backoff charged to the simulated
-        clock.  Fatal errors (crash/garbage/timeout, dead ports)
-        declare the pager dead and re-raise.  A stall budget exhausted
-        becomes ``PagerTimeoutError`` (pager dead); a disk budget
-        exhausted re-raises ``DiskIOError`` *without* killing the pager
-        — the medium may recover.
+        clock; while the backoff runs, an attached scheduler lends the
+        CPU to other ready threads (:meth:`pager_backoff_wait`), so the
+        parked fault stops serializing unrelated tasks.  Fatal errors
+        (crash/garbage/timeout, dead ports) declare the pager dead and
+        re-raise.  A stall budget exhausted becomes
+        ``PagerTimeoutError`` (pager dead); a disk budget exhausted
+        re-raises ``DiskIOError`` *without* killing the pager — the
+        medium may recover.
         """
         transient: Optional[Exception] = None
         with self.events.span("pager", "call", op=op,
@@ -571,8 +598,8 @@ class MachKernel:
                     self.events.emit("pager", "retry", op=op,
                                      object_id=obj.object_id,
                                      attempt=attempt)
-                    self.clock.wait(self.pager_timeout_us
-                                    * (1 << (attempt - 1)))
+                    self.pager_backoff_wait(
+                        self.pager_timeout_us * (1 << (attempt - 1)))
                 try:
                     result = call()
                     span.note(attempts=attempt + 1)
@@ -596,6 +623,47 @@ class MachKernel:
             self.declare_pager_dead(obj, error)
             raise error from transient
 
+    def pager_backoff_wait(self, wait_us: float) -> None:
+        """Spend a pager retry backoff without idling the machine.
+
+        The waiting fault keeps the exact PR 2 policy — same deadline,
+        same simulated elapsed time — but when a cooperative scheduler
+        is attached, the deadline is served by running *other* ready
+        threads on the waiting thread's CPU
+        (:meth:`repro.sched.scheduler.Scheduler.service_pager_wait`)
+        and only the remainder is idle wait.  Without a scheduler this
+        is exactly ``clock.wait(wait_us)``.
+        """
+        clock = self.clock
+        deadline = clock.now_us + wait_us
+        scheduler = self.scheduler
+        if scheduler is not None:
+            completed = scheduler.service_pager_wait(deadline)
+            if completed:
+                self.stats.tasks_completed_during_pager_wait += completed
+        remaining = deadline - clock.now_us
+        if remaining > 0:
+            clock.wait(remaining)
+
+    def _park_fault(self, obj, offset: int) -> dict:
+        """Enqueue a fault on the object's pending queue while its
+        pager request is in flight."""
+        entry = {"offset": offset, "parked_at": self.clock.now_us}
+        self.pending_faults.setdefault(obj.object_id, []).append(entry)
+        self.stats.faults_parked += 1
+        return entry
+
+    def _unpark_fault(self, obj, entry: dict) -> None:
+        """Resume bookkeeping: the request was answered (or failed)."""
+        queue = self.pending_faults.get(obj.object_id)
+        if queue is not None:
+            try:
+                queue.remove(entry)
+            except ValueError:
+                pass  # queue voided by declare_pager_dead
+            if not queue:
+                self.pending_faults.pop(obj.object_id, None)
+
     def _dead_pager_data(self, obj, offset: int) -> None:
         """Policy for a fault on an object whose pager is dead: degrade
         to zero fill when asked to, else raise the typed error."""
@@ -607,15 +675,20 @@ class MachKernel:
             f"was declared dead: {getattr(obj, 'pager_dead_cause', None)}")
 
     def request_object_data(self, obj, offset: int) -> Optional[VMPage]:
-        """``pager_data_request`` round trip: ask the object's pager for
-        data; install pages and return the one at *offset* (None when
-        unavailable).
+        """``pager_data_request`` round trip, protocol v2: ask the
+        object's pager for data; install pages and return the one at
+        *offset* (None when unavailable — including a scatter-gather
+        reply that skipped the faulting page).
 
         Pagers advertising a ``transfer_size`` larger than the page size
         (the inode pager's filesystem block size) are asked for a whole
         aligned cluster, and every page of the reply is installed —
         "The physical page size used in Mach is also independent of the
         page size used by memory object handlers" (Section 3.1).
+        Readahead-capable pagers additionally get an advisory hint of
+        :attr:`readahead_pages` further pages and may reply with any
+        subset as scatter-gather ranges.  While the request is in
+        flight the fault is parked on the object's pending queue.
 
         Failure policy: see :meth:`_call_pager`; a well-typed reply of
         the wrong shape (non-bytes) is garbage and kills the pager too.
@@ -623,25 +696,80 @@ class MachKernel:
         if obj.pager_dead:
             return self._dead_pager_data(obj, offset)
         page_size = self.page_size
-        cluster = max(getattr(obj.pager, "transfer_size", page_size),
-                      page_size)
+        caps = capabilities_for(obj.pager)
+        cluster = max(caps.transfer_size or page_size, page_size)
+        base = offset - offset % cluster
+        hint = 0
+        if caps.readahead and self.readahead_pages > 0:
+            limit = round_page(obj.size, page_size)
+            hint = max(0, min(self.readahead_pages * page_size,
+                              limit - (base + cluster)))
+        obj.paging_in_progress += 1
+        parked = self._park_fault(obj, offset)
+        try:
+            if hint:
+                reply = self._call_pager(
+                    obj, "data_request",
+                    lambda: obj.pager.data_request(obj, base, cluster,
+                                                   VMProt.READ, hint))
+            else:
+                # No hint to offer: the classic 4-argument call, so
+                # v1-signature pagers keep working unchanged.
+                reply = self._call_pager(
+                    obj, "data_request",
+                    lambda: obj.pager.data_request(obj, base, cluster,
+                                                   VMProt.READ))
+        finally:
+            self._unpark_fault(obj, parked)
+            obj.paging_in_progress -= 1
+        try:
+            chunks = normalize_reply(reply, base, cluster, page_size)
+        except PagerGarbageError as error:
+            self.declare_pager_dead(obj, error)
+            raise
+        result = None
+        for off in sorted(chunks):
+            data = chunks[off]
+            if data is UNAVAILABLE:
+                continue
+            if off != offset and (off >= obj.size
+                                  or self.vm.resident.lookup(obj, off)
+                                  is not None):
+                continue
+            page = self._install_provided_page(obj, off, data,
+                                               page_size)
+            if off == offset:
+                result = page
+            else:
+                self.vm.resident.activate(page)
+                if off < base or off >= base + cluster:
+                    self.stats.readahead_pageins += 1
+        return result
+
+    def request_object_data_v1(self, obj,
+                               offset: int) -> Optional[VMPage]:
+        """The pre-v2 one-page calling convention, kept as a thin shim
+        (via :func:`repro.pager.protocol.one_page_request`) for the
+        pinned difftest reference resolver: one blob per request, no
+        readahead, no scatter-gather — exactly the protocol the
+        reference was frozen against.
+        """
+        if obj.pager_dead:
+            return self._dead_pager_data(obj, offset)
+        page_size = self.page_size
+        cluster = max(capabilities_for(obj.pager).transfer_size
+                      or page_size, page_size)
         base = offset - offset % cluster
         obj.paging_in_progress += 1
         try:
             data = self._call_pager(
                 obj, "data_request",
-                lambda: obj.pager.data_request(obj, base, cluster,
-                                               VMProt.READ))
+                lambda: one_page_request(obj.pager, obj, base, cluster,
+                                         VMProt.READ, page_size))
         finally:
             obj.paging_in_progress -= 1
         if data is UNAVAILABLE or data is None:
             return None
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            error = PagerGarbageError(
-                f"pager of {obj!r} returned {type(data).__name__} "
-                f"instead of bytes for offset {base:#x}")
-            self.declare_pager_dead(obj, error)
-            raise error
         data = bytes(data)
         if len(data) < cluster:
             data += bytes(cluster - len(data))
@@ -651,43 +779,53 @@ class MachKernel:
                                   or self.vm.resident.lookup(obj, off)
                                   is not None):
                 continue
-            page = self.vm.resident.allocate(obj, off, busy=True)
-            try:
-                self.clock.charge(self.machine.costs.copy_cost(page_size))
-                chunk = data[off - base:off - base + page_size]
-                self.machine.physmem.write(page.phys_addr, chunk)
-                page.modified = False
-                page.page_lock = self._pager_lock_value(obj, off)
-            except Exception:
-                # The pager-lock query goes back to the pager and can
-                # fail; a busy page stranded off every queue would pin
-                # its frame for the rest of the run.
-                self.vm.resident.free(page)
-                raise
-            # The fill is complete (the simulation is single-threaded,
-            # so the busy window closes before anyone else can look).
-            page.busy = False
+            page = self._install_provided_page(
+                obj, off, data[off - base:off - base + page_size],
+                page_size)
             if off == offset:
                 result = page
             else:
                 self.vm.resident.activate(page)
         return result
 
+    def _install_provided_page(self, obj, off: int, data,
+                               page_size: int) -> VMPage:
+        """Install one pager-provided page (zero-padded to the page)."""
+        page = self.vm.resident.allocate(obj, off, busy=True)
+        try:
+            self.clock.charge(self.machine.costs.copy_cost(page_size))
+            chunk = bytes(data)
+            if len(chunk) < page_size:
+                chunk += bytes(page_size - len(chunk))
+            self.machine.physmem.write(page.phys_addr, chunk)
+            page.modified = False
+            page.page_lock = self._pager_lock_value(obj, off)
+        except Exception:
+            # The pager-lock query goes back to the pager and can
+            # fail; a busy page stranded off every queue would pin
+            # its frame for the rest of the run.
+            self.vm.resident.free(page)
+            raise
+        # The fill is complete (the simulation is single-threaded,
+        # so the busy window closes before anyone else can look).
+        page.busy = False
+        return page
+
     def _pager_lock_value(self, obj, offset: int) -> VMProt:
         """The pager-imposed access lock for a page, if the pager
         tracks locks (``pager_data_lock``)."""
-        query = getattr(obj.pager, "lock_value_for", None)
-        if query is None:
+        if not capabilities_for(obj.pager).lock_value_for:
             return VMProt.NONE
-        return query(obj, offset)
+        return obj.pager.lock_value_for(obj, offset)
 
     def pager_unlock_request(self, obj, offset: int,
                              desired: VMProt) -> VMProt:
         """``pager_data_unlock`` round trip: ask the pager to unlock a
         region; returns the lock value afterwards."""
-        unlock = getattr(obj.pager, "data_unlock", None)
-        if unlock is not None:
-            unlock(obj, offset, self.page_size, desired)
+        if capabilities_for(obj.pager).data_unlock:
+            #: no-retry — unlock requests are advisory; on a transient
+            #: failure the fault retries and re-requests the unlock.
+            obj.pager.data_unlock(obj, offset, self.page_size, desired)
         return self._pager_lock_value(obj, offset)
 
     def pager_write_data(self, obj, offset: int, data: bytes) -> None:

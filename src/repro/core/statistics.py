@@ -37,6 +37,14 @@ class KernelStats:
         self.pageout_failures = 0
         self.fault_errors = 0
         self.dead_pager_zero_fills = 0
+        # Pager protocol v2 counters: faults parked on a pending-fault
+        # queue while their pager request is in flight, whole tasks the
+        # scheduler retired on borrowed CPU time during a pager backoff
+        # wait, and extra pages installed from readahead scatter-gather
+        # replies beyond the faulting cluster.
+        self.faults_parked = 0
+        self.tasks_completed_during_pager_wait = 0
+        self.readahead_pageins = 0
         # Concurrency-sanitizer counters (``repro.analysis.race``
         # updates these through the kernel reference it is given; the
         # kernel itself never touches them).

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Iterator, Optional
 
 from repro.core.resident import ResidentPageTable
+from repro.pager.protocol import capabilities_for
 
 _object_ids = itertools.count(1)
 
@@ -359,9 +360,8 @@ class VMObjectManager:
         if obj.pager is not None:
             if self._by_pager.get(obj.pager) is obj:
                 del self._by_pager[obj.pager]
-            release = getattr(obj.pager, "release_object", None)
-            if release is not None:
-                release(obj)
+            if capabilities_for(obj.pager).release_object:
+                obj.pager.release_object(obj)
         backing, obj.shadow = obj.shadow, None
         return backing
 
@@ -400,7 +400,8 @@ class VMObjectManager:
         """
         if backing.pager is None:
             return True
-        return backing.internal and hasattr(backing.pager, "move_slots")
+        return (backing.internal
+                and capabilities_for(backing.pager).move_slots)
 
     def collapse(self, obj: VMObject) -> None:
         """Collapse or bypass shadows along *obj*'s chain where
@@ -475,11 +476,10 @@ class VMObjectManager:
         pager — such data must not be shadowed over during collapse."""
         if obj.pager is None:
             return False
-        has_slot = getattr(obj.pager, "has_slot", None)
-        if has_slot is None:
+        if not capabilities_for(obj.pager).has_slot:
             # External pager: assume it may hold data anywhere.
             return True
-        return has_slot(obj, offset)
+        return obj.pager.has_slot(obj, offset)
 
     def _can_bypass(self, obj: VMObject, backing: VMObject) -> bool:
         """Does *obj* completely obscure *backing* within its window?"""

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.errors import PagerCrashedError, PagerStallError
-from repro.pager.protocol import DataResult, PagerProtocol
+from repro.pager.protocol import PagerCapabilities, PagerProtocol, \
+    PagerReply, capabilities_for
 
 #: A well-formed-looking but wrong-typed pager reply.  Deliberately an
 #: int: ``bytes(int)`` silently yields that many zero bytes, so only an
@@ -31,9 +32,8 @@ GARBAGE_REPLY = 0xBAD
 
 
 class _WrappingPager(PagerProtocol):
-    """Shared delegation plumbing: everything the kernel probes with
-    ``getattr`` (transfer_size, has_data, pager_init, ...) falls
-    through to the wrapped pager untouched."""
+    """Shared delegation plumbing: every optional hook and attribute
+    falls through to the wrapped pager untouched."""
 
     def __init__(self, inner: PagerProtocol) -> None:
         self.inner = inner
@@ -41,13 +41,37 @@ class _WrappingPager(PagerProtocol):
     def __getattr__(self, attr):
         # Only called for attributes not found normally; optional
         # protocol hooks resolve against the wrapped pager so wrapping
-        # never changes the kernel's view of the pager's capabilities.
+        # never changes the kernel's view of the pager.
         return getattr(self.inner, attr)
 
-    def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
+    # ``capabilities``/``readonly`` exist as PagerProtocol class
+    # attributes, which would shadow __getattr__ delegation — explicit
+    # properties keep the kernel's view pointed at the wrapped pager.
+
+    @property
+    def capabilities(self) -> PagerCapabilities:
+        return capabilities_for(self.inner)
+
+    @property
+    def readonly(self) -> bool:
+        return bool(getattr(self.inner, "readonly", False))
+
+    def _inner_request(self, obj, offset: int, length: int,
+                       desired_access, readahead_hint: int
+                       ) -> PagerReply:
+        if readahead_hint and capabilities_for(self.inner).readahead:
+            return self.inner.data_request(obj, offset, length,
+                                           desired_access,
+                                           readahead_hint)
+        # v1-signature pagers get exactly the 4-argument call.
         return self.inner.data_request(obj, offset, length,
                                        desired_access)
+
+    def data_request(self, obj, offset: int, length: int,
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
+        return self._inner_request(obj, offset, length, desired_access,
+                                   readahead_hint)
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         self.inner.data_write(obj, offset, data)
@@ -89,13 +113,15 @@ class FaultyPager(_WrappingPager):
                 f"(seed {self.injector.seed})")
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
         self._perturb("data_request")
         if self.injector.roll_pager("garbage", self.name(),
                                     "data_request"):
             self.garbage_served += 1
             return GARBAGE_REPLY  # type: ignore[return-value]
-        return super().data_request(obj, offset, length, desired_access)
+        return self._inner_request(obj, offset, length, desired_access,
+                                   readahead_hint)
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         self._perturb("data_write")
@@ -138,11 +164,13 @@ class ScriptedPager(_WrappingPager):
         return action
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
         action = self._apply(self._next_action(), "data_request")
         if action == self.GARBAGE:
             return GARBAGE_REPLY  # type: ignore[return-value]
-        return super().data_request(obj, offset, length, desired_access)
+        return self._inner_request(obj, offset, length, desired_access,
+                                   readahead_hint)
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         self._apply(self._next_action(), "data_write")
@@ -155,15 +183,24 @@ class StoreBackedPager(PagerProtocol):
     PagerProtocol, no ports, so pager faults are isolated from IPC
     faults)."""
 
+    capabilities = PagerCapabilities(has_data=True, readahead=True)
+
     def __init__(self, initial: bytes = b"") -> None:
         self.store = bytearray(initial)
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
         from repro.pager.protocol import UNAVAILABLE
         if offset >= len(self.store):
             return UNAVAILABLE
-        return bytes(self.store[offset:offset + length])
+        if not readahead_hint:
+            return bytes(self.store[offset:offset + length])
+        # v2 readahead: serve the window plus whatever of the advisory
+        # extra the store covers, as scatter-gather ranges.
+        end = min(offset + length + readahead_hint, len(self.store))
+        return [(off, bytes(self.store[off:off + length]))
+                for off in range(offset, end, length)]
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         end = offset + len(data)

@@ -18,6 +18,17 @@ This module implements that three-port protocol literally:
   exchanging messages on the object's ports, pumping the (cooperatively
   scheduled) pager task in between.
 
+Protocol v2: one adapter multiplexes many in-flight requests across
+many bound objects.  Every ``pager_data_request`` message carries a
+nonzero ``request_id``; replies echo it (or use 0 for unsolicited
+prefetch pushes).  Replies may be partial, out of order, duplicated, or
+coalesced into ``ranges``; the adapter splits them into per-page chunks
+keyed by ``(object, page)``, drains duplicates
+(:attr:`~ExternalPagerAdapter.duplicate_replies`), drops replies to
+retired request ids (:attr:`~ExternalPagerAdapter.stale_replies`), and
+rejects replies arriving before any object was bound
+(:attr:`~ExternalPagerAdapter.rejected_before_init`).
+
 "Simple pagers can be implemented by largely ignoring the more
 sophisticated interface calls and implementing a trivial read/write
 object mechanism" — see :class:`SimpleReadWritePager`.
@@ -25,6 +36,7 @@ object mechanism" — see :class:`SimpleReadWritePager`.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from repro.core.constants import VMProt
@@ -36,18 +48,34 @@ from repro.pager.protocol import (
     UNAVAILABLE,
     DataResult,
     KernelToPager,
+    PagerCapabilities,
     PagerProtocol,
+    PagerReply,
     PagerToKernel,
 )
+from repro.pager.registry import register_pager
 
 
 class KernelRequestInterface:
     """What a user-state pager uses to talk back to the kernel — each
     method sends one Table 3-2 message on the paging_object_request
-    port."""
+    port.
+
+    While the adapter dispatches a ``pager_data_request`` to the user
+    pager, :attr:`current_request_id` holds that request's id and
+    :attr:`readahead_hint` the kernel's advisory extra window; replies
+    sent without an explicit ``request_id`` are tagged with the current
+    one automatically, so pre-v2 handlers stay source-compatible.
+    """
 
     def __init__(self, adapter: "ExternalPagerAdapter") -> None:
         self._adapter = adapter
+        #: The request id being served right now (0 outside dispatch —
+        #: replies sent then are unsolicited prefetch pushes).
+        self.current_request_id = 0
+        #: Advisory bytes past the requested window the kernel would
+        #: accept for the request being served (v2 readahead).
+        self.readahead_hint = 0
 
     def _send(self, call: PagerToKernel, **fields) -> None:
         message = Message(msgh_id=call.value)
@@ -55,17 +83,35 @@ class KernelRequestInterface:
             message.add_inline(MsgType.STRING, (key, value))
         self._adapter.request_port.send(message)
 
+    def _rid(self, request_id: Optional[int]) -> int:
+        return self.current_request_id if request_id is None \
+            else request_id
+
     def pager_data_provided(self, offset: int, data: bytes,
-                            lock_value: VMProt = VMProt.NONE) -> None:
+                            lock_value: VMProt = VMProt.NONE,
+                            request_id: Optional[int] = None) -> None:
         """Supplies the kernel with the data contents of a region of a
         memory object."""
         self._send(PagerToKernel.DATA_PROVIDED, offset=offset, data=data,
-                   lock_value=lock_value)
+                   lock_value=lock_value,
+                   request_id=self._rid(request_id))
 
-    def pager_data_unavailable(self, offset: int, size: int) -> None:
+    def pager_data_provided_ranges(self, ranges,
+                                   lock_value: VMProt = VMProt.NONE,
+                                   request_id: Optional[int] = None
+                                   ) -> None:
+        """v2: supply several ``(offset, data)`` ranges in one coalesced
+        message — partial, out-of-order and overlapping ranges are all
+        legal."""
+        self._send(PagerToKernel.DATA_PROVIDED,
+                   ranges=list(ranges), lock_value=lock_value,
+                   request_id=self._rid(request_id))
+
+    def pager_data_unavailable(self, offset: int, size: int,
+                               request_id: Optional[int] = None) -> None:
         """Notifies kernel that no data is available for that region."""
         self._send(PagerToKernel.DATA_UNAVAILABLE, offset=offset,
-                   size=size)
+                   size=size, request_id=self._rid(request_id))
 
     def pager_data_lock(self, offset: int, length: int,
                         lock_value: VMProt) -> None:
@@ -115,7 +161,14 @@ class ExternalPager:
     def pager_data_request(self, kernel_if: KernelRequestInterface,
                            paging_object, offset: int, length: int,
                            desired_access: VMProt) -> None:
-        """Requests data from an external pager."""
+        """Requests data from an external pager.
+
+        v2 extras are available on *kernel_if*: ``current_request_id``
+        (echoed automatically when replying) and ``readahead_hint``
+        (advisory bytes past the window the kernel would accept — a
+        pager may reply with ``pager_data_provided_ranges`` covering
+        any subset of the window plus hint).
+        """
         raise NotImplementedError
 
     def pager_data_unlock(self, kernel_if: KernelRequestInterface,
@@ -142,6 +195,10 @@ class ExternalPagerAdapter(PagerProtocol):
     #: resend; doubles per retry.
     RETRY_BACKOFF_US = 5000.0
 
+    capabilities = PagerCapabilities(
+        release_object=True, lock_value_for=True, data_unlock=True,
+        pager_init=True, readahead=True, async_replies=True)
+
     def __init__(self, pager: ExternalPager, kernel=None,
                  name: str = "") -> None:
         self.user_pager = pager
@@ -163,12 +220,29 @@ class ExternalPagerAdapter(PagerProtocol):
         self.readonly = False
         #: offset -> lock_value (prot bits currently prohibited).
         self.locks: dict[int, VMProt] = {}
-        #: Data provided but not yet consumed by a request (prefetch).
-        self._provided: dict[int, DataResult] = {}
+        #: Per-page data provided but not yet consumed by a request
+        #: (replies, readahead, prefetch), keyed (object_id, offset).
+        self._provided: dict[tuple[int, int], DataResult] = {}
+        #: Objects this adapter serves, keyed by object_id; the most
+        #: recently bound one answers replies that name no object.
+        self._objects: dict[int, object] = {}
         self._bound_object = None
+        #: request_id -> {object_id, offset, length} while in flight.
+        self._inflight: dict[int, dict] = {}
+        #: ids of requests already answered or timed out — replies to
+        #: these are dropped (counted in :attr:`stale_replies`).
+        self._retired: set[int] = set()
+        self._rids = itertools.count(1)
         self.requests = 0
         self.writes = 0
         self.retries = 0
+        #: Replies echoing a retired/unknown nonzero request id.
+        self.stale_replies = 0
+        #: Replies re-covering a page already buffered (first wins).
+        self.duplicate_replies = 0
+        #: Replies arriving before any object was bound (protocol
+        #: ordering violation: data before ``pager_init``).
+        self.rejected_before_init = 0
 
     # -- Table 3-1: kernel -> pager ("pager_server routine called by
     # task to process a message from the kernel") ----------------------
@@ -177,23 +251,30 @@ class ExternalPagerAdapter(PagerProtocol):
         call = KernelToPager(message.msgh_id)
         fields = dict(item.value for item in message.inline)
         pager = self.user_pager
+        obj = self._object_for(fields)
         if call is KernelToPager.PAGER_INIT:
-            pager.pager_init(self.kernel_if, self._bound_object,
-                             self.name_port)
+            pager.pager_init(self.kernel_if, obj, self.name_port)
         elif call is KernelToPager.PAGER_DATA_REQUEST:
-            pager.pager_data_request(
-                self.kernel_if, self._bound_object, fields["offset"],
-                fields["length"], fields["desired_access"])
+            self.kernel_if.current_request_id = \
+                fields.get("request_id", 0)
+            self.kernel_if.readahead_hint = \
+                fields.get("readahead_hint", 0)
+            try:
+                pager.pager_data_request(
+                    self.kernel_if, obj, fields["offset"],
+                    fields["length"], fields["desired_access"])
+            finally:
+                self.kernel_if.current_request_id = 0
+                self.kernel_if.readahead_hint = 0
         elif call is KernelToPager.PAGER_DATA_UNLOCK:
             pager.pager_data_unlock(
-                self.kernel_if, self._bound_object, fields["offset"],
+                self.kernel_if, obj, fields["offset"],
                 fields["length"], fields["desired_access"])
         elif call is KernelToPager.PAGER_DATA_WRITE:
             pager.pager_data_write(
-                self.kernel_if, self._bound_object, fields["offset"],
-                fields["data"])
+                self.kernel_if, obj, fields["offset"], fields["data"])
         elif call is KernelToPager.PAGER_CREATE:
-            pager.pager_create(self.kernel_if, self._bound_object)
+            pager.pager_create(self.kernel_if, obj)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown pager call {call}")
 
@@ -208,15 +289,20 @@ class ExternalPagerAdapter(PagerProtocol):
     def _kernel_server(self, message: Message) -> None:
         call = PagerToKernel(message.msgh_id)
         fields = dict(item.value for item in message.inline)
-        obj = self._bound_object
+        obj = self._object_for(fields)
         if call is PagerToKernel.DATA_PROVIDED:
-            offset = fields["offset"]
-            self._provided[offset] = fields["data"]
-            lock_value = fields.get("lock_value", VMProt.NONE)
-            if lock_value:
-                self.locks[offset] = lock_value
+            ranges = fields.get("ranges")
+            if ranges is None:
+                ranges = [(fields["offset"], fields["data"])]
+            self._accept_reply(obj, fields.get("request_id", 0), ranges,
+                               fields.get("lock_value", VMProt.NONE))
         elif call is PagerToKernel.DATA_UNAVAILABLE:
-            self._provided[fields["offset"]] = UNAVAILABLE
+            offset, size = fields["offset"], fields["size"]
+            page = self._page_size()
+            holes = [(off, UNAVAILABLE) for off in
+                     range(offset, offset + max(size, 1), page)]
+            self._accept_reply(obj, fields.get("request_id", 0), holes,
+                               VMProt.NONE)
         elif call is PagerToKernel.DATA_LOCK:
             offset, length = fields["offset"], fields["length"]
             lock_value = fields["lock_value"]
@@ -242,6 +328,47 @@ class ExternalPagerAdapter(PagerProtocol):
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown kernel call {call}")
 
+    def _accept_reply(self, obj, request_id: int, ranges,
+                      lock_value: VMProt) -> None:
+        """File scatter-gather reply ranges into the per-page buffer.
+
+        The hostile cases are all handled here: replies before any
+        object is bound are rejected; replies echoing a retired or
+        never-issued request id are dropped; ranges re-covering an
+        already-buffered page are drained (first reply wins).
+        """
+        if obj is None:
+            self.rejected_before_init += 1
+            return
+        if request_id and request_id not in self._inflight:
+            self.stale_replies += 1
+            return
+        page = self._page_size()
+        obj_id = getattr(obj, "object_id", 0)
+        for start, data in ranges:
+            if lock_value:
+                self.locks[start] = lock_value
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                data = bytes(data)
+                chunks = [(start + i, data[i:i + page])
+                          for i in range(0, max(len(data), 1), page)]
+            else:
+                # UNAVAILABLE (a hole) — or garbage, stored as-is so
+                # consumption raises the fatal taxonomy error.
+                chunks = [(start, data)]
+            for off, chunk in chunks:
+                key = (obj_id, off - off % page)
+                if key in self._provided:
+                    self.duplicate_replies += 1
+                else:
+                    self._provided[key] = chunk
+
+    def _object_for(self, fields: dict):
+        oid = fields.get("object_id")
+        if oid is not None and oid in self._objects:
+            return self._objects[oid]
+        return self._bound_object
+
     def _page_size(self) -> int:
         if self.kernel is not None:
             return self.kernel.page_size
@@ -253,7 +380,9 @@ class ExternalPagerAdapter(PagerProtocol):
         """Kernel binding hook: remember the object and run the
         ``pager_init`` message round trip."""
         self._bound_object = obj
-        self._send_to_pager(KernelToPager.PAGER_INIT)
+        self._objects[getattr(obj, "object_id", 0)] = obj
+        self._send_to_pager(KernelToPager.PAGER_INIT,
+                            object_id=getattr(obj, "object_id", 0))
         self._pump()
 
     def _pump(self) -> None:
@@ -285,52 +414,74 @@ class ExternalPagerAdapter(PagerProtocol):
     def _backoff(self, attempt: int) -> None:
         """Charge the exponential retry backoff as simulated I/O wait
         (an unresponsive pager costs the faulting task *time*, never a
-        host hang)."""
+        host hang).  Routed through the kernel so an attached
+        cooperative scheduler can run other ready threads for the
+        duration instead of serializing them behind this fault."""
         self.retries += 1
-        clock = self.kernel.clock if self.kernel is not None else None
-        if clock is not None:
-            clock.wait(self.RETRY_BACKOFF_US * (1 << attempt))
+        wait_us = self.RETRY_BACKOFF_US * (1 << attempt)
+        if self.kernel is not None:
+            self.kernel.pager_backoff_wait(wait_us)
 
     def _crashed(self, cause: Exception) -> PagerCrashedError:
         return PagerCrashedError(
             f"pager {self.name()} died mid-protocol: {cause}")
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region.
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
+        """PagerProtocol v2: supply data for a faulting window.
 
         A pager that answers ``pager_data_unavailable`` is fine (zero
         fill); a pager that answers *nothing* is errant.  The request
         is resent with exponential backoff on the simulated clock; when
-        the retry budget is exhausted the adapter raises
-        :class:`PagerTimeoutError`, and dead ports (the pager task was
+        the retry budget is exhausted the adapter retires the request
+        id and raises :class:`PagerTimeoutError` (a late reply after
+        that is drained as stale), and dead ports (the pager task was
         torn down) surface as :class:`PagerCrashedError`.
         """
         self.requests += 1
+        page = self._page_size()
+        obj_id = getattr(obj, "object_id", 0)
+        window = range(offset, offset + length, page)
         try:
             lock = self.locks.get(offset, VMProt.NONE)
             if lock & desired_access:
                 # Locked against this access: ask the pager to unlock
                 # first.
                 self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
+                                    object_id=obj_id,
                                     offset=offset, length=length,
                                     desired_access=desired_access)
                 self._pump()
                 lock = self.locks.get(offset, VMProt.NONE)
                 if lock & desired_access:
                     return UNAVAILABLE
-            if offset in self._provided:
-                # Satisfied by data the pager pushed earlier.
-                return self._take_provided(offset, length)
-            for attempt in range(self.MAX_REQUEST_RETRIES + 1):
-                if attempt:
-                    self._backoff(attempt - 1)
-                self._send_to_pager(KernelToPager.PAGER_DATA_REQUEST,
-                                    offset=offset, length=length,
-                                    desired_access=desired_access)
-                self._pump()
-                if offset in self._provided:
-                    return self._take_provided(offset, length)
+            if all((obj_id, off) in self._provided for off in window):
+                # Satisfied by data the pager pushed earlier
+                # (prefetch or readahead from another request).
+                return self._gather(obj_id, offset, length)
+            request_id = next(self._rids)
+            self._inflight[request_id] = {
+                "object_id": obj_id, "offset": offset, "length": length}
+            try:
+                for attempt in range(self.MAX_REQUEST_RETRIES + 1):
+                    if attempt:
+                        self._backoff(attempt - 1)
+                    self._send_to_pager(
+                        KernelToPager.PAGER_DATA_REQUEST,
+                        object_id=obj_id, request_id=request_id,
+                        offset=offset, length=length,
+                        desired_access=desired_access,
+                        readahead_hint=readahead_hint)
+                    self._pump()
+                    if all((obj_id, off) in self._provided
+                           for off in window):
+                        return self._gather(obj_id, offset, length)
+            finally:
+                # Answered or timed out: either way the id is retired
+                # and any further echo of it is a stale reply.
+                del self._inflight[request_id]
+                self._retired.add(request_id)
         except DeadPortError as exc:
             raise self._crashed(exc) from exc
         raise PagerTimeoutError(
@@ -338,22 +489,35 @@ class ExternalPagerAdapter(PagerProtocol):
             f"offset={offset:#x}) after "
             f"{self.MAX_REQUEST_RETRIES + 1} attempts")
 
-    def _take_provided(self, offset: int, length: int) -> DataResult:
-        data = self._provided.pop(offset)
-        if data is UNAVAILABLE:
+    def _gather(self, obj_id: int, offset: int, length: int
+                ) -> PagerReply:
+        """Consume the buffered pages covering a window; returns the
+        v2 scatter-gather reply shape (or plain UNAVAILABLE when the
+        pager declared the whole window dataless)."""
+        page = self._page_size()
+        ranges = []
+        provided = False
+        for off in range(offset, offset + length, page):
+            data = self._provided.pop((obj_id, off))
+            if data is not UNAVAILABLE:
+                if not isinstance(data, (bytes, bytearray, memoryview)):
+                    raise PagerGarbageError(
+                        f"pager {self.name()} provided "
+                        f"{type(data).__name__!s} instead of bytes at "
+                        f"offset {off:#x}")
+                data = bytes(data)[:page]
+                provided = True
+            ranges.append((off, data))
+        if not provided:
             return UNAVAILABLE
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise PagerGarbageError(
-                f"pager {self.name()} provided "
-                f"{type(data).__name__!s} instead of bytes at offset "
-                f"{offset:#x}")
-        return bytes(data)[:length]
+        return ranges
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         """PagerProtocol: accept page-out data."""
         self.writes += 1
         try:
             self._send_to_pager(KernelToPager.PAGER_DATA_WRITE,
+                                object_id=getattr(obj, "object_id", 0),
                                 offset=offset, data=bytes(data))
             self._pump()
         except DeadPortError as exc:
@@ -364,6 +528,7 @@ class ExternalPagerAdapter(PagerProtocol):
         """Kernel hook: a fault hit pager-locked data; run the
         ``pager_data_unlock`` message round trip."""
         self._send_to_pager(KernelToPager.PAGER_DATA_UNLOCK,
+                            object_id=getattr(obj, "object_id", 0),
                             offset=offset, length=length,
                             desired_access=desired_access)
         self._pump()
@@ -373,13 +538,17 @@ class ExternalPagerAdapter(PagerProtocol):
         return self.locks.get(offset, VMProt.NONE)
 
     def release_object(self, obj) -> None:
-        """The object was terminated; drop its state."""
+        """The object was terminated; drop its state (idempotent)."""
+        self._objects.pop(getattr(obj, "object_id", 0), None)
         if obj is self._bound_object:
             self._bound_object = None
 
     def name(self) -> str:
         """Human-readable pager identity."""
         return f"external:{type(self.user_pager).__name__}"
+
+
+register_pager("external", ExternalPagerAdapter)
 
 
 class SimpleReadWritePager(ExternalPager):

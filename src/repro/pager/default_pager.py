@@ -13,12 +13,18 @@ paged out.
 
 from __future__ import annotations
 
-from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+from repro.pager.protocol import UNAVAILABLE, PagerCapabilities, \
+    PagerProtocol, PagerReply
+from repro.pager.registry import register_pager
 from repro.pager.swap import SwapSpace
 
 
 class DefaultPager(PagerProtocol):
     """Swap-backed pager for anonymous memory."""
+
+    capabilities = PagerCapabilities(
+        has_data=True, has_slot=True, move_slots=True,
+        release_object=True, readahead=True)
 
     def __init__(self, swap: SwapSpace) -> None:
         self.swap = swap
@@ -28,12 +34,27 @@ class DefaultPager(PagerProtocol):
     # -- PagerProtocol ---------------------------------------------------
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region."""
+                     desired_access, readahead_hint: int = 0
+                     ) -> PagerReply:
+        """PagerProtocol v2: supply data for a faulting window.
+
+        With a nonzero *readahead_hint*, any further paged-out pages
+        inside the advisory window ride along in the same batched swap
+        transfer (one seek amortized over every slot) and come back as
+        a scatter-gather range list.
+        """
         slots = self._slots.get(obj.object_id)
         if slots is None or offset not in slots:
             return UNAVAILABLE
-        return self.swap.read_slot(slots[offset])
+        wanted = [offset]
+        for off in range(offset + length, offset + length
+                         + readahead_hint, length):
+            if off in slots:
+                wanted.append(off)
+        data = self.swap.read_slots([slots[off] for off in wanted])
+        if len(wanted) == 1:
+            return data[0]
+        return list(zip(wanted, data))
 
     def data_write(self, obj, offset: int, data: bytes) -> None:
         """PagerProtocol: accept page-out data."""
@@ -85,3 +106,6 @@ class DefaultPager(PagerProtocol):
     def slots_for(self, obj) -> dict[int, int]:
         """Snapshot of an object's swap slots (tests only)."""
         return dict(self._slots.get(obj.object_id, {}))
+
+
+register_pager("default", DefaultPager)

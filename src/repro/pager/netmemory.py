@@ -18,7 +18,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.errors import PagerCrashedError
-from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+from repro.pager.protocol import UNAVAILABLE, DataResult, \
+    PagerCapabilities, PagerProtocol
+from repro.pager.registry import register_pager
 
 
 class NetMemoryServer:
@@ -100,6 +102,8 @@ class NetMemoryServer:
 class NetMemoryPager(PagerProtocol):
     """Client-side pager for one named server region."""
 
+    capabilities = PagerCapabilities(has_data=True)
+
     def __init__(self, server: NetMemoryServer, name: str,
                  machine) -> None:
         self.server = server
@@ -109,8 +113,12 @@ class NetMemoryPager(PagerProtocol):
         self.pages_stored = 0
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region."""
+                     desired_access, readahead_hint: int = 0
+                     ) -> DataResult:
+        """PagerProtocol v2: supply data for the requested window only
+        (copy-on-reference — a partial reply is legal, and paying
+        network bandwidth for speculative pages would defeat the
+        point of fetching on reference)."""
         if offset >= self.server.region_size(self.region_name):
             return UNAVAILABLE
         self.pages_fetched += 1
@@ -134,6 +142,9 @@ class NetMemoryPager(PagerProtocol):
     def name(self) -> str:
         """Human-readable pager identity."""
         return f"netmemory:{self.region_name}"
+
+
+register_pager("netmemory", NetMemoryPager)
 
 
 def map_remote_region(kernel, task, server: NetMemoryServer,

@@ -1,0 +1,52 @@
+"""A registry of pager implementations.
+
+Mirrors :mod:`repro.pmap.registry`: every in-repo pager class registers
+here so the conformance pass (:mod:`repro.analysis.conformance`) can
+verify the *live* classes against protocol v2 — signature compatibility,
+capability honesty, and the adapter's reply-ordering behavior — as a
+``repro check`` hard gate instead of trusting the source to match the
+docs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.pager.protocol import PagerProtocol
+
+_REGISTRY: Dict[str, Type[PagerProtocol]] = {}
+
+
+def register_pager(name: str, cls: Type[PagerProtocol],
+                   replace: bool = False) -> Type[PagerProtocol]:
+    """Register *cls* under *name*; returns the class (decorator use).
+
+    Refuses silent re-registration unless *replace* is set, so two
+    modules cannot fight over a name without one of them noticing.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, PagerProtocol)):
+        raise TypeError(
+            f"register_pager({name!r}): {cls!r} is not a "
+            f"PagerProtocol subclass")
+    if not replace and name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(
+            f"pager name {name!r} already registered to "
+            f"{_REGISTRY[name]!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def pager_class_for(name: str) -> Type[PagerProtocol]:
+    """Look up a registered pager class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"no pager registered as {name!r} (known: {known})") \
+            from None
+
+
+def registered_pagers() -> Dict[str, Type[PagerProtocol]]:
+    """A copy of the live registry (name -> class)."""
+    return dict(_REGISTRY)

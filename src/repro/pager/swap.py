@@ -70,6 +70,22 @@ class SwapSpace:
         self.reads += 1
         return self._store[slot]
 
+    def read_slots(self, slots: list[int]) -> list[bytes]:
+        """Read several slots in one batched transfer.
+
+        The v2 pager protocol's scatter-gather pageins land here: one
+        seek amortized over every slot, then one block transfer each —
+        versus ``len(slots)`` seeks through repeated :meth:`read_slot`
+        calls.  Order of results matches *slots*.
+        """
+        if not slots:
+            return []
+        costs = self.machine.costs
+        self.machine.clock.wait(costs.disk_seek_us
+                                + costs.disk_block_us * len(slots))
+        self.reads += len(slots)
+        return [self._store[slot] for slot in slots]
+
     def free_slot(self, slot: int) -> None:
         """Return a slot to the free pool (no-op if unknown)."""
         if slot in self._store:
@@ -141,3 +157,10 @@ class FileBackedSwap(SwapSpace):
         #: kernel's _call_pager funnel retries with backoff.
         return self.fs.read_direct(self.inode, slot * self.slot_size,
                                    self.slot_size)
+
+    def read_slots(self, slots: list[int]) -> list[bytes]:
+        """Read several slots (one direct I/O each — the filesystem's
+        direct path charges per request, so file-backed swap sees no
+        seek amortization; the scatter-gather *reply* shape still
+        saves pager round trips)."""
+        return [self.read_slot(slot) for slot in slots]

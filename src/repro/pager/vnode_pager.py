@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from repro.fs.filesystem import FileSystem
 from repro.fs.inode import Inode
-from repro.pager.protocol import UNAVAILABLE, DataResult, PagerProtocol
+from repro.pager.protocol import UNAVAILABLE, DataResult, \
+    PagerCapabilities, PagerProtocol
+from repro.pager.registry import register_pager
 
 
 class VnodePager(PagerProtocol):
@@ -30,6 +32,11 @@ class VnodePager(PagerProtocol):
         self.cache = cache
         self.pageins = 0
         self.pageouts = 0
+        # Instance-level: transfer_size depends on this filesystem's
+        # block size, unknown until construction.
+        self.capabilities = PagerCapabilities(
+            has_data=True, pager_init=True,
+            transfer_size=fs.block_size)
 
     @property
     def transfer_size(self) -> int:
@@ -47,8 +54,11 @@ class VnodePager(PagerProtocol):
             obj.can_persist = True
 
     def data_request(self, obj, offset: int, length: int,
-                     desired_access) -> DataResult:
-        """PagerProtocol: supply data for a faulting region.
+                     desired_access, readahead_hint: int = 0
+                     ) -> DataResult:
+        """PagerProtocol v2: supply data for a faulting window (the
+        kernel already clusters the window up to ``transfer_size``, so
+        the hint adds nothing a block read would not).
 
         A medium error surfaces as
         :class:`~repro.core.errors.DiskIOError` — *transient* under the
@@ -84,6 +94,9 @@ class VnodePager(PagerProtocol):
 
     def __repr__(self) -> str:
         return f"VnodePager({self.path}, {self.inode.size} bytes)"
+
+
+register_pager("vnode", VnodePager)
 
 
 def vnode_pager_for(fs: FileSystem, path: str,

@@ -44,6 +44,8 @@ class ThreadState(enum.Enum):
     """Lifecycle states of a scheduled thread."""
     READY = "ready"
     RUNNING = "running"
+    #: Parked on a pager round trip; the CPU is lent to other threads.
+    WAITING = "waiting"
     DONE = "done"
     FAILED = "failed"
 
@@ -134,7 +136,8 @@ class Scheduler:
     default, or any pluggable :class:`SchedulePolicy`."""
 
     def __init__(self, kernel, timer_tick_every: int = 8,
-                 policy: Optional[SchedulePolicy] = None) -> None:
+                 policy: Optional[SchedulePolicy] = None,
+                 lend_pager_waits: bool = True) -> None:
         self.kernel = kernel
         self.ready: deque[SchedThread] = deque()
         self.threads: list[SchedThread] = []
@@ -147,6 +150,16 @@ class Scheduler:
         #: The kernel's instrumentation bus; each slice publishes a
         #: ``sched/slice`` event just before placement.
         self.events = kernel.events
+        #: The thread whose slice is currently executing (None between
+        #: slices) and the re-entrancy guard for borrowed-CPU waits.
+        self._current: Optional[SchedThread] = None
+        self._wait_depth = 0
+        # The kernel funnels pager backoff waits back through us so
+        # unrelated ready threads can run during the stall.
+        # ``lend_pager_waits=False`` opts out (the pre-v2 behavior:
+        # backoffs idle the CPU) — used by serialized benchmark
+        # controls.
+        kernel.scheduler = self if lend_pager_waits else None
 
     # ------------------------------------------------------------------
 
@@ -213,11 +226,96 @@ class Scheduler:
                     from_cpu=sched_thread.context.cpu_id)
             self._place(sched_thread, cpu)
             self.kernel.set_current_cpu(cpu.cpu_id)
-            self._advance(sched_thread)
+            self._current = sched_thread
+            try:
+                self._advance(sched_thread)
+            finally:
+                self._current = None
         if (self.timer_tick_every
                 and self.slices_run % self.timer_tick_every == 0):
             self.kernel.machine.tick_all_timers()
         return True
+
+    def service_pager_wait(self, deadline_us: float) -> int:
+        """Lend the waiting thread's CPU to ready threads until
+        *deadline_us* (simulated) or the ready queue drains; returns
+        how many threads ran to completion on the borrowed time.
+
+        Called by :meth:`repro.core.kernel.MachKernel.pager_backoff_wait`
+        while a fault sits parked on its object's pending queue — the
+        protocol-v2 continuation point: instead of the whole machine
+        idling out a pager stall, unrelated tasks keep retiring work and
+        the stalled fault resumes when the kernel's retry timer fires.
+
+        Re-entrancy: a borrowed thread may itself hit a stalling pager;
+        the nested wait then burns simulated time without borrowing
+        further (one level of lending is what one spare context can
+        honestly model, and it bounds recursion).
+        """
+        if self._wait_depth > 0 or not self.ready:
+            return 0
+        kernel = self.kernel
+        clock = kernel.clock
+        waiter = self._current
+        saved_cpu = (waiter.context.cpu_id if waiter is not None
+                     and waiter.context.cpu_id is not None
+                     else kernel.current_cpu.cpu_id)
+        cpu = kernel.machine.cpus[saved_cpu]
+        if waiter is not None:
+            waiter.state = ThreadState.WAITING
+        self._wait_depth += 1
+        tracked = self.events.active
+        if tracked:
+            # Borrowed slices get their own telemetry track: their
+            # faults are independent latency samples, not children of
+            # the waiter's still-open pager/call span.
+            self.events.push_track(f"pager-wait-cpu{saved_cpu}")
+        completed = 0
+        no_progress = 0
+        try:
+            while self.ready and clock.now_us < deadline_us:
+                borrowed = self.ready.popleft()
+                if borrowed.thread.suspended:
+                    self.ready.append(borrowed)
+                    no_progress += 1
+                    if no_progress > 2 * len(self.ready) + 4:
+                        break
+                    continue
+                before = clock.now_us
+                if tracked:
+                    self.events.emit(
+                        "sched", "borrowed_slice",
+                        task=borrowed.task.name, to_cpu=cpu.cpu_id,
+                        from_cpu=borrowed.context.cpu_id)
+                self._place(borrowed, cpu)
+                kernel.set_current_cpu(cpu.cpu_id)
+                self._current = borrowed
+                try:
+                    self._advance(borrowed)
+                finally:
+                    self._current = waiter
+                if borrowed.state is ThreadState.DONE:
+                    completed += 1
+                if clock.now_us <= before:
+                    # Slices that burn no simulated time cannot reach
+                    # the deadline; cap them so a queue of no-op
+                    # yielders cannot spin forever.
+                    no_progress += 1
+                    if no_progress > 2 * len(self.ready) + 4:
+                        break
+                else:
+                    no_progress = 0
+        finally:
+            self._wait_depth -= 1
+            if tracked:
+                self.events.pop_track()
+            if waiter is not None:
+                waiter.state = ThreadState.RUNNING
+                # Restore the waiter's context (pmap + current CPU): the
+                # borrowed threads may have switched the CPU away.
+                self._place(waiter, cpu)
+            kernel.set_current_cpu(saved_cpu)
+        return completed
 
     def run(self, max_slices: int = 100_000,
             raise_on_failure: bool = True) -> None:

@@ -365,6 +365,199 @@ def normalize_events(events) -> list[tuple]:
 
 
 # ----------------------------------------------------------------------
+# Pager-latency lockstep workload (protocol v2 vs the v1 shim)
+# ----------------------------------------------------------------------
+
+#: Deterministic stall scripts for pager-backed regions.  The same
+#: script drives both kernels, so every data_request round trip — and
+#: every retry backoff — lands in lockstep.
+PAGER_SCRIPTS: tuple = ((), ("stall",), ("ok", "ok", "stall"))
+
+
+def _region_content(content_seed: int, size: int) -> bytes:
+    """Cheap deterministic backing-store bytes for one region."""
+    stamp = hashlib.sha1(content_seed.to_bytes(8, "little")).digest()
+    return (stamp * (size // len(stamp) + 1))[:size]
+
+
+def generate_pager_ops(seed: int, nops: int = 80,
+                       max_tasks: int = 4) -> list[tuple]:
+    """A seeded op script over **pager-backed** regions.
+
+    Same replayable-ordinal scheme as :func:`generate_ops`, but every
+    region is served by an external-style store pager (optionally with
+    a scripted transient stall), and an explicit ``pageout`` op runs
+    the pageout daemon so dirty pages flow back through ``data_write``
+    and later reads re-fault through the pager.
+    """
+    rng = random.Random(seed)
+    tasks: list[dict] = [{"alive": True, "regions": []}]
+    ops: list[tuple] = []
+
+    def live_tasks():
+        return [i for i, t in enumerate(tasks) if t["alive"]]
+
+    def tasks_with_region():
+        return [i for i in live_tasks()
+                if any(r is not None for r in tasks[i]["regions"])]
+
+    def pick_region(task_idx):
+        regions = tasks[task_idx]["regions"]
+        return rng.choice([j for j, r in enumerate(regions)
+                           if r is not None])
+
+    for _ in range(nops):
+        kinds = ["allocate"] * 10 + ["read"] * 24 + ["write"] * 18 + \
+            ["batch_read"] * 12 + ["pageout"] * 8 + ["fork"] * 4 + \
+            ["deallocate"] * 3
+        kind = rng.choice(kinds)
+        if kind not in ("allocate", "pageout") \
+                and not tasks_with_region():
+            kind = "allocate"
+        if kind == "allocate":
+            owner = rng.choice(live_tasks())
+            npages = rng.randint(2, 6)
+            tasks[owner]["regions"].append(npages)
+            ops.append(("allocate", owner, npages, rng.getrandbits(32),
+                        rng.randrange(len(PAGER_SCRIPTS))))
+        elif kind in ("read", "write"):
+            owner = rng.choice(tasks_with_region())
+            region = pick_region(owner)
+            page = rng.randrange(tasks[owner]["regions"][region])
+            if kind == "write":
+                ops.append(("write", owner, region, page,
+                            rng.randrange(256)))
+            else:
+                ops.append(("read", owner, region, page))
+        elif kind == "batch_read":
+            owner = rng.choice(tasks_with_region())
+            region = pick_region(owner)
+            npages = tasks[owner]["regions"][region]
+            start = rng.randrange(npages)
+            ops.append(("batch_read", owner, region, start,
+                        rng.randint(1, npages - start)))
+        elif kind == "pageout":
+            ops.append(("pageout",))
+        elif kind == "fork":
+            if len(tasks) >= max_tasks:
+                continue
+            parent = rng.choice(live_tasks())
+            tasks.append({"alive": True,
+                          "regions": list(tasks[parent]["regions"])})
+            ops.append(("fork", parent))
+        elif kind == "deallocate":
+            owner = rng.choice(tasks_with_region())
+            region = pick_region(owner)
+            tasks[owner]["regions"][region] = None
+            ops.append(("deallocate", owner, region))
+    return ops
+
+
+def apply_pager_ops(kernel: MachKernel, ops: list[tuple]):
+    """Replay a pager op script; returns (tasks, errors, stores).
+
+    *stores* is the backing bytearray of every pager created, in
+    creation order — after pageouts both kernels must have written the
+    identical bytes back.
+    """
+    from repro.inject.pagers import ScriptedPager, StoreBackedPager
+
+    tasks = [kernel.task_create(name="dp0")]
+    regions: list[list] = [[]]
+    stores: list[bytearray] = []
+    errors: list[tuple[int, str]] = []
+    page = kernel.page_size
+    for opno, op in enumerate(ops):
+        kind = op[0]
+        try:
+            if kind == "allocate":
+                _, owner, npages, content_seed, script_idx = op
+                backing = StoreBackedPager(
+                    _region_content(content_seed, npages * page))
+                stores.append(backing.store)
+                pager = ScriptedPager(backing,
+                                      PAGER_SCRIPTS[script_idx])
+                addr = kernel.vm_allocate_with_pager(
+                    tasks[owner], npages * page, pager)
+                regions[owner].append((addr, npages))
+            elif kind == "read":
+                _, owner, region, pg = op
+                addr, _ = regions[owner][region]
+                tasks[owner].read(addr + pg * page, 4)
+            elif kind == "write":
+                _, owner, region, pg, byte = op
+                addr, _ = regions[owner][region]
+                tasks[owner].write(addr + pg * page + (byte % 17),
+                                   bytes([byte]) * 4)
+            elif kind == "batch_read":
+                _, owner, region, start, count = op
+                addr, _ = regions[owner][region]
+                kernel.fault_batch(tasks[owner], addr + start * page,
+                                   count, FaultType.READ)
+            elif kind == "pageout":
+                kernel.pageout_daemon.run()
+            elif kind == "fork":
+                (_, parent) = op
+                child = tasks[parent].fork(name=f"dp{len(tasks)}")
+                tasks.append(child)
+                regions.append(list(regions[parent]))
+            elif kind == "deallocate":
+                _, owner, region = op
+                addr, npages = regions[owner][region]
+                tasks[owner].vm_deallocate(addr, npages * page)
+                regions[owner][region] = None
+        except VMError as exc:
+            errors.append((opno, type(exc).__name__))
+    return tasks, errors, stores
+
+
+def run_pager_differential(arch: str, seed: int,
+                           nops: int = 80) -> None:
+    """Prove the v2 pager serving path state-equivalent to the pinned
+    v1 one-page reference when replies arrive in order.
+
+    Both kernels keep ``readahead_pages`` at its default 0, so the v2
+    lane issues the same one-cluster windows the v1 shim does; with
+    the store pagers answering in order, every fingerprint field, the
+    typed-error log, and the final pager backing stores must match.
+    ``stats.faults_parked`` is the one excluded field: parking is v2
+    fault *bookkeeping* (the reference shim never parks), not VM
+    state.
+    """
+    ops = generate_pager_ops(seed, nops=nops)
+    results = {}
+    for mode, reference in (("fast", False), ("reference", True)):
+        kernel = boot(arch, reference=reference)
+        assert kernel.readahead_pages == 0
+        tasks, errors, stores = apply_pager_ops(kernel, ops)
+        fp = fingerprint(kernel, tasks)
+        fp["stats"].pop("faults_parked", None)
+        results[mode] = {
+            "fingerprint": fp,
+            "errors": errors,
+            "stores": [_hash(bytes(s)) for s in stores],
+        }
+
+    hint = (f"\n  repro: {repro_command(arch, seed)}"
+            f" (pager lockstep)")
+    fast, ref = results["fast"], results["reference"]
+    assert fast["errors"] == ref["errors"], (
+        f"[{arch} seed={seed:#x}] pager lockstep: typed-error logs "
+        f"diverge:\n  fast={fast['errors']}\n"
+        f"  ref ={ref['errors']}{hint}")
+    assert fast["stores"] == ref["stores"], (
+        f"[{arch} seed={seed:#x}] pager lockstep: backing stores "
+        f"diverge after pageout:\n  fast={fast['stores']}\n"
+        f"  ref ={ref['stores']}{hint}")
+    ffp, rfp = fast["fingerprint"], ref["fingerprint"]
+    for field in sorted(set(ffp) | set(rfp)):
+        assert ffp.get(field) == rfp.get(field), (
+            f"[{arch} seed={seed:#x}] pager lockstep: fingerprint "
+            f"field {field!r} diverges:\n  fast={ffp.get(field)!r}\n"
+            f"  ref ={rfp.get(field)!r}{hint}")
+
+
+# ----------------------------------------------------------------------
 # The differential run itself
 # ----------------------------------------------------------------------
 

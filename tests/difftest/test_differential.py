@@ -21,6 +21,7 @@ from tests.difftest.harness import (
     ARCHS,
     repro_command,
     run_differential,
+    run_pager_differential,
 )
 
 SEEDS_FILE = Path(__file__).parent.parent / "data" / "difftest_seeds.txt"
@@ -51,6 +52,19 @@ def test_fast_lane_matches_reference(arch, request):
     for seed in _seeds(request.config):
         try:
             run_differential(arch, seed, nops=100)
+        except AssertionError:
+            print(f"\nFAILING SEED repro: {repro_command(arch, seed)}")
+            raise
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHS))
+def test_pager_lockstep_v2_matches_v1_reference(arch, request):
+    """Protocol v2 == the pinned one-page v1 shim when replies arrive
+    in order: pager-backed regions, scripted stalls, pageout/re-fault
+    round trips — identical state on every pmap."""
+    for seed in _seeds(request.config):
+        try:
+            run_pager_differential(arch, seed, nops=80)
         except AssertionError:
             print(f"\nFAILING SEED repro: {repro_command(arch, seed)}")
             raise
